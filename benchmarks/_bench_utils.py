@@ -1,0 +1,30 @@
+"""Helpers shared by the figure/table benchmarks (not a test module)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Sequence
+
+#: Policies of the paper's cumulative ladder, in presentation order.
+LADDER = ["n888", "n888_br", "n888_br_lr", "n888_br_lr_cr", "n888_br_lr_cr_cp",
+          "ir", "ir_nodest"]
+
+BENCH_UOPS = int(os.environ.get("REPRO_BENCH_UOPS", "5000"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2006"))
+APPS_PER_CATEGORY = int(os.environ.get("REPRO_BENCH_APPS_PER_CATEGORY", "4"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a regenerated figure/table to ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure/table benchmark draws from a single session-scoped policy-ladder
+sweep over the 12 SPEC Int 2000 profiles, so the (pure-Python) simulator runs
+each (benchmark, policy) pair exactly once per session.
+
+Environment knobs:
+
+* ``REPRO_BENCH_UOPS`` — trace length per benchmark (default 5000 uops; the
+  paper uses 100M-instruction traces, see DESIGN.md for the scaling note).
+* ``REPRO_BENCH_SEED`` — generator seed (default 2006).
+* ``REPRO_BENCH_APPS_PER_CATEGORY`` — applications sampled per Table 2
+  category for the Figure 14 benchmark (default 4; 0 = the full 409-app
+  suite).
+
+Each benchmark writes the series it regenerates to
+``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.experiment import ExperimentRunner, PolicySweepResult
+from repro.trace.profiles import SPEC_INT_2000, SPEC_INT_NAMES
+
+from _bench_utils import BENCH_SEED, BENCH_UOPS, LADDER
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """Shared experiment runner (caches traces and baseline runs)."""
+    return ExperimentRunner(trace_uops=BENCH_UOPS, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def ladder_sweep(runner) -> PolicySweepResult:
+    """The full policy ladder over the 12 SPEC Int 2000 profiles."""
+    profiles = [SPEC_INT_2000[name] for name in SPEC_INT_NAMES]
+    return runner.run_suite(profiles, LADDER)
+
+
+@pytest.fixture(scope="session")
+def spec_traces(runner):
+    """The 12 SPEC Int traces used by the characterisation figures."""
+    return {name: runner.trace_for(SPEC_INT_2000[name]) for name in SPEC_INT_NAMES}

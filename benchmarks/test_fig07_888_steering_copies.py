@@ -1,0 +1,42 @@
+"""Figure 7: instructions steered to the helper cluster and inter-cluster
+copies under the 8-8-8 scheme.
+
+The paper reports ~15% of instructions steered to the helper cluster with a
+relatively large number of copy instructions (the narrow values produced are
+often consumed for addressing/indexing in the wide cluster).
+"""
+
+from repro.sim.reporting import format_table
+from repro.trace.profiles import SPEC_INT_NAMES
+
+from _bench_utils import mean, write_result
+
+
+def test_fig07_888_steering_copies(benchmark, ladder_sweep):
+    policy = "n888"
+
+    def collect():
+        return {
+            name: (ladder_sweep.results[name].by_policy[policy].helper_fraction,
+                   ladder_sweep.results[name].by_policy[policy].copy_fraction)
+            for name in SPEC_INT_NAMES
+        }
+
+    data = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    rows = [[name, data[name][0] * 100.0, data[name][1] * 100.0]
+            for name in SPEC_INT_NAMES]
+    avg_helper = mean(v[0] for v in data.values()) * 100.0
+    avg_copies = mean(v[1] for v in data.values()) * 100.0
+    rows.append(["AVG", avg_helper, avg_copies])
+    text = format_table(
+        ["benchmark", "helper-cluster instructions %", "copy instructions %"],
+        rows, title="Figure 7 - steering and copies under 8-8-8",
+        float_format="{:.2f}")
+    write_result("fig07_888_steering_copies", text)
+
+    # Shape checks: a modest fraction of instructions reaches the helper
+    # cluster under the restrictive 8-8-8 rule, and copies are substantial
+    # relative to helper instructions (the scheme's weakness that BR/LR fix).
+    assert 5.0 <= avg_helper <= 60.0
+    assert avg_copies > 5.0

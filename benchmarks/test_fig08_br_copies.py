@@ -1,0 +1,42 @@
+"""Figure 8: the BR scheme reduces copy percentage while steering more
+instructions to the helper cluster.
+
+The paper reports that adding BR raises helper-cluster instructions from 15%
+to 19.5% while lowering copies to 10.8%, yielding a 9% speedup (up from 6.2%).
+"""
+
+from repro.sim.reporting import format_table
+from repro.trace.profiles import SPEC_INT_NAMES
+
+from _bench_utils import mean, write_result
+
+
+def test_fig08_br_copies(benchmark, ladder_sweep):
+    def collect():
+        return {
+            name: (ladder_sweep.results[name].by_policy["n888"].copy_fraction,
+                   ladder_sweep.results[name].by_policy["n888_br"].copy_fraction)
+            for name in SPEC_INT_NAMES
+        }
+
+    copies = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    rows = [[name, copies[name][0] * 100.0, copies[name][1] * 100.0]
+            for name in SPEC_INT_NAMES]
+    avg_before = mean(v[0] for v in copies.values()) * 100.0
+    avg_after = mean(v[1] for v in copies.values()) * 100.0
+    rows.append(["AVG", avg_before, avg_after])
+    text = format_table(["benchmark", "copies % (8-8-8)", "copies % (8-8-8 + BR)"],
+                        rows, title="Figure 8 - copy reduction from the BR scheme",
+                        float_format="{:.2f}")
+    write_result("fig08_br_copies", text)
+
+    helper_before = ladder_sweep.mean_helper_fraction("n888")
+    helper_after = ladder_sweep.mean_helper_fraction("n888_br")
+    speedup_before = ladder_sweep.mean_speedup("n888")
+    speedup_after = ladder_sweep.mean_speedup("n888_br")
+
+    # The three simultaneous effects the paper claims for BR:
+    assert avg_after < avg_before                 # fewer copies
+    assert helper_after > helper_before           # more helper instructions
+    assert speedup_after >= speedup_before - 0.01 # no performance loss

@@ -1,0 +1,42 @@
+"""Figure 12: performance of the carry-width prediction (CR) scheme.
+
+The paper reports that adding CR raises the helper-cluster instruction share
+to 47.5% (copies 15.7%) and the average speedup to 14.5%, up from the 8-8-8
+baseline of 6.2%.
+"""
+
+from repro.sim.reporting import format_table
+from repro.trace.profiles import SPEC_INT_NAMES
+
+from _bench_utils import mean, write_result
+
+
+def test_fig12_cr_performance(benchmark, ladder_sweep):
+    def collect():
+        return {
+            name: (ladder_sweep.results[name].speedup("n888"),
+                   ladder_sweep.results[name].speedup("n888_br_lr_cr"))
+            for name in SPEC_INT_NAMES
+        }
+
+    speedups = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    rows = [[name, speedups[name][0] * 100.0, speedups[name][1] * 100.0]
+            for name in SPEC_INT_NAMES]
+    avg_n888 = mean(v[0] for v in speedups.values()) * 100.0
+    avg_cr = mean(v[1] for v in speedups.values()) * 100.0
+    rows.append(["AVG", avg_n888, avg_cr])
+    text = format_table(
+        ["benchmark", "speedup % (8-8-8)", "speedup % (+BR+LR+CR)"],
+        rows, title="Figure 12 - performance of the CR scheme",
+        float_format="{:.2f}")
+    write_result("fig12_cr_performance", text)
+
+    helper_n888 = ladder_sweep.mean_helper_fraction("n888")
+    helper_cr = ladder_sweep.mean_helper_fraction("n888_br_lr_cr")
+
+    # Shape checks: CR substantially increases the helper-cluster share and
+    # does not lose performance on average relative to plain 8-8-8.
+    assert helper_cr > helper_n888 + 0.08
+    assert avg_cr >= avg_n888 - 0.5
+    assert avg_cr > 0.0

@@ -1,0 +1,40 @@
+"""Headline result: the cumulative steering-policy ladder.
+
+This is the paper's overall narrative compressed into one table: as the
+schemes are stacked (8-8-8 → +BR → +LR → +CR → +CP → IR → IR-nodest), the
+fraction of instructions executed in the helper cluster grows, copies fall
+with BR/LR and rise again with CP/IR, and the average speedup over the
+monolithic baseline increases (6.2% → 9% → … → 22.1% in the paper).
+"""
+
+from repro.sim.reporting import format_ladder_summary, format_policy_table
+
+from _bench_utils import LADDER, write_result
+
+
+def test_headline_policy_ladder(benchmark, ladder_sweep):
+    summary = benchmark.pedantic(lambda: format_ladder_summary(
+        ladder_sweep, title="Cumulative steering-policy ladder (SPEC Int 2000)"),
+        rounds=1, iterations=1)
+
+    text = summary
+    for policy in ("n888", "n888_br_lr_cr", "ir_nodest"):
+        text += "\n\n" + format_policy_table(ladder_sweep, policy)
+    write_result("headline_policy_ladder", text)
+
+    helper = [ladder_sweep.mean_helper_fraction(p) for p in LADDER]
+    copies = [ladder_sweep.mean_copy_fraction(p) for p in LADDER]
+    speed = [ladder_sweep.mean_speedup(p) for p in LADDER]
+
+    # Helper-cluster share grows monotonically (within noise) along the ladder.
+    assert helper[1] >= helper[0] - 0.02           # +BR
+    assert helper[3] >= helper[1] + 0.05           # +CR adds a big chunk
+    # BR+LR reduce copies relative to plain 8-8-8; CP/IR raise them again;
+    # IR-nodest pulls them back down.
+    assert copies[2] < copies[0]
+    assert copies[5] >= copies[4] - 0.01
+    assert copies[6] <= copies[5]
+    # The stacked configuration outperforms the plain 8-8-8 scheme and the
+    # baseline on average.
+    assert speed[0] > 0.0
+    assert max(speed[3:]) >= speed[0]

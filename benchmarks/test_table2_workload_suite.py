@@ -1,0 +1,47 @@
+"""Table 2: the workload-category suite used by the final study (§3.8).
+
+Checks that the suite regenerates the paper's seven categories with the
+reported per-category trace counts, and that the generated application
+profiles inherit their category archetype's character.
+"""
+
+from repro.sim.reporting import format_table
+from repro.trace.synthetic import generate_trace
+from repro.trace.workloads import (
+    TOTAL_WORKLOAD_APPS,
+    WORKLOAD_CATEGORIES,
+    build_workload_suite,
+)
+
+from _bench_utils import write_result
+
+
+def test_table2_workload_suite(benchmark):
+    suite = benchmark.pedantic(lambda: build_workload_suite(apps_per_category=2),
+                               rounds=1, iterations=1)
+
+    rows = [[c.key, c.description, c.num_traces] for c in WORKLOAD_CATEGORIES.values()]
+    rows.append(["total", "", TOTAL_WORKLOAD_APPS])
+    text = format_table(["category", "description", "#traces"], rows,
+                        title="Table 2 - workload categories")
+    write_result("table2_workload_suite", text)
+
+    # Table 2 counts, row for row.
+    expected = {"enc": 62, "sfp": 41, "kernels": 52, "mm": 85, "office": 75,
+                "prod": 45, "ws": 49}
+    assert {k: c.num_traces for k, c in WORKLOAD_CATEGORIES.items()} == expected
+    assert TOTAL_WORKLOAD_APPS == sum(expected.values())
+
+    # The sampled suite instantiates every category deterministically and the
+    # generated apps produce valid traces.
+    assert len(suite) == 2 * len(expected)
+    sample = suite[0]
+    trace = generate_trace(sample.profile, 800, seed=sample.seed)
+    trace.validate()
+
+    # Category character survives perturbation: kernels/multimedia archetypes
+    # are narrower than office/productivity ones.
+    kernels = [a for a in suite if a.category == "kernels"]
+    office = [a for a in suite if a.category == "office"]
+    assert min(a.profile.narrow_data_fraction for a in kernels) > \
+        max(a.profile.narrow_data_fraction for a in office) - 0.15

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Design-space exploration with a custom machine configuration.
+
+Shows how to use the public configuration API to explore helper-cluster
+design points beyond the paper's 8-bit / 2x choice: different narrow widths,
+clock ratios and predictor sizes, plus the energy-delay² trade-off of §3.7.
+
+Run with::
+
+    python examples/custom_machine_design.py [--benchmark gzip] [--uops N]
+"""
+
+import argparse
+
+from repro.core.config import helper_cluster_config
+from repro.core.steering import make_policy
+from repro.power.energy import compare_ed2, report_from_activity
+from repro.sim.baseline import simulate_baseline
+from repro.sim.metrics import speedup
+from repro.sim.reporting import format_table
+from repro.sim.simulator import simulate
+from repro.trace.profiles import get_profile
+from repro.trace.synthetic import generate_trace
+
+DESIGN_POINTS = [
+    ("4-bit helper, 2x clock", dict(narrow_width=4, clock_ratio=2)),
+    ("8-bit helper, 2x clock (paper)", dict(narrow_width=8, clock_ratio=2)),
+    ("16-bit helper, 2x clock", dict(narrow_width=16, clock_ratio=2)),
+    ("8-bit helper, 1x clock (symmetric)", dict(narrow_width=8, clock_ratio=1)),
+    ("8-bit helper, tiny predictor", dict(narrow_width=8, clock_ratio=2,
+                                          predictor_entries=32)),
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="gzip")
+    parser.add_argument("--uops", type=int, default=8000)
+    parser.add_argument("--policy", default="n888_br_lr_cr")
+    parser.add_argument("--seed", type=int, default=2006)
+    args = parser.parse_args()
+
+    trace = generate_trace(get_profile(args.benchmark), args.uops, seed=args.seed)
+    baseline = simulate_baseline(trace)
+    baseline_energy = report_from_activity(baseline.activity, baseline.slow_cycles,
+                                           label="baseline")
+
+    rows = []
+    for label, overrides in DESIGN_POINTS:
+        config = helper_cluster_config(**overrides)
+        result = simulate(trace, config=config, policy=make_policy(args.policy))
+        energy = report_from_activity(result.activity, result.slow_cycles, label=label)
+        rows.append([
+            label,
+            speedup(baseline, result) * 100.0,
+            result.helper_fraction * 100.0,
+            result.copy_fraction * 100.0,
+            result.prediction.accuracy * 100.0,
+            compare_ed2(baseline_energy, energy) * 100.0,
+        ])
+
+    print(format_table(
+        ["design point", "speedup %", "helper instr %", "copies %",
+         "width pred acc %", "ED^2 improvement %"],
+        rows,
+        title=f"Helper-cluster design space on {args.benchmark} "
+              f"(policy {args.policy}, {args.uops} uops)",
+        float_format="{:.1f}"))
+    print()
+    print("The paper's design point is the 8-bit, 2x-clocked helper cluster with a"
+          " 256-entry width predictor; §3.7 reports it 5.1% better in energy-delay²"
+          " than the monolithic baseline in its most aggressive configuration.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

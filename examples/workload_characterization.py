@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Workload characterisation: the analyses behind Figures 1, 11 and 13.
+
+The helper cluster's potential rests on three workload properties that this
+example measures on synthetic SPEC Int 2000 traces:
+
+* how often register operands are *narrow data-width dependent* (Figure 1);
+* how often (8-bit, 32-bit) -> 32-bit additions do **not** propagate a carry
+  past the low byte — the CR scheme's opportunity (Figure 11);
+* the producer-consumer distance that makes copy prefetching viable
+  (Figure 13).
+
+Run with::
+
+    python examples/workload_characterization.py [--uops N]
+"""
+
+import argparse
+
+from repro.analysis.carry import analyze_carry
+from repro.analysis.distance import producer_consumer_distance
+from repro.analysis.narrowness import analyze_narrowness
+from repro.sim.reporting import format_table
+from repro.trace.profiles import SPEC_INT_NAMES, get_profile
+from repro.trace.synthetic import generate_trace
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--uops", type=int, default=8000)
+    parser.add_argument("--seed", type=int, default=2006)
+    args = parser.parse_args()
+
+    rows = []
+    for name in SPEC_INT_NAMES:
+        trace = generate_trace(get_profile(name), args.uops, seed=args.seed)
+        narrowness = analyze_narrowness(trace)
+        carry = analyze_carry(trace)
+        distance = producer_consumer_distance(trace)
+        rows.append([
+            name,
+            narrowness.narrow_dependence_fraction * 100.0,
+            carry.arith_fraction * 100.0,
+            carry.load_fraction * 100.0,
+            distance.mean_distance,
+        ])
+    averages = ["AVG"] + [sum(r[i] for r in rows) / len(rows) for i in range(1, 5)]
+    rows.append(averages)
+
+    print(format_table(
+        ["benchmark", "narrow-dependent operands % (Fig 1)",
+         "no-carry arith % (Fig 11)", "no-carry load % (Fig 11)",
+         "producer-consumer distance (Fig 13)"],
+        rows,
+        title="Workload characterisation of the synthetic SPEC Int 2000 traces",
+        float_format="{:.1f}"))
+    print()
+    print("Paper reference points: Figure 1 averages ~65% narrow-dependent operands;"
+          " Figure 11 shows a large no-carry fraction (especially for loads);"
+          " Figure 13 reports average distances of a few uops.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Offline trace analyses (microarchitecture-independent).
+
+These reproduce the paper's characterisation figures, which are properties of
+the *workload* rather than of the helper-cluster machine:
+
+* :mod:`repro.analysis.narrowness` — Figure 1 (narrow data-width dependent
+  operands) and the §1 ALU-operand narrowness statistics.
+* :mod:`repro.analysis.carry` — Figure 11 (carry-not-propagated fraction of
+  (8-bit, 32-bit) -> 32-bit instructions, split into arithmetic and loads).
+* :mod:`repro.analysis.distance` — Figure 13 (average producer-consumer
+  distance in uops).
+"""
+
+from repro.analysis.narrowness import (
+    NarrownessReport,
+    narrow_dependence_fraction,
+    operand_narrowness_breakdown,
+    analyze_narrowness,
+)
+from repro.analysis.carry import CarryReport, carry_not_propagated, analyze_carry
+from repro.analysis.distance import DistanceReport, producer_consumer_distance
+
+__all__ = [
+    "NarrownessReport",
+    "narrow_dependence_fraction",
+    "operand_narrowness_breakdown",
+    "analyze_narrowness",
+    "CarryReport",
+    "carry_not_propagated",
+    "analyze_carry",
+    "DistanceReport",
+    "producer_consumer_distance",
+]

@@ -1,0 +1,147 @@
+"""Command-line interface: ``repro-helper-cluster`` / ``python -m repro``.
+
+Subcommands
+-----------
+``run``        Simulate one benchmark under one policy and print the metrics.
+``ladder``     Run the cumulative policy ladder over a set of benchmarks.
+``analyze``    Run the Figure 1 / 11 / 13 trace characterisation analyses.
+``table1``     Print the baseline machine parameters (Table 1).
+``workloads``  List the Table 2 workload suite categories.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.carry import analyze_carry
+from repro.analysis.distance import producer_consumer_distance
+from repro.analysis.narrowness import analyze_narrowness
+from repro.core.config import TABLE_1_PARAMETERS, helper_cluster_config
+from repro.core.steering import POLICY_LADDER
+from repro.sim.baseline import baseline_pair
+from repro.sim.experiment import run_spec_suite
+from repro.sim.reporting import format_ladder_summary, format_policy_table, format_table
+from repro.trace.profiles import SPEC_INT_NAMES, get_profile
+from repro.trace.synthetic import generate_trace
+from repro.trace.workloads import WORKLOAD_CATEGORIES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-helper-cluster",
+        description="Helper-cluster (data-width aware steering) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one benchmark under one policy")
+    run.add_argument("--benchmark", default="gcc", choices=SPEC_INT_NAMES)
+    run.add_argument("--policy", default="ir", choices=list(POLICY_LADDER))
+    run.add_argument("--uops", type=int, default=20_000)
+    run.add_argument("--seed", type=int, default=2006)
+
+    ladder = sub.add_parser("ladder", help="run the cumulative policy ladder")
+    ladder.add_argument("--benchmarks", nargs="*", default=None, choices=SPEC_INT_NAMES)
+    ladder.add_argument("--uops", type=int, default=15_000)
+    ladder.add_argument("--seed", type=int, default=2006)
+    ladder.add_argument("--policies", nargs="*", default=None,
+                        choices=[p for p in POLICY_LADDER if p != "baseline"])
+
+    analyze = sub.add_parser("analyze", help="run the trace characterisation analyses")
+    analyze.add_argument("--benchmark", default="gcc", choices=SPEC_INT_NAMES)
+    analyze.add_argument("--uops", type=int, default=20_000)
+    analyze.add_argument("--seed", type=int, default=2006)
+
+    sub.add_parser("table1", help="print the Table 1 baseline parameters")
+    sub.add_parser("workloads", help="list the Table 2 workload categories")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    profile = get_profile(args.benchmark)
+    trace = generate_trace(profile, args.uops, seed=args.seed)
+    base, helper, gain = baseline_pair(trace, args.policy,
+                                       helper_config=helper_cluster_config())
+    rows = [
+        ["baseline IPC", base.ipc],
+        ["helper IPC", helper.ipc],
+        ["speedup (%)", gain * 100.0],
+        ["helper-cluster instructions (%)", helper.helper_fraction * 100.0],
+        ["copy instructions (%)", helper.copy_fraction * 100.0],
+        ["width prediction accuracy (%)", helper.prediction.accuracy * 100.0],
+        ["fatal misprediction rate (%)", helper.prediction.fatal_rate * 100.0],
+        ["recoveries", helper.recoveries],
+        ["wide-to-narrow imbalance (%)", helper.wide_to_narrow_imbalance * 100.0],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.benchmark} / {args.policy} ({args.uops} uops)",
+                       float_format="{:.2f}"))
+    return 0
+
+
+def _cmd_ladder(args: argparse.Namespace) -> int:
+    policies = args.policies or [p for p in POLICY_LADDER if p != "baseline"]
+    sweep = run_spec_suite(policies, trace_uops=args.uops, seed=args.seed,
+                           benchmarks=args.benchmarks)
+    print(format_ladder_summary(sweep, title="Cumulative steering-policy ladder"))
+    print()
+    for policy in policies:
+        print(format_policy_table(sweep, policy))
+        print()
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    profile = get_profile(args.benchmark)
+    trace = generate_trace(profile, args.uops, seed=args.seed)
+    narrowness = analyze_narrowness(trace)
+    carry = analyze_carry(trace)
+    distance = producer_consumer_distance(trace)
+    rows = [
+        ["narrow-width dependent operands (%) [Fig 1]",
+         narrowness.narrow_dependence_fraction * 100.0],
+        ["ALU: one narrow operand (%) [§1]", narrowness.one_narrow_fraction * 100.0],
+        ["ALU: two narrow, narrow result (%) [§1]",
+         narrowness.two_narrow_narrow_fraction * 100.0],
+        ["carry not propagated, arith (%) [Fig 11]", carry.arith_fraction * 100.0],
+        ["carry not propagated, load (%) [Fig 11]", carry.load_fraction * 100.0],
+        ["mean producer-consumer distance (uops) [Fig 13]", distance.mean_distance],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"Trace characterisation: {args.benchmark}",
+                       float_format="{:.2f}"))
+    return 0
+
+
+def _cmd_table1(_: argparse.Namespace) -> int:
+    rows = [[name, value] for name, value in TABLE_1_PARAMETERS.items()]
+    print(format_table(["parameter", "value"], rows,
+                       title="Table 1 - monolithic baseline parameters"))
+    return 0
+
+
+def _cmd_workloads(_: argparse.Namespace) -> int:
+    rows = [[c.key, c.description, c.num_traces] for c in WORKLOAD_CATEGORIES.values()]
+    print(format_table(["category", "description", "#traces"], rows,
+                       title="Table 2 - workload categories"))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "ladder": _cmd_ladder,
+    "analyze": _cmd_analyze,
+    "table1": _cmd_table1,
+    "workloads": _cmd_workloads,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

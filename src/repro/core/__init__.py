@@ -1,0 +1,83 @@
+"""Core library: the paper's contribution.
+
+This subpackage implements the helper-cluster mechanisms proposed by the
+paper on top of the pipeline/memory substrates:
+
+* :mod:`repro.core.config` — machine configuration (Table 1 baseline plus the
+  helper-cluster parameters of §2).
+* :mod:`repro.core.predictors` — the PC-indexed width predictor with its
+  2-bit confidence estimator (§3.2), the carry-width predictor extension
+  (§3.5) and the copy-prefetch predictor (§3.6).
+* :mod:`repro.core.cluster` — the wide and narrow backend models.
+* :mod:`repro.core.copy_engine` — inter-cluster copy generation and
+  prefetching (the Canal/Parcerisa/González copy-instruction scheme).
+* :mod:`repro.core.splitting` — wide-instruction splitting for imbalance
+  reduction (§3.7).
+* :mod:`repro.core.imbalance` — the NREADY workload-imbalance metric.
+* :mod:`repro.core.steering` — the data-width aware steering policies
+  (8-8-8, BR, LR, CR, CP, IR and the IR no-destination fine tuning).
+"""
+
+from repro.core.config import (
+    HelperClusterConfig,
+    MachineConfig,
+    PredictorConfig,
+    SchedulerConfig,
+    baseline_config,
+    helper_cluster_config,
+)
+from repro.core.predictors import (
+    WidthPredictor,
+    WidthPrediction,
+    ConfidenceCounter,
+    CarryPredictor,
+    CopyPrefetchPredictor,
+    PredictorStats,
+)
+from repro.core.cluster import Backend, BackendKind
+from repro.core.imbalance import ImbalanceMonitor, ImbalanceSample
+from repro.core.copy_engine import CopyEngine, CopyRequest, CopyStats
+from repro.core.splitting import InstructionSplitter, SplitPlan, SplitChunk
+from repro.core.steering import (
+    SteeringPolicy,
+    SteerDecision,
+    SteeringContext,
+    BaselineSteering,
+    DataWidthSteering,
+    Scheme,
+    POLICY_LADDER,
+    make_policy,
+)
+
+__all__ = [
+    "HelperClusterConfig",
+    "MachineConfig",
+    "PredictorConfig",
+    "SchedulerConfig",
+    "baseline_config",
+    "helper_cluster_config",
+    "WidthPredictor",
+    "WidthPrediction",
+    "ConfidenceCounter",
+    "CarryPredictor",
+    "CopyPrefetchPredictor",
+    "PredictorStats",
+    "Backend",
+    "BackendKind",
+    "ImbalanceMonitor",
+    "ImbalanceSample",
+    "CopyEngine",
+    "CopyRequest",
+    "CopyStats",
+    "InstructionSplitter",
+    "SplitPlan",
+    "SplitChunk",
+    "SteeringPolicy",
+    "SteerDecision",
+    "SteeringContext",
+    "BaselineSteering",
+    "DataWidthSteering",
+    "Scheme",
+    "POLICY_LADDER",
+    "make_policy",
+]

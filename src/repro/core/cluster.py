@@ -1,0 +1,98 @@
+"""Backend (cluster) model: the wide 32-bit and narrow 8-bit execution engines.
+
+A :class:`Backend` bundles the per-cluster structures — issue queue,
+functional-unit pool and statistics — together with the clock domain it lives
+in.  The helper (narrow) backend has integer units only and is clocked at the
+fast frequency; the wide backend also hosts the floating point queue/units
+(§2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.core.config import MachineConfig, SchedulerConfig
+from repro.pipeline.clocking import ClockDomain, ClockingModel
+from repro.pipeline.execute import ExecutionUnitPool
+from repro.pipeline.scheduler import IssueQueue
+
+
+class BackendKind(Enum):
+    """Which of the two backends a structure belongs to."""
+
+    WIDE = "wide"
+    NARROW = "narrow"
+
+    @property
+    def domain(self) -> ClockDomain:
+        return ClockDomain.WIDE if self is BackendKind.WIDE else ClockDomain.NARROW
+
+
+@dataclass
+class BackendStats:
+    """Per-backend activity counters."""
+
+    dispatched: int = 0
+    issued: int = 0
+    completed: int = 0
+    copies_executed: int = 0
+    squashed: int = 0
+    split_chunks: int = 0
+
+
+class Backend:
+    """One execution backend (cluster)."""
+
+    def __init__(self, kind: BackendKind, config: MachineConfig,
+                 clocking: Optional[ClockingModel] = None) -> None:
+        self.kind = kind
+        self.config = config
+        self.clocking = clocking or ClockingModel(ratio=config.clock_ratio)
+        scheduler: SchedulerConfig = config.scheduler
+        self.issue_queue = IssueQueue(
+            size=scheduler.queue_size,
+            issue_width=scheduler.issue_width,
+            memory_ports=scheduler.memory_ports,
+        )
+        self.units = ExecutionUnitPool(
+            domain=kind.domain,
+            clocking=self.clocking,
+            has_fp=(kind is BackendKind.WIDE),
+        )
+        self.stats = BackendStats()
+
+    # ----------------------------------------------------------------- domain
+    @property
+    def domain(self) -> ClockDomain:
+        return self.kind.domain
+
+    @property
+    def is_narrow(self) -> bool:
+        return self.kind is BackendKind.NARROW
+
+    def active(self, fast_cycle: int) -> bool:
+        """Whether this backend gets an issue opportunity this fast cycle."""
+        return self.clocking.domain_active(self.domain, fast_cycle)
+
+    # ------------------------------------------------------------------ width
+    @property
+    def datapath_width(self) -> int:
+        """Datapath width in bits."""
+        return self.config.helper.narrow_width if self.is_narrow else 32
+
+    def can_execute_width(self, value_is_narrow: bool) -> bool:
+        """Whether a value of the given width class fits this backend's datapath."""
+        return True if not self.is_narrow else value_is_narrow
+
+    # ------------------------------------------------------------------ reset
+    def reset(self) -> None:
+        scheduler = self.config.scheduler
+        self.issue_queue = IssueQueue(
+            size=scheduler.queue_size,
+            issue_width=scheduler.issue_width,
+            memory_ports=scheduler.memory_ports,
+        )
+        self.units.reset()
+        self.stats = BackendStats()

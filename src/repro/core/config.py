@@ -1,0 +1,162 @@
+"""Machine configuration: the Table 1 baseline and the helper cluster.
+
+``MachineConfig`` bundles everything the simulator needs: the frontend and
+memory parameters of the monolithic baseline (Table 1), the scheduler
+parameters shared by both backends, and the helper-cluster parameters of §2
+(narrow width, clock ratio, whether the helper cluster exists at all).
+
+The baseline monolithic processor of the paper has the same resources as the
+frontend plus the *wide* backend of the clustered machine; the helper-cluster
+configuration simply adds the narrow backend.  ``baseline_config()`` and
+``helper_cluster_config()`` construct exactly those two machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.isa.values import MACHINE_WIDTH, NARROW_WIDTH
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import MemoryConfig
+from repro.memory.tracecache import TraceCacheConfig
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Per-backend scheduler resources (Table 1: 32-entry, 3-issue)."""
+
+    queue_size: int = 32
+    issue_width: int = 3
+    memory_ports: int = 2
+
+    def __post_init__(self) -> None:
+        if self.queue_size <= 0 or self.issue_width <= 0 or self.memory_ports <= 0:
+            raise ValueError("scheduler parameters must be positive")
+
+
+@dataclass(frozen=True)
+class PredictorConfig:
+    """Width / carry / copy-prefetch predictor parameters (§3.2, §3.5, §3.6)."""
+
+    #: Number of entries in the PC-indexed tagless table ("a size of 256
+    #: entries was found to be a good compromise", §3.2).
+    table_entries: int = 256
+    #: Use the 2-bit confidence estimator to gate narrow steering (§3.2).
+    use_confidence: bool = True
+    #: Confidence counter threshold at which a prediction counts as
+    #: high-confidence (2-bit counter, so 0..3; the top two states qualify).
+    confidence_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        if self.table_entries <= 0 or (self.table_entries & (self.table_entries - 1)):
+            raise ValueError("predictor table entries must be a positive power of two")
+        if not 0 <= self.confidence_threshold <= 3:
+            raise ValueError("confidence threshold must be within a 2-bit counter range")
+
+
+@dataclass(frozen=True)
+class HelperClusterConfig:
+    """Parameters of the narrow helper backend (§2)."""
+
+    #: Whether the helper cluster exists (False = monolithic baseline).
+    enabled: bool = True
+    #: Narrow datapath width in bits (8 in the paper's design point).
+    narrow_width: int = NARROW_WIDTH
+    #: Helper-to-wide clock ratio (2 in §2.2).
+    clock_ratio: int = 2
+    #: The helper backend has integer units only (no FPUs), §2.1.
+    has_fp: bool = False
+    #: Latency of an inter-cluster copy in slow cycles (issue in the producer
+    #: cluster + transfer to the consumer's register file).
+    copy_latency_slow: int = 2
+    #: Recovery penalty of a flushing squash, in slow cycles (§3.2).
+    flush_penalty_slow: int = 5
+
+    def __post_init__(self) -> None:
+        if self.narrow_width <= 0 or self.narrow_width > MACHINE_WIDTH:
+            raise ValueError("narrow width must be in (0, machine width]")
+        if self.clock_ratio < 1:
+            raise ValueError("clock ratio must be >= 1")
+        if self.copy_latency_slow < 1:
+            raise ValueError("copy latency must be >= 1 slow cycle")
+        if self.flush_penalty_slow < 0:
+            raise ValueError("flush penalty must be non-negative")
+
+    @property
+    def split_chunks(self) -> int:
+        """Number of narrow chunks a wide instruction splits into (§3.7)."""
+        return max(1, MACHINE_WIDTH // self.narrow_width)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete machine description."""
+
+    #: Frontend fetch/decode width per wide cycle.
+    fetch_width: int = 6
+    #: In-order commit width per wide cycle (Table 1).
+    commit_width: int = 6
+    #: Reorder buffer capacity (in-flight uops).
+    rob_size: int = 128
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    fp_scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    trace_cache: TraceCacheConfig = field(default_factory=TraceCacheConfig)
+    predictor: PredictorConfig = field(default_factory=PredictorConfig)
+    helper: HelperClusterConfig = field(default_factory=HelperClusterConfig)
+
+    def __post_init__(self) -> None:
+        if self.fetch_width <= 0 or self.commit_width <= 0 or self.rob_size <= 0:
+            raise ValueError("frontend/commit/ROB parameters must be positive")
+
+    # ------------------------------------------------------------- derived
+    @property
+    def narrow_width(self) -> int:
+        return self.helper.narrow_width
+
+    @property
+    def clock_ratio(self) -> int:
+        return self.helper.clock_ratio if self.helper.enabled else 1
+
+    def with_helper(self, **overrides) -> "MachineConfig":
+        """Return a copy with helper-cluster fields overridden."""
+        return replace(self, helper=replace(self.helper, **overrides))
+
+    def with_predictor(self, **overrides) -> "MachineConfig":
+        """Return a copy with predictor fields overridden."""
+        return replace(self, predictor=replace(self.predictor, **overrides))
+
+    def with_scheduler(self, **overrides) -> "MachineConfig":
+        """Return a copy with (integer) scheduler fields overridden."""
+        return replace(self, scheduler=replace(self.scheduler, **overrides))
+
+
+def baseline_config() -> MachineConfig:
+    """The monolithic baseline: Table 1 resources, no helper cluster."""
+    return MachineConfig(helper=HelperClusterConfig(enabled=False))
+
+
+def helper_cluster_config(narrow_width: int = NARROW_WIDTH, clock_ratio: int = 2,
+                          predictor_entries: int = 256,
+                          use_confidence: bool = True) -> MachineConfig:
+    """The baseline augmented with the 8-bit helper cluster of §2."""
+    return MachineConfig(
+        helper=HelperClusterConfig(enabled=True, narrow_width=narrow_width,
+                                   clock_ratio=clock_ratio),
+        predictor=PredictorConfig(table_entries=predictor_entries,
+                                  use_confidence=use_confidence),
+    )
+
+
+#: Table 1 of the paper, as a report-friendly mapping.  Used by the
+#: Table 1 benchmark and by the README.
+TABLE_1_PARAMETERS = {
+    "Trace Cache (TC)": "32K uops, 4-way",
+    "Level-1 DCache (DL0)": "32KB, 8-way, 3 cycle, 2 R/W ports",
+    "Level-2 Cache (UL1)": "4MB, 16-way, 13 cycle, 1 R/W port",
+    "Integer Execution": "32 entry scheduler, 3 issue",
+    "Fp Execution": "32 entry scheduler, 3 issue",
+    "Commit Width": "6 instructions",
+    "Main Memory": "450 cycles",
+}

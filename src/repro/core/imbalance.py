@@ -1,0 +1,132 @@
+"""Workload-imbalance measurement: the NREADY metric (§3.7).
+
+Following Parcerisa & González, the workload imbalance at a given instant is
+the number of *ready* instructions that cannot issue in their own cluster but
+could have issued in the other cluster (which has spare issue slots).  If the
+helper cluster is underutilised there is wide-to-narrow imbalance (ready wide
+work that the idle narrow cluster could have absorbed); if it is overutilised
+the narrow-to-wide imbalance dominates.
+
+The monitor also tracks the issue-queue occupancy discrepancy, which is the
+signal the IR splitting heuristic actually uses at dispatch time ("whenever
+wide-to-narrow imbalance exists, as indicated by the discrepancy of the issue
+queue occupancy rates of the clusters").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class ImbalanceSample:
+    """One per-cycle imbalance observation."""
+
+    fast_cycle: int
+    wide_ready_blocked: int
+    narrow_ready_blocked: int
+    wide_free_slots: int
+    narrow_free_slots: int
+    wide_occupancy: int
+    narrow_occupancy: int
+
+
+@dataclass
+class ImbalanceMonitor:
+    """Accumulates NREADY imbalance and occupancy statistics.
+
+    Parameters
+    ----------
+    occupancy_threshold:
+        Relative issue-queue occupancy gap (wide minus narrow, normalised by
+        queue size) above which the IR heuristic considers the helper cluster
+        underutilised and enables splitting.
+    """
+
+    queue_size: int = 32
+    #: occupancy gap (wide minus narrow, normalised by queue size) above which
+    #: the IR heuristic splits wide instructions toward the narrow cluster
+    occupancy_threshold: float = 0.15
+    #: reverse gap above which narrow-eligible work is steered back to the
+    #: wide cluster (the helper cluster is overloaded, §1 item 5)
+    overload_threshold: float = 0.50
+    samples: int = 0
+    issue_opportunities: int = 0
+    wide_to_narrow_nready: int = 0
+    narrow_to_wide_nready: int = 0
+    wide_occupancy_accum: int = 0
+    narrow_occupancy_accum: int = 0
+    _last_wide_occupancy: int = 0
+    _last_narrow_occupancy: int = 0
+
+    # ----------------------------------------------------------------- sample
+    def record(self, sample: ImbalanceSample) -> None:
+        """Record one cycle's observation.
+
+        ``wide_ready_blocked`` counts ready instructions in the wide queue
+        that could not issue this cycle; they count toward wide-to-narrow
+        imbalance only insofar as the narrow cluster had free issue slots,
+        and vice versa (that is the NREADY definition).
+        """
+        self.samples += 1
+        self.issue_opportunities += max(1, sample.wide_occupancy + sample.narrow_occupancy)
+        self.wide_to_narrow_nready += min(sample.wide_ready_blocked,
+                                          sample.narrow_free_slots)
+        self.narrow_to_wide_nready += min(sample.narrow_ready_blocked,
+                                          sample.wide_free_slots)
+        self.wide_occupancy_accum += sample.wide_occupancy
+        self.narrow_occupancy_accum += sample.narrow_occupancy
+        self._last_wide_occupancy = sample.wide_occupancy
+        self._last_narrow_occupancy = sample.narrow_occupancy
+
+    # ------------------------------------------------------------------ rates
+    def wide_to_narrow_imbalance(self) -> float:
+        """Fraction of issue opportunities lost to wide-to-narrow imbalance."""
+        if self.issue_opportunities == 0:
+            return 0.0
+        return self.wide_to_narrow_nready / self.issue_opportunities
+
+    def narrow_to_wide_imbalance(self) -> float:
+        """Fraction of issue opportunities lost to narrow-to-wide imbalance."""
+        if self.issue_opportunities == 0:
+            return 0.0
+        return self.narrow_to_wide_nready / self.issue_opportunities
+
+    def mean_wide_occupancy(self) -> float:
+        return self.wide_occupancy_accum / self.samples if self.samples else 0.0
+
+    def mean_narrow_occupancy(self) -> float:
+        return self.narrow_occupancy_accum / self.samples if self.samples else 0.0
+
+    # ------------------------------------------------------------ IR decision
+    def helper_underutilised(self) -> bool:
+        """Dispatch-time signal for the IR scheme: is there wide-to-narrow imbalance?
+
+        Uses the instantaneous issue-queue occupancy discrepancy, which is
+        what the paper's heuristic consults ("indicated by the discrepancy of
+        the issue queue occupancy rates of the clusters").  Splitting only
+        pays off when the wide scheduler is genuinely congested, so an
+        absolute occupancy floor is required as well.
+        """
+        if self._last_wide_occupancy < 0.75 * self.queue_size:
+            return False
+        if self._last_narrow_occupancy > 0.5 * self.queue_size:
+            return False
+        gap = (self._last_wide_occupancy - self._last_narrow_occupancy) / max(1, self.queue_size)
+        return gap > self.occupancy_threshold
+
+    def helper_overloaded(self) -> bool:
+        """Opposite condition: steer narrow work back to the wide cluster (§1, item 5)."""
+        gap = (self._last_narrow_occupancy - self._last_wide_occupancy) / max(1, self.queue_size)
+        return gap > self.overload_threshold
+
+    def reset(self) -> None:
+        self.samples = 0
+        self.issue_opportunities = 0
+        self.wide_to_narrow_nready = 0
+        self.narrow_to_wide_nready = 0
+        self.wide_occupancy_accum = 0
+        self.narrow_occupancy_accum = 0
+        self._last_wide_occupancy = 0
+        self._last_narrow_occupancy = 0

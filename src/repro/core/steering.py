@@ -1,0 +1,293 @@
+"""Data-width aware instruction steering policies (§1 items 1-5, §3.2-§3.7).
+
+The steering stage sits between decode/rename and dispatch.  For every uop it
+decides which backend the uop executes in, whether it is being steered under a
+width *prediction* (and therefore may trigger a flushing recovery if the
+prediction turns out fatally wrong), whether a load's result should be
+replicated in both clusters (LR), and whether the uop should be split into
+narrow chunks (IR).
+
+Policies are expressed as a set of :class:`Scheme` flags so the paper's
+cumulative ladder (8-8-8 → +BR → +LR → +CR → +CP → +IR → IR-nodest) maps
+directly onto configuration, and ablations can toggle any single scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import MachineConfig
+from repro.core.copy_engine import CopyEngine
+from repro.core.imbalance import ImbalanceMonitor
+from repro.core.predictors import WidthPredictor, WidthPrediction
+from repro.core.splitting import InstructionSplitter
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.registers import ArchReg
+from repro.isa.uop import MicroOp
+from repro.isa.values import is_narrow, truncate
+from repro.pipeline.clocking import ClockDomain
+from repro.pipeline.frontend import FetchedUop
+from repro.pipeline.rename import RenameTable
+
+
+class Scheme(Enum):
+    """The individual steering techniques proposed by the paper."""
+
+    N888 = auto()       # §3.2: all sources and result narrow
+    BR = auto()         # §3.3: branches dependent on narrow-value conditions
+    LR = auto()         # §3.4: load replication
+    CR = auto()         # §3.5: carry-width prediction
+    CP = auto()         # §3.6: copy prefetching
+    IR = auto()         # §3.7: instruction splitting for imbalance reduction
+    IR_NODEST = auto()  # §3.7 fine tuning: split only destination-less uops
+
+
+#: The cumulative policy ladder evaluated in the paper, in presentation order.
+POLICY_LADDER: Dict[str, frozenset] = {
+    "baseline": frozenset(),
+    "n888": frozenset({Scheme.N888}),
+    "n888_br": frozenset({Scheme.N888, Scheme.BR}),
+    "n888_br_lr": frozenset({Scheme.N888, Scheme.BR, Scheme.LR}),
+    "n888_br_lr_cr": frozenset({Scheme.N888, Scheme.BR, Scheme.LR, Scheme.CR}),
+    "n888_br_lr_cr_cp": frozenset({Scheme.N888, Scheme.BR, Scheme.LR, Scheme.CR,
+                                   Scheme.CP}),
+    "ir": frozenset({Scheme.N888, Scheme.BR, Scheme.LR, Scheme.CR, Scheme.CP,
+                     Scheme.IR}),
+    "ir_nodest": frozenset({Scheme.N888, Scheme.BR, Scheme.LR, Scheme.CR, Scheme.CP,
+                            Scheme.IR, Scheme.IR_NODEST}),
+}
+
+
+@dataclass
+class SteerDecision:
+    """Outcome of steering one uop."""
+
+    domain: ClockDomain
+    reason: str = "default_wide"
+    #: the uop was steered narrow based on a width prediction (8-8-8); a
+    #: wrong prediction is fatal and triggers flushing recovery
+    predicted_narrow: bool = False
+    #: the uop was steered narrow under the CR carry-width prediction; a
+    #: propagated carry is fatal
+    via_cr: bool = False
+    #: the uop is a conditional branch steered narrow by the BR scheme
+    via_br: bool = False
+    #: LR: the load's result register is allocated in both clusters
+    replicate_load: bool = False
+    #: IR: the uop is split into narrow chunks (handled by the simulator)
+    split: bool = False
+
+    @property
+    def to_helper(self) -> bool:
+        return self.domain is ClockDomain.NARROW
+
+
+@dataclass
+class SteeringContext:
+    """Everything a policy may consult when steering a uop."""
+
+    config: MachineConfig
+    width_predictor: WidthPredictor
+    rename: RenameTable
+    imbalance: ImbalanceMonitor
+    copy_engine: CopyEngine
+    splitter: InstructionSplitter
+
+
+@dataclass
+class SteeringStats:
+    """Per-policy steering counters."""
+
+    steered: int = 0
+    to_narrow: int = 0
+    to_wide: int = 0
+    narrow_by_n888: int = 0
+    narrow_by_br: int = 0
+    narrow_by_cr: int = 0
+    narrow_by_split: int = 0
+    rejected_low_confidence: int = 0
+    rebalanced_to_wide: int = 0
+
+    @property
+    def narrow_fraction(self) -> float:
+        return self.to_narrow / self.steered if self.steered else 0.0
+
+
+class SteeringPolicy:
+    """Base class: policies map (uop, context) -> :class:`SteerDecision`."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = SteeringStats()
+
+    def steer(self, fetched: FetchedUop, ctx: SteeringContext) -> SteerDecision:
+        raise NotImplementedError
+
+    def _account(self, decision: SteerDecision) -> SteerDecision:
+        self.stats.steered += 1
+        if decision.to_helper:
+            self.stats.to_narrow += 1
+            if decision.split:
+                self.stats.narrow_by_split += 1
+            elif decision.via_br:
+                self.stats.narrow_by_br += 1
+            elif decision.via_cr:
+                self.stats.narrow_by_cr += 1
+            elif decision.predicted_narrow:
+                self.stats.narrow_by_n888 += 1
+        else:
+            self.stats.to_wide += 1
+        return decision
+
+    def reset(self) -> None:
+        self.stats = SteeringStats()
+
+
+class BaselineSteering(SteeringPolicy):
+    """Monolithic baseline: every uop executes in the wide backend."""
+
+    name = "baseline"
+
+    def steer(self, fetched: FetchedUop, ctx: SteeringContext) -> SteerDecision:
+        return self._account(SteerDecision(domain=ClockDomain.WIDE, reason="baseline"))
+
+
+class DataWidthSteering(SteeringPolicy):
+    """The paper's data-width aware steering with a configurable scheme set."""
+
+    def __init__(self, schemes: frozenset | set = POLICY_LADDER["ir"],
+                 name: Optional[str] = None) -> None:
+        super().__init__()
+        self.schemes = frozenset(schemes)
+        self.name = name or "+".join(sorted(s.name for s in self.schemes)) or "wide_only"
+
+    # ------------------------------------------------------------------ helpers
+    def _source_widths(self, uop: MicroOp, ctx: SteeringContext) -> List[bool]:
+        """Width-table view of each source: actual width if written back, else prediction."""
+        widths: List[bool] = []
+        for reg in uop.srcs:
+            widths.append(ctx.rename.source_is_narrow(reg))
+        return widths
+
+    def _immediate_narrow(self, uop: MicroOp, ctx: SteeringContext) -> bool:
+        if uop.imm is None:
+            return True
+        return is_narrow(truncate(uop.imm), ctx.config.narrow_width)
+
+    def _helper_supports(self, uop: MicroOp) -> bool:
+        """The helper backend has integer ALUs/AGUs only (§2.1)."""
+        return uop.op_class not in (OpClass.FP, OpClass.MUL, OpClass.DIV)
+
+    # -------------------------------------------------------------------- steer
+    def steer(self, fetched: FetchedUop, ctx: SteeringContext) -> SteerDecision:
+        uop = fetched.uop
+        helper = ctx.config.helper
+
+        if not helper.enabled or not self.schemes:
+            return self._account(SteerDecision(domain=ClockDomain.WIDE,
+                                               reason="helper_disabled"))
+        if not self._helper_supports(uop):
+            return self._account(SteerDecision(domain=ClockDomain.WIDE,
+                                               reason="no_unit_in_helper"))
+
+        # §1 item 5 / §3.7: if the helper cluster is overloaded, steer narrow
+        # work back to the wide cluster until balance is restored.
+        rebalance_to_wide = (Scheme.IR in self.schemes
+                             and ctx.imbalance.helper_overloaded())
+
+        # --- BR: conditional branch depending on a narrow-cluster flag write.
+        # Branches are never candidates for the width-prediction based
+        # schemes (they have no register result); they go to the helper
+        # cluster only under the BR rule.
+        if uop.is_branch:
+            if Scheme.BR in self.schemes and uop.is_cond_branch:
+                flags_entry = ctx.rename.entry(ArchReg.FLAGS)
+                flag_in_narrow = flags_entry.producer_domain is ClockDomain.NARROW
+                if (flag_in_narrow and fetched.target_resolved_in_frontend
+                        and not rebalance_to_wide):
+                    return self._account(SteerDecision(
+                        domain=ClockDomain.NARROW, reason="br_narrow_flag", via_br=True))
+            return self._account(SteerDecision(domain=ClockDomain.WIDE,
+                                               reason="branch_wide"))
+
+        prediction = ctx.width_predictor.predict(uop.pc)
+        source_widths = self._source_widths(uop, ctx)
+        sources_narrow = all(source_widths) and self._immediate_narrow(uop, ctx)
+
+        # --- LR: loads predicted to fetch a narrow value have their result
+        # register allocated in both clusters through the shared MOB (§3.4),
+        # independent of which cluster executes the load.
+        replicate = (Scheme.LR in self.schemes and uop.is_load
+                     and prediction.narrow and prediction.confident)
+
+        # --- 8-8-8: all sources narrow and result predicted narrow with
+        # high confidence (§3.2).
+        if Scheme.N888 in self.schemes and sources_narrow and uop.srcs:
+            result_ok = (not uop.has_dest) or (prediction.narrow and prediction.confident)
+            if uop.has_dest and prediction.narrow and not prediction.confident:
+                self.stats.rejected_low_confidence += 1
+            if result_ok and not rebalance_to_wide:
+                return self._account(SteerDecision(
+                    domain=ClockDomain.NARROW, reason="n888",
+                    predicted_narrow=True, replicate_load=replicate))
+
+        # --- CR: one narrow and one wide source, wide result, carry predicted
+        # not to propagate past the low byte (§3.5).
+        if Scheme.CR in self.schemes and uop.info.cr_eligible and not rebalance_to_wide:
+            wide_sources = [i for i, narrow in enumerate(source_widths) if not narrow]
+            narrow_sources = [i for i, narrow in enumerate(source_widths) if narrow]
+            result_predicted_wide = uop.has_dest and not prediction.narrow
+            addresses_memory = uop.is_memory  # address result is consumed wide
+            # Memory operations additionally require the narrow operand to be
+            # an immediate (field-style base+displacement addressing).  Index
+            # registers sweep through values and routinely cross the carry
+            # boundary mid-loop, which the per-PC carry bit cannot track; the
+            # flushing recovery they would cause costs more than the narrow
+            # execution saves.
+            narrow_operand_ok = (uop.imm is not None if uop.is_memory
+                                 else bool(narrow_sources) or uop.imm is not None)
+            if (len(wide_sources) == 1 and narrow_operand_ok
+                    and (result_predicted_wide or addresses_memory)
+                    and prediction.carry_safe):
+                return self._account(SteerDecision(
+                    domain=ClockDomain.NARROW, reason="cr_no_carry",
+                    via_cr=True, replicate_load=replicate))
+
+        # --- IR: split wide instructions into narrow chunks while the helper
+        # cluster is underutilised (§3.7).
+        if Scheme.IR in self.schemes and ctx.imbalance.helper_underutilised():
+            require_no_dest = Scheme.IR_NODEST in self.schemes
+            ctx.splitter.require_no_dest = require_no_dest
+            if ctx.splitter.can_split(uop):
+                return self._account(SteerDecision(
+                    domain=ClockDomain.NARROW, reason="ir_split", split=True))
+
+        if rebalance_to_wide:
+            self.stats.rebalanced_to_wide += 1
+            return self._account(SteerDecision(domain=ClockDomain.WIDE,
+                                               reason="helper_overloaded",
+                                               replicate_load=replicate))
+        return self._account(SteerDecision(domain=ClockDomain.WIDE,
+                                           reason="default_wide",
+                                           replicate_load=replicate))
+
+    # --------------------------------------------------------------- properties
+    @property
+    def uses_copy_prefetch(self) -> bool:
+        return Scheme.CP in self.schemes
+
+    @property
+    def uses_load_replication(self) -> bool:
+        return Scheme.LR in self.schemes
+
+
+def make_policy(name: str) -> SteeringPolicy:
+    """Construct a policy from the ladder by name (see :data:`POLICY_LADDER`)."""
+    if name not in POLICY_LADDER:
+        raise KeyError(f"unknown policy {name!r}; known: {', '.join(POLICY_LADDER)}")
+    if name == "baseline":
+        return BaselineSteering()
+    return DataWidthSteering(POLICY_LADDER[name], name=name)

@@ -1,0 +1,80 @@
+"""IA-32-like micro-operation ISA substrate.
+
+This subpackage models the internal instruction set that the helper-cluster
+simulator operates on: 32-bit integer values and their data-width properties
+(:mod:`repro.isa.values`), the architectural register set
+(:mod:`repro.isa.registers`), the micro-op opcode vocabulary
+(:mod:`repro.isa.opcodes`) and the :class:`~repro.isa.uop.MicroOp` record
+itself.
+
+The paper's steering policies are all *data-width aware*: they reason about
+whether operands and results fit in 8 bits, whether a carry propagates past
+bit 7 of an address computation, and whether a conditional branch depends on
+a flag produced by a narrow instruction.  The primitives for all of those
+decisions live here.
+"""
+
+from repro.isa.values import (
+    MACHINE_WIDTH,
+    NARROW_WIDTH,
+    NARROW_MASK,
+    WIDE_MASK,
+    value_width,
+    is_narrow,
+    leading_zero_count,
+    leading_one_count,
+    detect_narrow,
+    sign_extend,
+    zero_extend,
+    truncate,
+    carry_propagates,
+    split_bytes,
+    join_bytes,
+)
+from repro.isa.registers import (
+    ArchReg,
+    FLAGS_REG,
+    EIP_REG,
+    GPR_REGS,
+    NUM_ARCH_REGS,
+    RegisterFile,
+)
+from repro.isa.opcodes import (
+    Opcode,
+    OpClass,
+    FunctionalUnit,
+    OPCODE_INFO,
+    OpcodeInfo,
+)
+from repro.isa.uop import MicroOp, UopBuilder
+
+__all__ = [
+    "MACHINE_WIDTH",
+    "NARROW_WIDTH",
+    "NARROW_MASK",
+    "WIDE_MASK",
+    "value_width",
+    "is_narrow",
+    "leading_zero_count",
+    "leading_one_count",
+    "detect_narrow",
+    "sign_extend",
+    "zero_extend",
+    "truncate",
+    "carry_propagates",
+    "split_bytes",
+    "join_bytes",
+    "ArchReg",
+    "FLAGS_REG",
+    "EIP_REG",
+    "GPR_REGS",
+    "NUM_ARCH_REGS",
+    "RegisterFile",
+    "Opcode",
+    "OpClass",
+    "FunctionalUnit",
+    "OPCODE_INFO",
+    "OpcodeInfo",
+    "MicroOp",
+    "UopBuilder",
+]

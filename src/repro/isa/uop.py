@@ -1,0 +1,251 @@
+"""The micro-operation record and a builder for constructing uop streams.
+
+A :class:`MicroOp` is the unit the simulator fetches, renames, steers,
+executes and commits.  Traces (:mod:`repro.trace`) are sequences of MicroOps
+with *concrete* source and result values attached — the trace generator
+functionally emulates the stream so that every uop's dataflow is consistent.
+Width predictors in the core library are only allowed to observe values at
+the architecturally correct time (writeback); the concrete values attached to
+a uop are the oracle against which predictions are scored.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.isa.opcodes import OpClass, Opcode, OpcodeInfo, opcode_info
+from repro.isa.registers import ArchReg
+from repro.isa.values import NARROW_WIDTH, is_narrow, truncate
+
+
+@dataclass
+class MicroOp:
+    """One micro-operation of the trace.
+
+    Attributes
+    ----------
+    uid:
+        Unique, monotonically increasing identifier within a trace.  Used to
+        express producer/consumer relations and program order.
+    pc:
+        Program counter of the parent IA-32 instruction (width predictors are
+        PC-indexed, §3.2).
+    opcode:
+        The uop opcode.
+    srcs:
+        Architectural source register names (0–3 of them).
+    dest:
+        Architectural destination register, or ``None``.
+    imm:
+        Immediate operand value, or ``None``.
+    src_values / result_value / flags_value:
+        Concrete values observed by the functional emulation; ``None`` until
+        the trace generator fills them in.
+    mem_addr / mem_size:
+        Effective address and access size in bytes for memory uops.
+    is_taken:
+        For branches, whether the branch is taken.
+    producer_uids:
+        uid of the most recent producer of each source register (or ``None``
+        for live-ins), parallel to ``srcs``.
+    flags_producer_uid:
+        uid of the most recent writer of FLAGS before this uop (relevant for
+        conditional branches).
+    synthetic:
+        True for uops injected by the microarchitecture itself (copies, split
+        chunks); these never appear in input traces.
+    """
+
+    uid: int
+    pc: int
+    opcode: Opcode
+    srcs: Tuple[ArchReg, ...] = ()
+    dest: Optional[ArchReg] = None
+    imm: Optional[int] = None
+    src_values: Tuple[int, ...] = ()
+    result_value: Optional[int] = None
+    flags_value: Optional[int] = None
+    mem_addr: Optional[int] = None
+    mem_size: int = 4
+    is_taken: bool = False
+    producer_uids: Tuple[Optional[int], ...] = ()
+    flags_producer_uid: Optional[int] = None
+    synthetic: bool = False
+
+    # ------------------------------------------------------------------ info
+    @property
+    def info(self) -> OpcodeInfo:
+        """Static opcode properties."""
+        return opcode_info(self.opcode)
+
+    @property
+    def op_class(self) -> OpClass:
+        return self.info.op_class
+
+    @property
+    def has_dest(self) -> bool:
+        return self.dest is not None and self.info.has_dest
+
+    @property
+    def writes_flags(self) -> bool:
+        return self.info.writes_flags
+
+    @property
+    def reads_flags(self) -> bool:
+        return self.info.reads_flags
+
+    @property
+    def is_memory(self) -> bool:
+        return self.info.is_memory
+
+    @property
+    def is_load(self) -> bool:
+        return self.op_class == OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op_class == OpClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op_class in (OpClass.BRANCH, OpClass.JUMP)
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.op_class == OpClass.BRANCH
+
+    @property
+    def is_fp(self) -> bool:
+        return self.op_class == OpClass.FP
+
+    @property
+    def is_copy(self) -> bool:
+        return self.op_class == OpClass.COPY
+
+    @property
+    def latency(self) -> int:
+        """Execution latency in wide-cluster cycles."""
+        return self.info.latency
+
+    # --------------------------------------------------------------- widths
+    def src_is_narrow(self, index: int, narrow_width: int = NARROW_WIDTH) -> bool:
+        """True if the ``index``-th source value is narrow (oracle view)."""
+        if index >= len(self.src_values):
+            return True
+        return is_narrow(self.src_values[index], narrow_width)
+
+    def all_sources_narrow(self, narrow_width: int = NARROW_WIDTH) -> bool:
+        """True if every source value (and the immediate) is narrow."""
+        for value in self.src_values:
+            if not is_narrow(value, narrow_width):
+                return False
+        if self.imm is not None and not is_narrow(truncate(self.imm), narrow_width):
+            return False
+        return True
+
+    def result_is_narrow(self, narrow_width: int = NARROW_WIDTH) -> bool:
+        """True if the result value is narrow (uops with no result count as narrow)."""
+        if self.result_value is None:
+            return True
+        return is_narrow(self.result_value, narrow_width)
+
+    def is_fully_narrow(self, narrow_width: int = NARROW_WIDTH) -> bool:
+        """The 8-8-8 oracle condition of §3.2: all sources and the result narrow."""
+        return self.all_sources_narrow(narrow_width) and self.result_is_narrow(narrow_width)
+
+    # --------------------------------------------------------------- helpers
+    def with_values(
+        self,
+        src_values: Sequence[int],
+        result_value: Optional[int],
+        flags_value: Optional[int] = None,
+    ) -> "MicroOp":
+        """Return a copy with concrete values filled in."""
+        return replace(
+            self,
+            src_values=tuple(truncate(v) for v in src_values),
+            result_value=None if result_value is None else truncate(result_value),
+            flags_value=flags_value,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        srcs = ",".join(r.name for r in self.srcs)
+        dest = self.dest.name if self.dest is not None else "-"
+        return (
+            f"MicroOp(uid={self.uid}, pc={self.pc:#x}, {self.opcode.name} "
+            f"{dest} <- [{srcs}] imm={self.imm})"
+        )
+
+
+class UopBuilder:
+    """Convenience factory producing MicroOps with sequential uids.
+
+    The builder only fills in the *static* fields; concrete values and
+    producer links are attached by the functional emulator in
+    :mod:`repro.trace.synthetic` (or by hand in tests).
+    """
+
+    def __init__(self, start_uid: int = 0) -> None:
+        self._counter = itertools.count(start_uid)
+
+    def next_uid(self) -> int:
+        return next(self._counter)
+
+    def make(
+        self,
+        opcode: Opcode,
+        *,
+        pc: int = 0,
+        srcs: Sequence[ArchReg] = (),
+        dest: Optional[ArchReg] = None,
+        imm: Optional[int] = None,
+        mem_addr: Optional[int] = None,
+        mem_size: int = 4,
+        is_taken: bool = False,
+        synthetic: bool = False,
+    ) -> MicroOp:
+        """Create a new MicroOp with the next uid."""
+        info = opcode_info(opcode)
+        if dest is None and info.has_dest and info.op_class not in (OpClass.NOP,):
+            # Many call sites know the opcode produces a result; tolerate the
+            # omission for opcodes that architecturally have no destination.
+            pass
+        return MicroOp(
+            uid=self.next_uid(),
+            pc=pc,
+            opcode=Opcode(opcode),
+            srcs=tuple(ArchReg(s) for s in srcs),
+            dest=None if dest is None else ArchReg(dest),
+            imm=None if imm is None else truncate(imm),
+            mem_addr=None if mem_addr is None else truncate(mem_addr),
+            mem_size=mem_size,
+            is_taken=is_taken,
+            synthetic=synthetic,
+        )
+
+    def alu(self, opcode: Opcode, dest: ArchReg, srcs: Sequence[ArchReg], *, pc: int = 0,
+            imm: Optional[int] = None) -> MicroOp:
+        """Shorthand for an ALU-class uop."""
+        return self.make(opcode, pc=pc, srcs=srcs, dest=dest, imm=imm)
+
+    def load(self, dest: ArchReg, base: ArchReg, offset: ArchReg, *, pc: int = 0,
+             byte: bool = False, addr: Optional[int] = None) -> MicroOp:
+        """Shorthand for a load uop (LOADB when ``byte`` is set)."""
+        opcode = Opcode.LOADB if byte else Opcode.LOAD
+        return self.make(opcode, pc=pc, srcs=(base, offset), dest=dest,
+                         mem_addr=addr, mem_size=1 if byte else 4)
+
+    def store(self, data: ArchReg, base: ArchReg, offset: ArchReg, *, pc: int = 0,
+              byte: bool = False, addr: Optional[int] = None) -> MicroOp:
+        """Shorthand for a store uop (STOREB when ``byte`` is set)."""
+        opcode = Opcode.STOREB if byte else Opcode.STORE
+        return self.make(opcode, pc=pc, srcs=(base, offset, data),
+                         mem_addr=addr, mem_size=1 if byte else 4)
+
+    def branch(self, *, pc: int = 0, conditional: bool = True, taken: bool = False) -> MicroOp:
+        """Shorthand for a branch uop."""
+        opcode = Opcode.BR_COND if conditional else Opcode.BR_UNCOND
+        srcs: Tuple[ArchReg, ...] = (ArchReg.FLAGS,) if conditional else ()
+        return self.make(opcode, pc=pc, srcs=srcs, is_taken=taken)

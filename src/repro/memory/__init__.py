@@ -1,0 +1,23 @@
+"""Memory hierarchy substrate.
+
+Models the Table 1 memory system of the baseline processor: a trace cache
+(32K uops, 4-way) feeding the frontend, a level-1 data cache (32KB, 8-way,
+3-cycle, 2 read/write ports), a level-2 cache (4MB, 16-way, 13-cycle) and
+main memory (450 cycles).  All latencies are expressed in wide-cluster (slow)
+cycles, exactly as Table 1 states them; the clocking model converts to fast
+cycles where needed.
+"""
+
+from repro.memory.cache import Cache, CacheConfig, AccessResult
+from repro.memory.tracecache import TraceCache, TraceCacheConfig
+from repro.memory.hierarchy import MemoryHierarchy, MemoryConfig
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "AccessResult",
+    "TraceCache",
+    "TraceCacheConfig",
+    "MemoryHierarchy",
+    "MemoryConfig",
+]

@@ -1,0 +1,98 @@
+"""Data memory hierarchy: DL0, UL1 and main memory (Table 1).
+
+``MemoryHierarchy.load_latency`` walks an address down the hierarchy and
+returns the total load-to-use latency in slow cycles.  Stores are modelled as
+fire-and-forget through the same tag state (they allocate, so later loads to
+the same line hit) but do not stall the pipeline; the Memory Order Buffer in
+:mod:`repro.pipeline.mob` handles ordering and capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.memory.cache import Cache, CacheConfig
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Table 1 memory parameters (latencies in slow cycles)."""
+
+    dl0: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="DL0", size_bytes=32 * 1024, associativity=8, line_bytes=64,
+        hit_latency=3, ports=2))
+    ul1: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="UL1", size_bytes=4 * 1024 * 1024, associativity=16, line_bytes=64,
+        hit_latency=13, ports=1))
+    main_memory_latency: int = 450
+
+    def __post_init__(self) -> None:
+        if self.main_memory_latency <= 0:
+            raise ValueError("main memory latency must be positive")
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregate statistics across the data hierarchy."""
+
+    loads: int = 0
+    stores: int = 0
+    dl0_hits: int = 0
+    ul1_hits: int = 0
+    memory_accesses: int = 0
+
+    @property
+    def dl0_hit_rate(self) -> float:
+        total = self.loads + self.stores
+        return self.dl0_hits / total if total else 0.0
+
+
+class MemoryHierarchy:
+    """The DL0/UL1/main-memory stack used by load and store uops."""
+
+    def __init__(self, config: Optional[MemoryConfig] = None) -> None:
+        self.config = config or MemoryConfig()
+        self.dl0 = Cache(self.config.dl0)
+        self.ul1 = Cache(self.config.ul1)
+        self.stats = HierarchyStats()
+
+    def load_latency(self, addr: int) -> int:
+        """Return the load-to-use latency (slow cycles) for ``addr``."""
+        self.stats.loads += 1
+        dl0 = self.dl0.access(addr)
+        if dl0.hit:
+            self.stats.dl0_hits += 1
+            return self.config.dl0.hit_latency
+        ul1 = self.ul1.access(addr)
+        if ul1.hit:
+            self.stats.ul1_hits += 1
+            return self.config.dl0.hit_latency + self.config.ul1.hit_latency
+        self.stats.memory_accesses += 1
+        return (self.config.dl0.hit_latency + self.config.ul1.hit_latency
+                + self.config.main_memory_latency)
+
+    def store(self, addr: int) -> int:
+        """Perform a store; returns the latency to cache commit (slow cycles)."""
+        self.stats.stores += 1
+        dl0 = self.dl0.access(addr)
+        if dl0.hit:
+            self.stats.dl0_hits += 1
+            return self.config.dl0.hit_latency
+        ul1 = self.ul1.access(addr)
+        if ul1.hit:
+            self.stats.ul1_hits += 1
+        else:
+            self.stats.memory_accesses += 1
+        # Write-allocate: the line is now resident in DL0 either way.
+        return self.config.dl0.hit_latency
+
+    @property
+    def dl0_ports(self) -> int:
+        """Number of DL0 ports available per slow cycle."""
+        return self.config.dl0.ports
+
+    def reset(self) -> None:
+        self.dl0.reset()
+        self.ul1.reset()
+        self.stats = HierarchyStats()

@@ -1,0 +1,69 @@
+"""Trace cache model (Table 1: 32K uops, 4-way).
+
+The frontend of the modelled processor reads IA-32 instructions from the
+upper-level cache (UL1), translates them into uops and stores them in a trace
+cache from which they are fetched, decoded and steered (§2.1).  For the
+timing simulator what matters is whether a fetch group hits the trace cache
+(fetch proceeds at full bandwidth) or misses (the frontend stalls while the
+line is rebuilt from UL1).
+
+The trace cache is indexed by the PC of the first uop of a fetch group; its
+capacity is expressed in uops rather than bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.memory.cache import Cache, CacheConfig, CacheStats
+
+
+@dataclass(frozen=True)
+class TraceCacheConfig:
+    """Trace cache geometry (capacity in uops) and rebuild penalty."""
+
+    capacity_uops: int = 32 * 1024
+    associativity: int = 4
+    line_uops: int = 8
+    miss_penalty: int = 13  # rebuild from UL1, in slow cycles
+
+    def __post_init__(self) -> None:
+        if self.capacity_uops <= 0 or self.line_uops <= 0 or self.associativity <= 0:
+            raise ValueError("trace cache geometry must be positive")
+        if self.miss_penalty < 0:
+            raise ValueError("miss penalty must be non-negative")
+
+
+class TraceCache:
+    """A trace cache tracking which fetch lines are resident."""
+
+    def __init__(self, config: Optional[TraceCacheConfig] = None) -> None:
+        self.config = config or TraceCacheConfig()
+        # Reuse the generic cache tag store: pretend each uop occupies one
+        # byte so the capacity arithmetic carries over directly.
+        cache_config = CacheConfig(
+            name="TC",
+            size_bytes=self.config.capacity_uops,
+            associativity=self.config.associativity,
+            line_bytes=self.config.line_uops,
+            hit_latency=0,
+            ports=1,
+        )
+        self._cache = Cache(cache_config)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def fetch(self, pc: int) -> int:
+        """Fetch the line containing ``pc``.
+
+        Returns the additional frontend stall (in slow cycles): 0 on a hit,
+        the rebuild penalty on a miss.
+        """
+        result = self._cache.access(pc)
+        return 0 if result.hit else self.config.miss_penalty
+
+    def reset(self) -> None:
+        self._cache.reset()

@@ -1,0 +1,87 @@
+"""Clock domains of the helper-cluster machine (§2.2).
+
+The integer ALU and its bypass loop limit the backend frequency, and that
+limit scales with the datapath width (typical ALU latency ~ log N in the
+operand width).  The 8-bit helper backend can therefore be clocked 2x faster
+than the 32-bit backend while keeping the two clocks synchronised (no
+resynchronisation penalty on cluster crossings).
+
+The simulator advances time in *fast* cycles (helper-cluster cycles).  The
+wide cluster — and the frontend and commit stages, which belong to the wide
+domain — only act on fast cycles that are multiples of the clock ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ClockDomain(Enum):
+    """The two clock domains of the machine."""
+
+    WIDE = "wide"      # 32-bit backend, frontend, commit
+    NARROW = "narrow"  # 8-bit helper backend
+
+
+@dataclass(frozen=True)
+class ClockingModel:
+    """Conversion between slow (wide) and fast (narrow) cycles.
+
+    Attributes
+    ----------
+    ratio:
+        How many fast cycles fit in one slow cycle.  The paper's design point
+        is 2 (§2.2); a ratio of 1 degenerates to a symmetric two-cluster
+        machine and is used by the clock-ratio ablation.
+    """
+
+    ratio: int = 2
+
+    def __post_init__(self) -> None:
+        if self.ratio < 1:
+            raise ValueError(f"clock ratio must be >= 1, got {self.ratio}")
+
+    # ------------------------------------------------------------- membership
+    def is_wide_cycle(self, fast_cycle: int) -> bool:
+        """True when the wide domain (and frontend/commit) is active."""
+        return fast_cycle % self.ratio == 0
+
+    def is_narrow_cycle(self, fast_cycle: int) -> bool:
+        """The narrow domain acts every fast cycle."""
+        return True
+
+    def domain_active(self, domain: ClockDomain, fast_cycle: int) -> bool:
+        if domain == ClockDomain.WIDE:
+            return self.is_wide_cycle(fast_cycle)
+        return self.is_narrow_cycle(fast_cycle)
+
+    # ------------------------------------------------------------ conversions
+    def slow_to_fast(self, slow_cycles: int | float) -> int:
+        """Convert a latency in slow cycles to fast cycles (rounded up)."""
+        fast = slow_cycles * self.ratio
+        return int(-(-fast // 1))  # ceil for float inputs
+
+    def fast_to_slow(self, fast_cycles: int | float) -> float:
+        """Convert fast cycles to (possibly fractional) slow cycles."""
+        return fast_cycles / self.ratio
+
+    def exec_latency(self, domain: ClockDomain, latency_slow: int) -> int:
+        """Execution latency of an op, in fast cycles, for the given domain.
+
+        A one-slow-cycle ALU op costs ``ratio`` fast cycles in the wide
+        cluster but only one fast cycle in the helper cluster — that is the
+        entire performance argument for the helper cluster.
+        """
+        if latency_slow < 1:
+            raise ValueError(f"latency must be >= 1 slow cycle, got {latency_slow}")
+        if domain == ClockDomain.WIDE:
+            return latency_slow * self.ratio
+        return latency_slow
+
+    def next_active_cycle(self, domain: ClockDomain, fast_cycle: int) -> int:
+        """First fast cycle >= ``fast_cycle`` on which ``domain`` is active."""
+        if domain == ClockDomain.NARROW:
+            return fast_cycle
+        remainder = fast_cycle % self.ratio
+        return fast_cycle if remainder == 0 else fast_cycle + (self.ratio - remainder)

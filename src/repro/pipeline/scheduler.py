@@ -1,0 +1,157 @@
+"""Per-cluster issue queue (scheduler) with wakeup/select.
+
+Table 1 gives each backend a 32-entry scheduler with an issue width of 3.
+Entries wait for their source operands to become ready (wakeup) and are then
+selected oldest-first up to the issue width (select).  The helper cluster's
+queue is identical in structure but is clocked at the fast frequency, so it
+gets a select opportunity every fast cycle.
+
+The issue queue also exposes the occupancy and ready-but-not-issued counts
+that the NREADY load-imbalance metric (§3.7) and the IR splitting heuristic
+consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+@dataclass
+class IssueQueueEntry:
+    """One scheduler entry."""
+
+    uid: int
+    seq: int                      # program order sequence number (age)
+    remaining_sources: int        # outstanding source operands
+    fu_latency: int               # execution latency in fast cycles
+    is_memory: bool = False
+    payload: object = None        # opaque reference back to the simulator's record
+
+    @property
+    def ready(self) -> bool:
+        return self.remaining_sources == 0
+
+
+class IssueQueue:
+    """A bounded issue queue with explicit wakeup and oldest-first select."""
+
+    def __init__(self, size: int = 32, issue_width: int = 3,
+                 memory_ports: Optional[int] = None) -> None:
+        if size <= 0 or issue_width <= 0:
+            raise ValueError("issue queue size and width must be positive")
+        self.size = size
+        self.issue_width = issue_width
+        self.memory_ports = memory_ports
+        self._entries: Dict[int, IssueQueueEntry] = {}
+        # Statistics for imbalance measurement.
+        self.total_occupancy_samples = 0
+        self.occupancy_accum = 0
+        self.ready_not_issued_accum = 0
+
+    # --------------------------------------------------------------- capacity
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def free_slots(self) -> int:
+        return self.size - len(self._entries)
+
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.size
+
+    def __contains__(self, uid: int) -> bool:
+        return uid in self._entries
+
+    # ----------------------------------------------------------------- insert
+    def insert(self, entry: IssueQueueEntry, force: bool = False) -> None:
+        """Dispatch an entry into the queue.
+
+        Raises if the queue is full unless ``force`` is set.  Forced inserts
+        are reserved for flushing-recovery re-dispatch, which must make
+        forward progress even when the scheduler is congested (the real
+        machine reserves entries for re-steered instructions).
+        """
+        if self.is_full() and not force:
+            raise RuntimeError("issue queue full")
+        if entry.uid in self._entries:
+            raise ValueError(f"uid {entry.uid} already in issue queue")
+        self._entries[entry.uid] = entry
+
+    # ----------------------------------------------------------------- wakeup
+    def wakeup(self, uid: int, count: int = 1) -> None:
+        """Mark ``count`` source operands of ``uid`` as ready."""
+        entry = self._entries.get(uid)
+        if entry is None:
+            return
+        entry.remaining_sources = max(0, entry.remaining_sources - count)
+
+    # ----------------------------------------------------------------- select
+    def select(self, max_issue: Optional[int] = None,
+               memory_slots: Optional[int] = None) -> List[IssueQueueEntry]:
+        """Select up to ``issue_width`` ready entries, oldest first.
+
+        ``memory_slots`` optionally caps how many memory operations may issue
+        this cycle (DL0 port limit); non-memory entries are unaffected.
+        Selected entries are removed from the queue.
+        """
+        budget = self.issue_width if max_issue is None else min(max_issue, self.issue_width)
+        if budget <= 0:
+            return []
+        mem_budget = memory_slots if memory_slots is not None else (
+            self.memory_ports if self.memory_ports is not None else budget)
+        ready = sorted((e for e in self._entries.values() if e.ready),
+                       key=lambda e: e.seq)
+        selected: List[IssueQueueEntry] = []
+        for entry in ready:
+            if len(selected) >= budget:
+                break
+            if entry.is_memory:
+                if mem_budget <= 0:
+                    continue
+                mem_budget -= 1
+            selected.append(entry)
+        for entry in selected:
+            del self._entries[entry.uid]
+        return selected
+
+    # ------------------------------------------------------------------ flush
+    def flush_from(self, seq: int) -> List[IssueQueueEntry]:
+        """Remove and return all entries with sequence number >= ``seq``.
+
+        This implements the paper's flushing recovery (§3.2): on a fatal width
+        misprediction every instruction starting from the mispredicted one is
+        squashed in the narrow backend.
+        """
+        squashed = [e for e in self._entries.values() if e.seq >= seq]
+        for entry in squashed:
+            del self._entries[entry.uid]
+        return sorted(squashed, key=lambda e: e.seq)
+
+    def drain(self) -> List[IssueQueueEntry]:
+        """Remove and return everything (used at simulation teardown)."""
+        entries = sorted(self._entries.values(), key=lambda e: e.seq)
+        self._entries.clear()
+        return entries
+
+    # -------------------------------------------------------------- statistics
+    def sample_occupancy(self) -> None:
+        """Record occupancy and ready-but-unissued counts for this cycle."""
+        self.total_occupancy_samples += 1
+        self.occupancy_accum += len(self._entries)
+        self.ready_not_issued_accum += sum(1 for e in self._entries.values() if e.ready)
+
+    @property
+    def mean_occupancy(self) -> float:
+        if self.total_occupancy_samples == 0:
+            return 0.0
+        return self.occupancy_accum / self.total_occupancy_samples
+
+    def ready_count(self) -> int:
+        """Number of currently ready (issuable) entries."""
+        return sum(1 for e in self._entries.values() if e.ready)
+
+    def reset_stats(self) -> None:
+        self.total_occupancy_samples = 0
+        self.occupancy_accum = 0
+        self.ready_not_issued_accum = 0

@@ -1,0 +1,23 @@
+"""Wattch-like activity-based power model.
+
+The paper compares energy-delay² of the most aggressive helper-cluster
+configuration against the monolithic baseline using an in-house Wattch-style
+power simulator extended with the helper cluster's 8-bit datapath, clock
+network and width predictors (§3.1, §3.7).  This subpackage provides the
+equivalent: per-structure per-access energies that scale with datapath width,
+plus static/clock power per cycle, and the energy / energy-delay /
+energy-delay² accounting used by the ED² benchmark.
+"""
+
+from repro.power.wattch import PowerModel, PowerConfig, ActivityCounts, PowerBreakdown
+from repro.power.energy import EnergyReport, energy_delay_squared, compare_ed2
+
+__all__ = [
+    "PowerModel",
+    "PowerConfig",
+    "ActivityCounts",
+    "PowerBreakdown",
+    "EnergyReport",
+    "energy_delay_squared",
+    "compare_ed2",
+]

@@ -1,0 +1,31 @@
+"""Simulation drivers: the top-level cycle simulator, metrics and experiments."""
+
+from repro.sim.metrics import SimulationResult, PredictionBreakdown, speedup
+from repro.sim.simulator import HelperClusterSimulator, simulate
+from repro.sim.baseline import simulate_baseline, baseline_pair
+from repro.sim.experiment import (
+    ExperimentRunner,
+    BenchmarkResult,
+    PolicySweepResult,
+    run_policy_ladder,
+    run_spec_suite,
+)
+from repro.sim.reporting import format_table, format_series, results_to_rows
+
+__all__ = [
+    "SimulationResult",
+    "PredictionBreakdown",
+    "speedup",
+    "HelperClusterSimulator",
+    "simulate",
+    "simulate_baseline",
+    "baseline_pair",
+    "ExperimentRunner",
+    "BenchmarkResult",
+    "PolicySweepResult",
+    "run_policy_ladder",
+    "run_spec_suite",
+    "format_table",
+    "format_series",
+    "results_to_rows",
+]

@@ -1,0 +1,156 @@
+"""Experiment runner: per-benchmark, per-policy sweeps.
+
+This is the layer the benchmark harness and examples drive.  It owns trace
+generation (with caching), baseline simulation and the cumulative policy
+ladder, and returns structured results that :mod:`repro.sim.reporting` turns
+into the paper's tables and series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.config import MachineConfig, helper_cluster_config
+from repro.core.steering import POLICY_LADDER, make_policy
+from repro.sim.baseline import simulate_baseline
+from repro.sim.metrics import SimulationResult, speedup
+from repro.sim.simulator import simulate
+from repro.trace.profiles import SPEC_INT_2000, SPEC_INT_NAMES, BenchmarkProfile
+from repro.trace.slicing import select_simulation_slice
+from repro.trace.synthetic import generate_trace
+from repro.trace.trace import Trace
+
+#: Default trace length (uops) used by experiments.  The paper simulates
+#: 100M-instruction traces; the synthetic profiles converge much earlier, and
+#: the pure-Python simulator needs CI-scale runtimes (see DESIGN.md).
+DEFAULT_TRACE_UOPS = 30_000
+
+
+@dataclass
+class BenchmarkResult:
+    """Baseline + policy results for one benchmark."""
+
+    benchmark: str
+    baseline: SimulationResult
+    by_policy: Dict[str, SimulationResult] = field(default_factory=dict)
+
+    def speedup(self, policy: str) -> float:
+        return speedup(self.baseline, self.by_policy[policy])
+
+    def speedups(self) -> Dict[str, float]:
+        return {name: self.speedup(name) for name in self.by_policy}
+
+
+@dataclass
+class PolicySweepResult:
+    """Results of a sweep over benchmarks x policies."""
+
+    policies: List[str]
+    benchmarks: List[str]
+    results: Dict[str, BenchmarkResult] = field(default_factory=dict)
+
+    def mean_speedup(self, policy: str) -> float:
+        values = [self.results[b].speedup(policy) for b in self.benchmarks]
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_helper_fraction(self, policy: str) -> float:
+        values = [self.results[b].by_policy[policy].helper_fraction
+                  for b in self.benchmarks]
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_copy_fraction(self, policy: str) -> float:
+        values = [self.results[b].by_policy[policy].copy_fraction
+                  for b in self.benchmarks]
+        return sum(values) / len(values) if values else 0.0
+
+    def speedup_series(self, policy: str) -> Dict[str, float]:
+        return {b: self.results[b].speedup(policy) for b in self.benchmarks}
+
+
+class ExperimentRunner:
+    """Caches traces and baseline runs across policy sweeps."""
+
+    def __init__(self, trace_uops: int = DEFAULT_TRACE_UOPS, seed: int = 2006,
+                 config: Optional[MachineConfig] = None,
+                 use_slicing: bool = False) -> None:
+        if trace_uops <= 0:
+            raise ValueError("trace_uops must be positive")
+        self.trace_uops = trace_uops
+        self.seed = seed
+        self.config = config or helper_cluster_config()
+        self.use_slicing = use_slicing
+        self._traces: Dict[str, Trace] = {}
+        self._baselines: Dict[str, SimulationResult] = {}
+
+    # ------------------------------------------------------------------ traces
+    def trace_for(self, profile: BenchmarkProfile) -> Trace:
+        """Generate (and cache) the trace for a profile."""
+        key = f"{profile.name}:{self.seed}:{self.trace_uops}:{self.use_slicing}"
+        if key not in self._traces:
+            if self.use_slicing:
+                # Generate a longer run and keep the paper's simulation slice
+                # (§3.1: split into 10 slices, start from the fourth).
+                full = generate_trace(profile, self.trace_uops * 10, seed=self.seed)
+                self._traces[key] = select_simulation_slice(full)
+            else:
+                self._traces[key] = generate_trace(profile, self.trace_uops,
+                                                   seed=self.seed)
+        return self._traces[key]
+
+    def baseline_for(self, profile: BenchmarkProfile) -> SimulationResult:
+        """Run (and cache) the monolithic baseline for a profile."""
+        key = f"{profile.name}:{self.seed}:{self.trace_uops}:{self.use_slicing}"
+        if key not in self._baselines:
+            self._baselines[key] = simulate_baseline(self.trace_for(profile))
+        return self._baselines[key]
+
+    # ------------------------------------------------------------------- runs
+    def run_policy(self, profile: BenchmarkProfile, policy_name: str,
+                   config: Optional[MachineConfig] = None) -> SimulationResult:
+        """Run one benchmark under one policy of the ladder."""
+        trace = self.trace_for(profile)
+        if policy_name == "baseline":
+            return self.baseline_for(profile)
+        return simulate(trace, config=config or self.config,
+                        policy=make_policy(policy_name))
+
+    def run_benchmark(self, profile: BenchmarkProfile,
+                      policies: Sequence[str]) -> BenchmarkResult:
+        """Run one benchmark under several policies, sharing the baseline."""
+        result = BenchmarkResult(benchmark=profile.name,
+                                 baseline=self.baseline_for(profile))
+        for name in policies:
+            if name == "baseline":
+                continue
+            result.by_policy[name] = self.run_policy(profile, name)
+        return result
+
+    def run_suite(self, profiles: Iterable[BenchmarkProfile],
+                  policies: Sequence[str]) -> PolicySweepResult:
+        """Run a set of benchmarks under a set of policies."""
+        profiles = list(profiles)
+        sweep = PolicySweepResult(
+            policies=[p for p in policies if p != "baseline"],
+            benchmarks=[p.name for p in profiles])
+        for profile in profiles:
+            sweep.results[profile.name] = self.run_benchmark(profile, policies)
+        return sweep
+
+
+def run_spec_suite(policies: Sequence[str], trace_uops: int = DEFAULT_TRACE_UOPS,
+                   seed: int = 2006, benchmarks: Optional[Sequence[str]] = None,
+                   config: Optional[MachineConfig] = None) -> PolicySweepResult:
+    """Run the 12 SPEC Int 2000 benchmarks (or a subset) under the given policies."""
+    runner = ExperimentRunner(trace_uops=trace_uops, seed=seed, config=config)
+    names = list(benchmarks) if benchmarks else SPEC_INT_NAMES
+    profiles = [SPEC_INT_2000[name] for name in names]
+    return runner.run_suite(profiles, policies)
+
+
+def run_policy_ladder(trace_uops: int = DEFAULT_TRACE_UOPS, seed: int = 2006,
+                      benchmarks: Optional[Sequence[str]] = None) -> PolicySweepResult:
+    """Run the full cumulative policy ladder of the paper over SPEC Int 2000."""
+    policies = [name for name in POLICY_LADDER if name != "baseline"]
+    return run_spec_suite(policies, trace_uops=trace_uops, seed=seed,
+                          benchmarks=benchmarks)

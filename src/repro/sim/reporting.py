@@ -1,0 +1,110 @@
+"""Plain-text / CSV reporting of experiment results.
+
+The benchmark harness prints the same rows and series the paper's figures
+plot; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.sim.experiment import PolicySweepResult
+from repro.sim.metrics import SimulationResult
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None, float_format: str = "{:.3f}") -> str:
+    """Format a simple aligned text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, float], title: Optional[str] = None,
+                  value_label: str = "value", percent: bool = False) -> str:
+    """Format a name -> value series (one figure series) as text."""
+    rows = []
+    for name, value in series.items():
+        rows.append((name, value * 100.0 if percent else value))
+    headers = ["name", f"{value_label}{' (%)' if percent else ''}"]
+    return format_table(headers, rows, title=title,
+                        float_format="{:.2f}" if percent else "{:.4f}")
+
+
+def results_to_rows(sweep: PolicySweepResult, policy: str) -> List[List[object]]:
+    """Rows of per-benchmark metrics for one policy (Figures 6-9, 12)."""
+    rows: List[List[object]] = []
+    for benchmark in sweep.benchmarks:
+        result = sweep.results[benchmark].by_policy[policy]
+        rows.append([
+            benchmark,
+            sweep.results[benchmark].speedup(policy) * 100.0,
+            result.helper_fraction * 100.0,
+            result.copy_fraction * 100.0,
+            result.prediction.accuracy * 100.0,
+        ])
+    rows.append([
+        "AVG",
+        sweep.mean_speedup(policy) * 100.0,
+        sweep.mean_helper_fraction(policy) * 100.0,
+        sweep.mean_copy_fraction(policy) * 100.0,
+        sum(sweep.results[b].by_policy[policy].prediction.accuracy
+            for b in sweep.benchmarks) / max(1, len(sweep.benchmarks)) * 100.0,
+    ])
+    return rows
+
+
+def format_policy_table(sweep: PolicySweepResult, policy: str,
+                        title: Optional[str] = None) -> str:
+    """A per-benchmark table for one policy."""
+    headers = ["benchmark", "speedup %", "helper %", "copies %", "pred acc %"]
+    return format_table(headers, results_to_rows(sweep, policy),
+                        title=title or f"policy: {policy}",
+                        float_format="{:.2f}")
+
+
+def format_ladder_summary(sweep: PolicySweepResult, title: str = "Policy ladder") -> str:
+    """Mean speedup / helper-fraction / copy-fraction per policy (the headline)."""
+    headers = ["policy", "mean speedup %", "mean helper %", "mean copies %"]
+    rows = []
+    for policy in sweep.policies:
+        rows.append([
+            policy,
+            sweep.mean_speedup(policy) * 100.0,
+            sweep.mean_helper_fraction(policy) * 100.0,
+            sweep.mean_copy_fraction(policy) * 100.0,
+        ])
+    return format_table(headers, rows, title=title, float_format="{:.2f}")
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as CSV text (no external dependencies)."""
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(f"{cell:.6f}")
+            else:
+                cells.append(str(cell))
+        lines.append(",".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,1004 @@
+"""The helper-cluster timing simulator.
+
+``HelperClusterSimulator`` executes a trace on the clustered machine
+described by a :class:`~repro.core.config.MachineConfig` under a
+:class:`~repro.core.steering.SteeringPolicy`, advancing time in *fast*
+(helper-cluster) cycles.  The wide backend, the frontend and the commit stage
+only act on fast cycles that fall on the wide clock (every ``clock_ratio``-th
+cycle), which is how the 2x clocking advantage of the helper backend (§2.2)
+is expressed.
+
+Per fast cycle the simulator performs, in order:
+
+1. **writeback** — completion events: wake consumers, update the width /
+   carry / copy-prefetch predictors, detect fatal width mispredictions and
+   trigger flushing recovery (§3.2);
+2. **issue** — per active backend, oldest-first select of ready scheduler
+   entries subject to issue width, functional-unit and DL0-port constraints;
+3. **commit** — on wide cycles, in-order retirement of up to the commit
+   width;
+4. **dispatch** — on wide cycles, fetch/decode/steer/rename of new trace uops
+   (and re-dispatch of squashed ones), generation of inter-cluster copy uops,
+   load replication (§3.4), copy prefetching (§3.6) and IR splitting (§3.7).
+
+Copy uops and IR split chunks are modelled as first-class scheduler entries:
+they occupy issue slots in the cluster they execute in, exactly the overhead
+the paper's schemes try to minimise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.cluster import Backend, BackendKind
+from repro.core.config import MachineConfig, helper_cluster_config
+from repro.core.copy_engine import CopyEngine, CopyRequest
+from repro.core.imbalance import ImbalanceMonitor, ImbalanceSample
+from repro.core.predictors import WidthPredictor
+from repro.core.splitting import InstructionSplitter, SplitPlan
+from repro.core.steering import (
+    BaselineSteering,
+    SteerDecision,
+    SteeringContext,
+    SteeringPolicy,
+)
+from repro.isa.opcodes import FunctionalUnit, OpClass, Opcode, opcode_info
+from repro.isa.registers import ArchReg
+from repro.isa.uop import MicroOp
+from repro.isa.values import is_narrow
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.tracecache import TraceCache
+from repro.pipeline.clocking import ClockDomain, ClockingModel
+from repro.pipeline.frontend import FetchedUop, Frontend
+from repro.pipeline.mob import MemoryOrderBuffer
+from repro.pipeline.recovery import RecoveryManager
+from repro.pipeline.rename import RenameTable
+from repro.pipeline.rob import ReorderBuffer
+from repro.pipeline.scheduler import IssueQueue, IssueQueueEntry
+from repro.sim.metrics import PredictionBreakdown, SimulationResult
+from repro.trace.trace import Trace
+
+#: Safety multiplier: a run is aborted (as a bug) if it exceeds this many
+#: fast cycles per trace uop.
+_MAX_CYCLES_PER_UOP = 400
+
+
+@dataclass
+class _DynUop:
+    """Per-in-flight-operation simulator state."""
+
+    dyn_id: int
+    kind: str                       # "trace" | "copy" | "chunk"
+    seq: int
+    domain: ClockDomain
+    opcode: Opcode
+    uop: Optional[MicroOp] = None
+    decision: Optional[SteerDecision] = None
+    value_uid: Optional[int] = None      # value produced (trace uid) if any
+    copy_request: Optional[CopyRequest] = None
+    chunk_index: int = 0
+    parent: Optional["_DynUop"] = None
+    predicted_narrow: Optional[bool] = None
+    completed: bool = False
+    squashed: bool = False
+    issued: bool = False
+    in_rob: bool = False
+    replicate_load: bool = False
+    is_last_chunk: bool = False
+    rename_dest: Optional[object] = None
+
+
+class HelperClusterSimulator:
+    """Trace-driven timing simulator of the helper-cluster machine."""
+
+    def __init__(self, trace: Trace, config: Optional[MachineConfig] = None,
+                 policy: Optional[SteeringPolicy] = None) -> None:
+        self.trace = trace
+        self.config = config or helper_cluster_config()
+        self.policy = policy or BaselineSteering()
+        self.clocking = ClockingModel(ratio=self.config.clock_ratio)
+
+        # Substrate structures.
+        self.frontend = Frontend(trace, fetch_width=self.config.fetch_width,
+                                 trace_cache=TraceCache(self.config.trace_cache))
+        self.wide = Backend(BackendKind.WIDE, self.config, self.clocking)
+        self.narrow = Backend(BackendKind.NARROW, self.config, self.clocking)
+        self.rob = ReorderBuffer(size=self.config.rob_size,
+                                 commit_width=self.config.commit_width)
+        self.mob = MemoryOrderBuffer()
+        self.memory = MemoryHierarchy(self.config.memory)
+        self.rename = RenameTable()
+        self.recovery = RecoveryManager(
+            flush_penalty_slow=self.config.helper.flush_penalty_slow,
+            clock_ratio=self.config.clock_ratio)
+
+        # Core mechanisms.
+        self.width_predictor = WidthPredictor(
+            entries=self.config.predictor.table_entries,
+            use_confidence=self.config.predictor.use_confidence,
+            confidence_threshold=self.config.predictor.confidence_threshold)
+        self.copy_engine = CopyEngine()
+        self.imbalance = ImbalanceMonitor(queue_size=self.config.scheduler.queue_size)
+        self.splitter = InstructionSplitter(narrow_width=self.config.narrow_width)
+        self.context = SteeringContext(
+            config=self.config, width_predictor=self.width_predictor,
+            rename=self.rename, imbalance=self.imbalance,
+            copy_engine=self.copy_engine, splitter=self.splitter)
+
+        # Dynamic state.
+        self._dyn_counter = 0
+        self._completions: Dict[int, List[_DynUop]] = {}
+        self._waiters: Dict[Tuple[int, ClockDomain], List[_DynUop]] = {}
+        self._iq_entries: Dict[int, IssueQueueEntry] = {}
+        self._dyn_by_id: Dict[int, _DynUop] = {}
+        self._redispatch: Deque[_DynUop] = deque()
+        self._pending_fetch: Deque[FetchedUop] = deque()
+        self._dl0_slots: Dict[int, int] = {}
+        self._current_completing: List[_DynUop] = []
+        self._copied_values: set = set()
+        self._prefetched_values: set = set()
+        self._narrow_width = self.config.narrow_width
+
+        # Result accumulation.
+        self.result = SimulationResult(benchmark=trace.name, policy=self.policy.name)
+        self._prediction = PredictionBreakdown()
+        self._helper_committed = 0
+        self._split_committed = 0
+        self._fast_cycle = 0
+
+    # ======================================================================
+    # public API
+    # ======================================================================
+    def run(self) -> SimulationResult:
+        """Run the trace to completion and return the filled-in result."""
+        limit = _MAX_CYCLES_PER_UOP * max(1, len(self.trace)) + 100_000
+        stall_window = 60_000  # fast cycles with zero retirement => wedged
+        t = 0
+        last_progress_cycle = 0
+        last_committed = 0
+        while not self._done():
+            if t > limit or t - last_progress_cycle > stall_window:
+                raise RuntimeError(
+                    f"no forward progress after {t - last_progress_cycle} fast cycles "
+                    f"at cycle {t}; likely deadlock "
+                    f"(trace={self.trace.name}, policy={self.policy.name})")
+            self._fast_cycle = t
+            self._writeback(t)
+            self._issue(t)
+            if self.clocking.is_wide_cycle(t):
+                self._commit(t)
+                self._dispatch(t)
+            self._sample_imbalance(t)
+            if self.result.committed_uops > last_committed:
+                last_committed = self.result.committed_uops
+                last_progress_cycle = t
+            t = self._advance(t)
+        self._finalise(t)
+        return self.result
+
+    # ======================================================================
+    # termination / time advance
+    # ======================================================================
+    def _done(self) -> bool:
+        return (self.frontend.exhausted and self.rob.is_empty()
+                and not self._redispatch and not self._pending_fetch
+                and not self._completions)
+
+    def _advance(self, t: int) -> int:
+        """Advance time, skipping idle stretches (long memory waits)."""
+        next_t = t + 1
+        if (self.wide.issue_queue.ready_count() == 0
+                and self.narrow.issue_queue.ready_count() == 0
+                and self._completions):
+            next_event = min(self._completions)
+            # Dispatch may still make progress at the next wide cycle if
+            # there is anything to dispatch and room to put it.
+            can_dispatch = ((not self.frontend.exhausted or self._redispatch
+                             or self._pending_fetch)
+                            and not self.rob.is_full())
+            if can_dispatch:
+                next_wide = self.clocking.next_active_cycle(ClockDomain.WIDE, t + 1)
+                next_event = min(next_event, next_wide)
+            if next_event > next_t:
+                return next_event
+        return next_t
+
+    # ======================================================================
+    # writeback stage
+    # ======================================================================
+    def _writeback(self, t: int) -> None:
+        completing = self._completions.pop(t, None)
+        if not completing:
+            return
+        # Recovery must be able to squash same-cycle completions that are
+        # younger than the mispredicted uop, so keep the list visible.
+        self._current_completing = completing
+        for dyn in completing:
+            if dyn.squashed:
+                continue
+            dyn.completed = True
+            if dyn.kind == "copy":
+                self._complete_copy(dyn, t)
+                continue
+            if dyn.kind == "chunk":
+                self._complete_chunk(dyn, t)
+                continue
+            self._complete_trace_uop(dyn, t)
+
+    def _complete_copy(self, dyn: _DynUop, t: int) -> None:
+        request = dyn.copy_request
+        assert request is not None
+        self.copy_engine.complete_copy(request, t)
+        backend = self._backend(dyn.domain)
+        backend.stats.copies_executed += 1
+        self._wake(request.value_uid, request.to_domain)
+
+    def _complete_chunk(self, dyn: _DynUop, t: int) -> None:
+        backend = self._backend(dyn.domain)
+        backend.stats.split_chunks += 1
+        self._wake_chunk_successors(dyn)
+        parent = dyn.parent
+        assert parent is not None
+        if dyn.is_last_chunk:
+            # The reassembled value becomes architecturally available in the
+            # narrow cluster once the most-significant chunk completes.
+            if parent.value_uid is not None:
+                self.copy_engine.note_produced(parent.value_uid, dyn.domain, t)
+                self._wake(parent.value_uid, dyn.domain)
+                if parent.uop is not None and parent.uop.has_dest:
+                    self.rename.writeback(parent.uop.dest, parent.value_uid,
+                                          narrow=False, domain=dyn.domain)
+                if parent.uop is not None and parent.uop.writes_flags:
+                    self.rename.writeback(ArchReg.FLAGS, parent.value_uid,
+                                          narrow=True, domain=dyn.domain)
+            parent.completed = True
+            if parent.in_rob and parent.uop is not None:
+                self.rob.mark_completed(parent.uop.uid)
+
+    def _complete_trace_uop(self, dyn: _DynUop, t: int) -> None:
+        uop = dyn.uop
+        assert uop is not None
+        backend = self._backend(dyn.domain)
+        backend.stats.completed += 1
+
+        actual_narrow = uop.result_is_narrow(self._narrow_width)
+
+        # Fatal width misprediction detection: only instructions steered to
+        # the narrow backend on a prediction can be fatally wrong (§3.2).
+        fatal = False
+        if dyn.domain is ClockDomain.NARROW and dyn.decision is not None:
+            if dyn.decision.predicted_narrow:
+                fatal = (not uop.all_sources_narrow(self._narrow_width)
+                         or not actual_narrow)
+            elif dyn.decision.via_cr:
+                fatal = self._cr_violated(uop)
+
+        # Figure 5 accounting: every result-producing uop whose width was
+        # predicted contributes one outcome.
+        if uop.has_dest and dyn.predicted_narrow is not None:
+            if dyn.predicted_narrow == actual_narrow:
+                self._prediction.correct += 1
+            elif dyn.domain is ClockDomain.NARROW and dyn.predicted_narrow:
+                self._prediction.fatal += 1
+            else:
+                self._prediction.non_fatal += 1
+
+        # Predictor training happens at writeback regardless of cluster.
+        if uop.has_dest:
+            self.width_predictor.update(uop.pc, actual_narrow)
+        if uop.info.cr_eligible:
+            self.width_predictor.update_carry(uop.pc, self._cr_operated_narrow(uop))
+
+        if fatal:
+            self._recover(dyn, t)
+            return
+
+        # Successful completion: publish the value (register result and/or
+        # FLAGS write travel together) and wake consumers in this cluster.
+        if dyn.value_uid is not None:
+            self.copy_engine.note_produced(dyn.value_uid, dyn.domain, t)
+            if uop.has_dest:
+                self.rename.writeback(uop.dest, dyn.value_uid, narrow=actual_narrow,
+                                      domain=dyn.domain)
+            if uop.writes_flags:
+                self.rename.writeback(ArchReg.FLAGS, dyn.value_uid, narrow=True,
+                                      domain=dyn.domain)
+            self._wake(dyn.value_uid, dyn.domain)
+            if dyn.replicate_load and uop.is_load and actual_narrow:
+                # LR (§3.4): the narrow load value is written into both
+                # clusters' register files through the shared MOB.  A wide
+                # value cannot be replicated into the 8-bit file; that case is
+                # simply a missed opportunity.
+                other = self._other_domain(dyn.domain)
+                self.copy_engine.note_replicated(dyn.value_uid, t)
+                self._wake(dyn.value_uid, other)
+        if dyn.in_rob:
+            self.rob.mark_completed(uop.uid)
+
+    # ----------------------------------------------------------- CR checking
+    def _cr_operated_narrow(self, uop: MicroOp) -> bool:
+        """Did this (potential CR) uop actually operate on the low byte only?
+
+        Used to train the carry-width predictor bit at writeback (§3.5): set
+        when the instruction had the one-narrow/one-wide operand pattern and
+        the carry did not propagate past the low byte.
+        """
+        values = list(uop.src_values)
+        if uop.imm is not None:
+            values.append(uop.imm)
+        if len(values) < 2:
+            return False
+        wide_vals = [v for v in values if not is_narrow(v, self._narrow_width)]
+        narrow_vals = [v for v in values if is_narrow(v, self._narrow_width)]
+        if len(wide_vals) != 1 or not narrow_vals:
+            return False
+        return not self._carry_out_of_low_byte(values)
+
+    def _carry_out_of_low_byte(self, values: List[int]) -> bool:
+        """Carry out of the low byte when summing the two primary operands."""
+        mask = (1 << self._narrow_width) - 1
+        if len(values) < 2:
+            return False
+        return (values[0] & mask) + (values[1] & mask) > mask
+
+    def _cr_violated(self, uop: MicroOp) -> bool:
+        """A CR-steered uop is fatally mispredicted if the carry propagated.
+
+        The carry signal of the helper-cluster ALU is what flags the
+        misprediction (§3.5): reconstructing the wide result from the wide
+        source's upper bits is only correct when no carry leaves the low
+        byte.
+        """
+        values = list(uop.src_values)
+        if uop.imm is not None:
+            values.append(uop.imm)
+        return self._carry_out_of_low_byte(values)
+
+    # --------------------------------------------------------------- recovery
+    def _recover(self, trigger: _DynUop, t: int) -> None:
+        """Flushing recovery (§3.2): squash from the mispredicted uop onward."""
+        seq = trigger.seq
+        squashed_entries = self.narrow.issue_queue.flush_from(seq)
+        squashed: List[_DynUop] = []
+        for entry in squashed_entries:
+            dyn = entry.payload
+            assert isinstance(dyn, _DynUop)
+            if dyn.kind == "copy":
+                request = dyn.copy_request
+                assert request is not None
+                # A copy whose source value is already resident in the
+                # producer cluster is still architecturally useful (its
+                # producer is older than the flush point and not being
+                # re-executed), so it survives the flush.  Only copies of
+                # values that are themselves being squashed are dropped;
+                # their wide-cluster consumers are woken by the re-executed
+                # producer instead.
+                if self.copy_engine.availability(request.value_uid,
+                                                 request.from_domain) is not None:
+                    self.narrow.issue_queue.insert(entry, force=True)
+                else:
+                    dyn.squashed = True
+                    self.copy_engine.cancel_copy(request)
+                continue
+            dyn.squashed = True
+            squashed.append(dyn)
+        # In-flight (issued, not yet completed) narrow-cluster work younger
+        # than the trigger is squashed as well — including anything completing
+        # later in this very cycle.
+        in_flight_groups = list(self._completions.values())
+        in_flight_groups.append(getattr(self, "_current_completing", []))
+        for dyns in in_flight_groups:
+            for dyn in dyns:
+                if (dyn.domain is ClockDomain.NARROW and dyn.seq >= seq
+                        and not dyn.completed and not dyn.squashed
+                        and dyn.kind != "copy"):
+                    dyn.squashed = True
+                    squashed.append(dyn)
+
+        # The trigger itself re-executes in the wide backend.
+        trigger.squashed = True
+        squashed.append(trigger)
+
+        event = self.recovery.trigger(
+            trigger_uid=trigger.value_uid if trigger.value_uid is not None else trigger.dyn_id,
+            trigger_seq=seq, fast_cycle=t,
+            squashed_uids=[d.dyn_id for d in squashed])
+
+        # Collapse chunk squashes onto their parents so the parent re-executes
+        # as a single wide instruction.
+        parents: Dict[int, _DynUop] = {}
+        redispatch: List[_DynUop] = []
+        for dyn in squashed:
+            if dyn.kind == "chunk":
+                parent = dyn.parent
+                assert parent is not None
+                if parent.dyn_id not in parents:
+                    parents[parent.dyn_id] = parent
+                continue
+            redispatch.append(dyn)
+        redispatch.extend(parents.values())
+        redispatch.sort(key=lambda d: d.seq)
+        for dyn in redispatch:
+            # The original record stays as the ROB payload; it now reflects
+            # wide-cluster execution for commit-time accounting.
+            dyn.domain = ClockDomain.WIDE
+            fresh = self._clone_for_redispatch(dyn)
+            self._redispatch.append(fresh)
+        self.result.squashed_uops += len(redispatch)
+        self.result.recoveries += 1
+
+    def _clone_for_redispatch(self, dyn: _DynUop) -> _DynUop:
+        """Prepare a squashed trace uop to re-execute in the wide backend."""
+        self._dyn_counter += 1
+        return _DynUop(
+            dyn_id=self._dyn_counter,
+            kind="trace",
+            seq=dyn.seq,
+            domain=ClockDomain.WIDE,
+            opcode=dyn.opcode,
+            uop=dyn.uop,
+            decision=SteerDecision(domain=ClockDomain.WIDE, reason="recovery"),
+            value_uid=dyn.value_uid,
+            predicted_narrow=None,
+            in_rob=dyn.in_rob,
+        )
+
+    # ======================================================================
+    # issue stage
+    # ======================================================================
+    def _issue(self, t: int) -> None:
+        for backend in (self.narrow, self.wide):
+            if not self.config.helper.enabled and backend is self.narrow:
+                continue
+            if not backend.active(t):
+                continue
+            slow_cycle = t // self.clocking.ratio
+            dl0_free = self.memory.dl0_ports - self._dl0_slots.get(slow_cycle, 0)
+            selected = backend.issue_queue.select(memory_slots=max(0, dl0_free))
+            for entry in selected:
+                dyn = entry.payload
+                assert isinstance(dyn, _DynUop)
+                completion = backend.units.try_issue(dyn.opcode, t)
+                if completion is None:
+                    # Structural hazard on the functional unit: put the entry
+                    # back and retry next cycle.  Forced because the entry was
+                    # resident a moment ago (recovery may have over-filled the
+                    # queue in the meantime).
+                    backend.issue_queue.insert(entry, force=True)
+                    continue
+                if dyn.uop is not None and dyn.uop.is_memory and dyn.kind == "trace":
+                    completion = self._memory_access(dyn, t, completion, slow_cycle)
+                dyn.issued = True
+                backend.stats.issued += 1
+                self._completions.setdefault(completion, []).append(dyn)
+
+    def _memory_access(self, dyn: _DynUop, t: int, completion: int,
+                       slow_cycle: int) -> int:
+        uop = dyn.uop
+        assert uop is not None
+        if uop.mem_addr is None:
+            # Memory uops without a concrete address in the trace (e.g. FP
+            # loads whose address the generator does not materialise) are
+            # charged the DL0 hit latency.
+            return completion + (self.config.memory.dl0.hit_latency - 1) * self.clocking.ratio
+        self._dl0_slots[slow_cycle] = self._dl0_slots.get(slow_cycle, 0) + 1
+        if uop.is_store:
+            latency_slow = self.memory.store(uop.mem_addr)
+            # Stores complete (for dependence purposes) once the address and
+            # data are known; the cache write happens post-commit.
+            return completion
+        forwarding = self.mob.forwarding_store(dyn.seq, uop.mem_addr)
+        if forwarding is not None:
+            latency_slow = 1
+        else:
+            latency_slow = self.memory.load_latency(uop.mem_addr)
+        return completion + (latency_slow - 1) * self.clocking.ratio
+
+    # ======================================================================
+    # commit stage
+    # ======================================================================
+    def _commit(self, t: int) -> None:
+        retired = self.rob.commit()
+        for entry in retired:
+            dyn = entry.payload
+            if not isinstance(dyn, _DynUop) or dyn.uop is None:
+                continue
+            uop = dyn.uop
+            self.result.committed_uops += 1
+            if dyn.domain is ClockDomain.NARROW or dyn.kind == "chunk" or (
+                    dyn.decision is not None and dyn.decision.split):
+                self._helper_committed += 1
+            if dyn.decision is not None and dyn.decision.split:
+                self._split_committed += 1
+            if uop.is_memory:
+                self.mob.release(uop.uid)
+            # Copy-prefetch predictor training: the producer "incurred a copy"
+            # if any consumer demanded one before it retired (§3.6).
+            if uop.has_dest and self.policy_uses_cp():
+                self.width_predictor.update_copy(uop.pc, uop.uid in self._copied_values)
+            reason = dyn.decision.reason if dyn.decision is not None else "none"
+            self.result.steer_reasons[reason] = self.result.steer_reasons.get(reason, 0) + 1
+
+    def policy_uses_cp(self) -> bool:
+        return getattr(self.policy, "uses_copy_prefetch", False)
+
+    def policy_uses_lr(self) -> bool:
+        return getattr(self.policy, "uses_load_replication", False)
+
+    # ======================================================================
+    # dispatch stage
+    # ======================================================================
+    def _dispatch(self, t: int) -> None:
+        if self.recovery.dispatch_blocked(t):
+            return
+        slow_cycle = t // self.clocking.ratio
+        budget = self.config.fetch_width
+
+        # Re-dispatch squashed work first (it is older than anything new).
+        # Re-dispatch must make forward progress even when the schedulers are
+        # congested with younger dependents of the squashed values, so it may
+        # temporarily exceed scheduler capacity (``force=True``).
+        while budget > 0 and self._redispatch:
+            dyn = self._redispatch[0]
+            if not self._dispatch_dyn(dyn, t, force=True):
+                return
+            self._redispatch.popleft()
+            budget -= 1
+
+        # Then bring in new trace uops.
+        while budget > 0:
+            if not self._pending_fetch:
+                fetched = self.frontend.fetch(slow_cycle, max_uops=budget)
+                if not fetched:
+                    break
+                self._pending_fetch.extend(fetched)
+            while budget > 0 and self._pending_fetch:
+                fetched_uop = self._pending_fetch[0]
+                consumed = self._dispatch_trace_uop(fetched_uop, t)
+                if consumed is None:
+                    return  # structural stall; retry next wide cycle
+                self._pending_fetch.popleft()
+                budget -= consumed
+
+    # ------------------------------------------------------------ trace uops
+    def _dispatch_trace_uop(self, fetched: FetchedUop, t: int) -> Optional[int]:
+        """Steer, rename and dispatch one trace uop.
+
+        Returns the number of dispatch slots consumed, or ``None`` if a
+        structural hazard (ROB/IQ/MOB full) prevents dispatch this cycle.
+        """
+        uop = fetched.uop
+        if self.rob.is_full():
+            return None
+        if uop.is_memory and not self.mob.can_allocate(uop.is_store):
+            return None
+
+        decision = self.policy.steer(fetched, self.context)
+        prediction = self.width_predictor.predict(uop.pc)
+        self.result.activity.predictor_accesses += 1
+
+        if decision.split:
+            return self._dispatch_split(fetched, decision, t)
+
+        backend = self._backend(decision.domain)
+        if backend.issue_queue.is_full():
+            return None
+
+        self._dyn_counter += 1
+        produces_value = uop.has_dest or uop.writes_flags
+        dyn = _DynUop(
+            dyn_id=self._dyn_counter, kind="trace", seq=fetched.seq,
+            domain=decision.domain, opcode=uop.opcode, uop=uop,
+            decision=decision, value_uid=uop.uid if produces_value else None,
+            predicted_narrow=prediction.narrow if uop.has_dest else None,
+            replicate_load=decision.replicate_load and self.policy_uses_lr(),
+        )
+        if not self._dispatch_dyn(dyn, t, fetched=fetched, allocate_rob=True):
+            return None
+        return 1
+
+    def _dispatch_dyn(self, dyn: _DynUop, t: int, fetched: Optional[FetchedUop] = None,
+                      allocate_rob: bool = False, force: bool = False) -> bool:
+        """Place a dynamic uop into its backend's scheduler, wiring dependences."""
+        uop = dyn.uop
+        assert uop is not None
+        backend = self._backend(dyn.domain)
+        if backend.issue_queue.is_full() and not force:
+            return False
+
+        # Resolve source dependences (and generate demand copies).
+        outstanding = self._resolve_dependences(dyn, t, force=force)
+        if outstanding is None:
+            return False
+
+        if allocate_rob:
+            self.rob.allocate(uop.uid, dyn.seq, payload=dyn)
+            dyn.in_rob = True
+            self.result.activity.rob_ops += 1
+            if uop.is_memory:
+                self.mob.allocate(uop.uid, dyn.seq, uop.is_store, uop.mem_addr,
+                                  uop.mem_size)
+            # Rename the destination and record the steering domain so later
+            # consumers know where the value will live (§3.2 width table).
+            if uop.has_dest:
+                predicted_narrow = (dyn.predicted_narrow
+                                    if dyn.predicted_narrow is not None else True)
+                self.rename.allocate(uop.dest, uop.uid, dyn.domain, predicted_narrow)
+                if dyn.decision is not None and dyn.decision.via_cr and uop.srcs:
+                    wide_sources = [r for i, r in enumerate(uop.srcs)
+                                    if i < len(uop.src_values)
+                                    and not is_narrow(uop.src_values[i], self._narrow_width)]
+                    if wide_sources:
+                        self.rename.link_upper_bits(uop.dest, wide_sources[0])
+            if uop.writes_flags:
+                self.rename.allocate(ArchReg.FLAGS, uop.uid, dyn.domain, True)
+            self.result.activity.rename_ops += 1
+
+        entry = IssueQueueEntry(
+            uid=dyn.dyn_id, seq=dyn.seq, remaining_sources=outstanding,
+            fu_latency=backend.units.exec_latency(dyn.opcode),
+            is_memory=uop.is_memory, payload=dyn)
+        backend.issue_queue.insert(entry, force=force)
+        backend.stats.dispatched += 1
+        self._account_dispatch(dyn, backend)
+
+        # Copy prefetching (§3.6): generate the copy at the producer.
+        if allocate_rob and uop.has_dest and self.policy_uses_cp():
+            self._maybe_prefetch_copy(dyn, t)
+        return True
+
+    def _account_dispatch(self, dyn: _DynUop, backend: Backend) -> None:
+        activity = self.result.activity
+        if backend.is_narrow:
+            activity.narrow_scheduler_ops += 1
+            activity.narrow_regfile_accesses += 3
+        else:
+            activity.wide_scheduler_ops += 1
+            activity.wide_regfile_accesses += 3
+        unit = opcode_info(dyn.opcode).unit
+        if unit in (FunctionalUnit.IALU, FunctionalUnit.BRU, FunctionalUnit.COPY,
+                    FunctionalUnit.IMUL, FunctionalUnit.IDIV):
+            if backend.is_narrow:
+                activity.narrow_alu_ops += 1
+            else:
+                activity.wide_alu_ops += 1
+        elif unit is FunctionalUnit.AGU:
+            if backend.is_narrow:
+                activity.narrow_agu_ops += 1
+            else:
+                activity.wide_agu_ops += 1
+        elif unit is FunctionalUnit.FPU:
+            activity.fpu_ops += 1
+
+    # -------------------------------------------------------- dependences
+    def _resolve_dependences(self, dyn: _DynUop, t: int,
+                             force: bool = False) -> Optional[int]:
+        """Count outstanding sources and generate any demand copies.
+
+        For each source value the possibilities are:
+
+        * already available in this cluster — no dependence;
+        * in flight (or resident) in this cluster — wait for it (wakeup);
+        * in flight or resident only in the *other* cluster — generate a
+          demand copy in the producer's cluster (unless one is already in
+          flight toward this cluster) and wait for its delivery;
+        * unknown (produced and retired before tracking, or a trace live-in)
+          — architectural state, available everywhere.
+
+        Returns the number of outstanding source values, or ``None`` if a
+        needed copy cannot be injected because the producer cluster's
+        scheduler is full (the caller stalls dispatch).
+        """
+        uop = dyn.uop
+        assert uop is not None
+        outstanding = 0
+        needed_copies: List[Tuple[int, ClockDomain]] = []
+        deps: List[int] = []
+
+        producer_ids = list(uop.producer_uids)
+        if uop.reads_flags and uop.flags_producer_uid is not None:
+            if len(producer_ids) < len(uop.srcs):
+                producer_ids.append(uop.flags_producer_uid)
+
+        for producer_uid in producer_ids:
+            if producer_uid is None:
+                continue
+            avail_here = self.copy_engine.availability(producer_uid, dyn.domain)
+            if avail_here is not None and avail_here <= t:
+                if (producer_uid, dyn.domain) in self._prefetched_values:
+                    self.copy_engine.note_prefetch_useful()
+                    self._prefetched_values.discard((producer_uid, dyn.domain))
+                    # A consumed prefetch keeps the producer's CP bit trained.
+                    self._copied_values.add(producer_uid)
+                continue
+            producer_domain = self._producer_domain(producer_uid)
+            available_domains = self.copy_engine.domains_available(producer_uid)
+            if producer_domain is None and not available_domains:
+                # Retired before tracking or trace live-in: architectural
+                # state visible to both register files.
+                continue
+            copy_pending = self.copy_engine.copy_in_flight(producer_uid, dyn.domain)
+            if copy_pending and (producer_uid, dyn.domain) in self._prefetched_values:
+                # The consumer will ride an in-flight prefetched copy.
+                self.copy_engine.note_prefetch_useful()
+                self._prefetched_values.discard((producer_uid, dyn.domain))
+                self._copied_values.add(producer_uid)
+            needs_copy = avail_here is None and not copy_pending
+            if needs_copy:
+                source_domain = producer_domain
+                if source_domain is None or source_domain == dyn.domain:
+                    # The producer record says "this cluster" but the value is
+                    # only resident elsewhere (e.g. it migrated on recovery).
+                    others = [d for d in available_domains if d != dyn.domain]
+                    source_domain = others[0] if others else None
+                if source_domain is not None and source_domain != dyn.domain:
+                    needed_copies.append((producer_uid, source_domain))
+            deps.append(producer_uid)
+            outstanding += 1
+
+        # Check the producer clusters have scheduler room for all the copies
+        # this uop needs before injecting any of them (unless forced by
+        # recovery re-dispatch, which must not stall indefinitely).
+        if not force:
+            slots_needed: Dict[ClockDomain, int] = {}
+            for _, producer_domain in needed_copies:
+                slots_needed[producer_domain] = slots_needed.get(producer_domain, 0) + 1
+            for producer_domain, count in slots_needed.items():
+                if self._backend(producer_domain).issue_queue.free_slots < count:
+                    return None
+        for producer_uid, producer_domain in needed_copies:
+            self._inject_copy(producer_uid, producer_domain, dyn.domain, t,
+                              prefetch=False, force=force)
+        for producer_uid in deps:
+            self._waiters.setdefault((producer_uid, dyn.domain), []).append(dyn)
+        return outstanding
+
+    def _producer_domain(self, producer_uid: int) -> Optional[ClockDomain]:
+        entry = self.rob._by_uid.get(producer_uid)  # type: ignore[attr-defined]
+        if entry is None or not isinstance(entry.payload, _DynUop):
+            return None
+        return entry.payload.domain
+
+    # ------------------------------------------------------------ copies
+    def _inject_copy(self, value_uid: int, from_domain: ClockDomain,
+                     to_domain: ClockDomain, t: int, prefetch: bool,
+                     force: bool = False) -> None:
+        request = self.copy_engine.request_copy(value_uid, from_domain, to_domain,
+                                                prefetch=prefetch)
+        if not prefetch:
+            # The CP predictor learns from *demand* copies (and from consumed
+            # prefetches, recorded when a consumer uses one); counting the
+            # prefetches themselves would make the bit self-reinforcing.
+            self._copied_values.add(value_uid)
+        if prefetch:
+            self._prefetched_values.add((value_uid, to_domain))
+        self.result.copies += 1
+        if prefetch:
+            self.result.prefetched_copies += 1
+        self.result.activity.copies += 1
+        self._dyn_counter += 1
+        producer_seq = self._seq_of_value(value_uid)
+        dyn = _DynUop(
+            dyn_id=self._dyn_counter, kind="copy", seq=producer_seq,
+            domain=from_domain, opcode=Opcode.COPY, copy_request=request,
+            value_uid=value_uid)
+        backend = self._backend(from_domain)
+        # The copy depends on the value being available in the producer
+        # cluster (it reads the producer's register file).
+        avail = self.copy_engine.availability(value_uid, from_domain)
+        outstanding = 0
+        if avail is None or avail > t:
+            outstanding = 1
+            self._waiters.setdefault((value_uid, from_domain), []).append(dyn)
+        entry = IssueQueueEntry(
+            uid=dyn.dyn_id, seq=dyn.seq, remaining_sources=outstanding,
+            fu_latency=self.clocking.slow_to_fast(self.config.helper.copy_latency_slow),
+            is_memory=False, payload=dyn)
+        backend.issue_queue.insert(entry, force=force)
+        self._iq_entries[dyn.dyn_id] = entry
+
+    def _seq_of_value(self, value_uid: int) -> int:
+        entry = self.rob._by_uid.get(value_uid)  # type: ignore[attr-defined]
+        if entry is not None:
+            return entry.seq
+        return 0
+
+    def _maybe_prefetch_copy(self, dyn: _DynUop, t: int) -> None:
+        """§3.6 hybrid policy: CP bit predicts narrow-to-wide copies, the
+        result-width predictor predicts wide-to-narrow copies."""
+        uop = dyn.uop
+        assert uop is not None and uop.has_dest
+        prediction = self.width_predictor.predict(uop.pc)
+        target: Optional[ClockDomain] = None
+        if dyn.domain is ClockDomain.NARROW and prediction.will_copy:
+            target = ClockDomain.WIDE
+        elif (dyn.domain is ClockDomain.WIDE and prediction.narrow
+              and prediction.confident and prediction.will_copy):
+            target = ClockDomain.NARROW
+        if target is None:
+            return
+        if (self.copy_engine.copy_in_flight(uop.uid, target)
+                or self.copy_engine.availability(uop.uid, target) is not None):
+            return
+        if self._backend(dyn.domain).issue_queue.is_full():
+            return
+        self._inject_copy(uop.uid, dyn.domain, target, t, prefetch=True)
+
+    # -------------------------------------------------------------- splitting
+    def _dispatch_split(self, fetched: FetchedUop, decision: SteerDecision,
+                        t: int) -> Optional[int]:
+        """IR (§3.7): replace a wide uop with four chained narrow chunks."""
+        uop = fetched.uop
+        plan = self.splitter.plan(uop)
+        if plan is None:
+            # The splitter refused (e.g. IR-nodest and the uop has a dest);
+            # fall back to a plain wide dispatch.
+            decision = SteerDecision(domain=ClockDomain.WIDE, reason="split_rejected")
+            self._dyn_counter += 1
+            dyn = _DynUop(dyn_id=self._dyn_counter, kind="trace", seq=fetched.seq,
+                          domain=ClockDomain.WIDE, opcode=uop.opcode, uop=uop,
+                          decision=decision,
+                          value_uid=uop.uid if uop.has_dest else None)
+            if not self._dispatch_dyn(dyn, t, allocate_rob=True):
+                return None
+            return 1
+
+        narrow_queue = self.narrow.issue_queue
+        # The chunks and the copy-back burst all occupy narrow-cluster
+        # scheduler entries (copies execute in the producer's cluster).
+        needed_narrow = plan.num_chunks + (1 if plan.copy_backs and uop.has_dest else 0)
+        if narrow_queue.free_slots < needed_narrow or self.rob.is_full():
+            return None
+
+        # The parent is a bookkeeping record: it owns the ROB entry and the
+        # produced value, but never enters an issue queue itself.
+        self._dyn_counter += 1
+        produces_value = uop.has_dest or uop.writes_flags
+        parent = _DynUop(
+            dyn_id=self._dyn_counter, kind="trace", seq=fetched.seq,
+            domain=ClockDomain.NARROW, opcode=uop.opcode, uop=uop,
+            decision=decision, value_uid=uop.uid if produces_value else None)
+        self.rob.allocate(uop.uid, fetched.seq, payload=parent)
+        parent.in_rob = True
+        self.result.activity.rob_ops += 1
+        self.result.activity.rename_ops += 1
+        if uop.is_memory:
+            self.mob.allocate(uop.uid, fetched.seq, uop.is_store, uop.mem_addr,
+                              uop.mem_size)
+        if uop.has_dest:
+            self.rename.allocate(uop.dest, uop.uid, ClockDomain.NARROW, False)
+        if uop.writes_flags:
+            self.rename.allocate(ArchReg.FLAGS, uop.uid, ClockDomain.NARROW, True)
+
+        # Source dependences are attached to the least-significant chunk; the
+        # remaining chunks chain on their predecessor (carry order, §3.7).
+        previous: Optional[_DynUop] = None
+        for chunk in plan.chunks:
+            self._dyn_counter += 1
+            chunk_dyn = _DynUop(
+                dyn_id=self._dyn_counter, kind="chunk", seq=fetched.seq,
+                domain=ClockDomain.NARROW, opcode=chunk.opcode, uop=uop,
+                parent=parent, chunk_index=chunk.chunk_index,
+                is_last_chunk=(chunk.chunk_index == plan.num_chunks - 1))
+            outstanding = 0
+            if chunk.chunk_index == 0:
+                resolved = self._resolve_dependences(chunk_dyn, t)
+                if resolved is None:
+                    resolved = 0
+                outstanding = resolved
+            elif chunk.depends_on_previous and previous is not None:
+                outstanding = 1
+                self._waiters.setdefault(("chunk", previous.dyn_id), []).append(chunk_dyn)
+            entry = IssueQueueEntry(
+                uid=chunk_dyn.dyn_id, seq=fetched.seq, remaining_sources=outstanding,
+                fu_latency=self.narrow.units.exec_latency(chunk.opcode),
+                is_memory=False, payload=chunk_dyn)
+            narrow_queue.insert(entry)
+            self.narrow.stats.dispatched += 1
+            self._account_dispatch(chunk_dyn, self.narrow)
+            previous = chunk_dyn
+
+        # Copy-backs prefetch the reassembled 32-bit value to the wide cluster.
+        if plan.copy_backs and uop.has_dest:
+            for _ in range(1):
+                # Modelled as a single burst transfer of the four byte copies;
+                # the copy *count* reflects all four (§3.7 copy statistics).
+                self._inject_copy(uop.uid, ClockDomain.NARROW, ClockDomain.WIDE, t,
+                                  prefetch=True)
+            self.result.copies += plan.copy_backs - 1
+            self.result.activity.copies += plan.copy_backs - 1
+
+        self.result.split_uops += 1
+        return 1
+
+    # ======================================================================
+    # wakeup plumbing
+    # ======================================================================
+    def _wake(self, value_uid: Optional[int], domain: ClockDomain) -> None:
+        if value_uid is None:
+            return
+        waiters = self._waiters.pop((value_uid, domain), None)
+        if not waiters:
+            return
+        for dyn in waiters:
+            self._wake_dyn(dyn)
+
+    def _wake_dyn(self, dyn: _DynUop) -> None:
+        if dyn.squashed:
+            return
+        backend = self._backend(dyn.domain)
+        backend.issue_queue.wakeup(dyn.dyn_id)
+        # Chunk chains use a synthetic key; completing chunks wake successors.
+
+    def _wake_chunk_successors(self, chunk: _DynUop) -> None:
+        waiters = self._waiters.pop(("chunk", chunk.dyn_id), None)
+        if not waiters:
+            return
+        for dyn in waiters:
+            self._wake_dyn(dyn)
+
+    # ======================================================================
+    # sampling / finalisation
+    # ======================================================================
+    def _sample_imbalance(self, t: int) -> None:
+        if not self.config.helper.enabled:
+            return
+        wide_active = self.clocking.is_wide_cycle(t)
+        sample = ImbalanceSample(
+            fast_cycle=t,
+            wide_ready_blocked=self.wide.issue_queue.ready_count() if wide_active else 0,
+            narrow_ready_blocked=self.narrow.issue_queue.ready_count(),
+            wide_free_slots=self.wide.issue_queue.issue_width if wide_active else 0,
+            narrow_free_slots=self.narrow.issue_queue.issue_width,
+            wide_occupancy=len(self.wide.issue_queue),
+            narrow_occupancy=len(self.narrow.issue_queue),
+        )
+        self.imbalance.record(sample)
+        self.wide.issue_queue.sample_occupancy()
+        self.narrow.issue_queue.sample_occupancy()
+
+    def _finalise(self, final_cycle: int) -> None:
+        result = self.result
+        result.fast_cycles = final_cycle
+        result.slow_cycles = final_cycle / self.clocking.ratio
+        result.helper_uops = self._helper_committed
+        result.prediction = self._prediction
+        result.cp_prediction_accuracy = self.width_predictor.copy_stats.accuracy
+        result.replicated_loads = self.copy_engine.stats.replicated_loads
+        result.wide_to_narrow_imbalance = self.imbalance.wide_to_narrow_imbalance()
+        result.narrow_to_wide_imbalance = self.imbalance.narrow_to_wide_imbalance()
+        result.mean_wide_iq_occupancy = self.wide.issue_queue.mean_occupancy
+        result.mean_narrow_iq_occupancy = self.narrow.issue_queue.mean_occupancy
+        result.dl0_hit_rate = self.memory.stats.dl0_hit_rate
+
+        activity = result.activity
+        activity.fast_cycles = final_cycle
+        activity.wide_cycles = final_cycle // self.clocking.ratio
+        activity.fetched_uops = self.frontend.fetched
+        activity.committed_uops = result.committed_uops
+        activity.dl0_accesses = self.memory.dl0.stats.accesses
+        activity.ul1_accesses = self.memory.ul1.stats.accesses
+        activity.memory_accesses = self.memory.stats.memory_accesses
+        activity.helper_present = self.config.helper.enabled
+        activity.narrow_width = self.config.narrow_width
+        activity.predictor_accesses += (self.width_predictor.stats.updates
+                                        + self.width_predictor.carry_stats.updates
+                                        + self.width_predictor.copy_stats.updates)
+
+    # ======================================================================
+    # helpers
+    # ======================================================================
+    def _backend(self, domain: ClockDomain) -> Backend:
+        return self.narrow if domain is ClockDomain.NARROW else self.wide
+
+    @staticmethod
+    def _other_domain(domain: ClockDomain) -> ClockDomain:
+        return ClockDomain.WIDE if domain is ClockDomain.NARROW else ClockDomain.NARROW
+
+
+def simulate(trace: Trace, config: Optional[MachineConfig] = None,
+             policy: Optional[SteeringPolicy] = None) -> SimulationResult:
+    """Convenience wrapper: build a simulator, run it, return the result."""
+    return HelperClusterSimulator(trace, config=config, policy=policy).run()

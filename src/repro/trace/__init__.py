@@ -1,0 +1,56 @@
+"""Trace substrate: synthetic IA-32-like uop traces.
+
+The original paper evaluates on proprietary traces (100M-instruction SPEC Int
+2000 traces and 10M-instruction traces of 412 production applications).  Those
+are unavailable, so this subpackage builds the closest synthetic equivalent:
+
+* :mod:`repro.trace.profiles` — per-benchmark statistical profiles describing
+  instruction mix, data-value narrowness, loop structure, memory behaviour and
+  branch behaviour for the 12 SPEC Int 2000 applications the paper uses.
+* :mod:`repro.trace.synthetic` — a generator that builds a *static program*
+  (loop nests of basic blocks) from a profile and then functionally emulates
+  it, producing a :class:`~repro.trace.trace.Trace` whose uops carry concrete,
+  dataflow-consistent values.  Data widths, flags and carries are therefore
+  real properties of the generated stream, not annotations.
+* :mod:`repro.trace.slicing` — the 10-slice / start-at-fourth-slice sampling
+  discipline of §3.1.
+* :mod:`repro.trace.workloads` — the Table 2 suite: 412 application instances
+  across seven workload categories.
+"""
+
+from repro.trace.trace import Trace, TraceStats
+from repro.trace.profiles import (
+    BenchmarkProfile,
+    SPEC_INT_2000,
+    SPEC_INT_NAMES,
+    get_profile,
+)
+from repro.trace.synthetic import SyntheticTraceGenerator, generate_trace
+from repro.trace.slicing import slice_trace, select_simulation_slice
+from repro.trace.workloads import (
+    WorkloadCategory,
+    WORKLOAD_CATEGORIES,
+    WorkloadApp,
+    build_workload_suite,
+)
+from repro.trace.serialization import save_trace, load_trace, iter_trace_records
+
+__all__ = [
+    "Trace",
+    "TraceStats",
+    "BenchmarkProfile",
+    "SPEC_INT_2000",
+    "SPEC_INT_NAMES",
+    "get_profile",
+    "SyntheticTraceGenerator",
+    "generate_trace",
+    "slice_trace",
+    "select_simulation_slice",
+    "WorkloadCategory",
+    "WORKLOAD_CATEGORIES",
+    "WorkloadApp",
+    "build_workload_suite",
+    "save_trace",
+    "load_trace",
+    "iter_trace_records",
+]

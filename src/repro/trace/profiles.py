@@ -1,0 +1,425 @@
+"""Per-benchmark statistical profiles for the synthetic trace generator.
+
+Each :class:`BenchmarkProfile` captures the properties of a workload that the
+paper's steering policies are sensitive to.  The twelve SPEC Int 2000 profiles
+are calibrated so that the *distributions* the paper reports emerge from the
+generated traces:
+
+* the fraction of register operands that are narrow-width dependent
+  (Figure 1, ~65% on average, with gzip/gcc at the high end and
+  crafty/twolf/vpr at the lower end);
+* the producer-consumer distance (Figure 13, between roughly 2 and 6 uops);
+* the fraction of (8-bit, 32-bit) -> 32-bit additions whose carry does not
+  propagate past bit 7 (Figure 11, large for loads, smaller for arithmetic);
+* the per-PC width locality that determines width-predictor accuracy
+  (Figure 5, ~93.5% correct);
+* the copy pressure that makes bzip2 the worst and gcc the best performer
+  under the plain 8-8-8 policy (§3.2).
+
+Absolute magnitudes cannot be reproduced without the proprietary traces; the
+profiles aim for the right ordering and rough factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Fractions of dynamic uops per coarse class.  Must sum to ~1."""
+
+    alu: float = 0.42
+    mul: float = 0.01
+    div: float = 0.005
+    load: float = 0.24
+    store: float = 0.12
+    cond_branch: float = 0.12
+    uncond_branch: float = 0.03
+    fp: float = 0.055
+
+    def normalized(self) -> "InstructionMix":
+        """Return a copy scaled so the fractions sum to exactly 1."""
+        total = (self.alu + self.mul + self.div + self.load + self.store
+                 + self.cond_branch + self.uncond_branch + self.fp)
+        if total <= 0:
+            raise ValueError("instruction mix fractions must sum to a positive value")
+        return InstructionMix(
+            alu=self.alu / total,
+            mul=self.mul / total,
+            div=self.div / total,
+            load=self.load / total,
+            store=self.store / total,
+            cond_branch=self.cond_branch / total,
+            uncond_branch=self.uncond_branch / total,
+            fp=self.fp / total,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "alu": self.alu,
+            "mul": self.mul,
+            "div": self.div,
+            "load": self.load,
+            "store": self.store,
+            "cond_branch": self.cond_branch,
+            "uncond_branch": self.uncond_branch,
+            "fp": self.fp,
+        }
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Statistical description of one benchmark for the synthetic generator.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name (e.g. ``"gcc"``).
+    mix:
+        Dynamic instruction mix.
+    narrow_data_fraction:
+        Probability that a data value loaded from memory (or materialised as
+        a live-in) is narrow (fits in 8 bits).  Primary knob for Figure 1.
+    narrow_consumer_locality:
+        Probability that the consumer of a narrow value is another
+        data-manipulation op (which can itself live in the helper cluster)
+        rather than an addressing/indexing op in the wide cluster.  Low values
+        produce many narrow-to-wide copies (bzip2); high values produce few
+        (gcc).
+    loop_trip_mean:
+        Mean loop trip count.  Loop counters stay narrow while the trip count
+        is below 256, which is the common case.
+    loop_body_size:
+        Mean number of uops per loop body; controls producer-consumer
+        distance together with ``dependency_span``.
+    dependency_span:
+        Mean distance (in uops) between a producer and its consumer within a
+        block; primary knob for Figure 13.
+    aligned_base_fraction:
+        Fraction of load/store base addresses whose low byte is small enough
+        that adding a small offset does not carry past bit 7 (Figure 11 /
+        the CR scheme's motivating case, Figure 10).
+    small_offset_fraction:
+        Fraction of address offsets that fit in 8 bits.
+    byte_load_fraction:
+        Fraction of loads that are byte loads (always produce narrow values,
+        relevant to LR, §3.4).
+    pointer_arith_fraction:
+        Fraction of ALU uops that manipulate wide pointers (never narrow).
+    width_locality:
+        Probability that a static instruction produces a result of the same
+        width class as its previous dynamic instance; knob for Figure 5.
+    static_loops:
+        Number of distinct loop nests in the synthetic static program (code
+        footprint; interacts with the 256-entry predictor capacity).
+    category:
+        Workload category label; ``"specint"`` for the SPEC Int 2000 apps.
+    """
+
+    name: str
+    mix: InstructionMix = field(default_factory=InstructionMix)
+    narrow_data_fraction: float = 0.6
+    narrow_consumer_locality: float = 0.6
+    loop_trip_mean: float = 40.0
+    loop_body_size: int = 12
+    dependency_span: float = 2.5
+    aligned_base_fraction: float = 0.6
+    small_offset_fraction: float = 0.8
+    byte_load_fraction: float = 0.15
+    pointer_arith_fraction: float = 0.25
+    width_locality: float = 0.94
+    static_loops: int = 24
+    category: str = "specint"
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "narrow_data_fraction",
+            "narrow_consumer_locality",
+            "aligned_base_fraction",
+            "small_offset_fraction",
+            "byte_load_fraction",
+            "pointer_arith_fraction",
+            "width_locality",
+        ):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{attr} must be in [0, 1], got {value}")
+        if self.loop_trip_mean <= 0 or self.loop_body_size <= 0:
+            raise ValueError("loop parameters must be positive")
+        if self.static_loops <= 0:
+            raise ValueError("static_loops must be positive")
+
+    def scaled(self, **overrides) -> "BenchmarkProfile":
+        """Return a copy with selected fields overridden."""
+        return replace(self, **overrides)
+
+
+def _p(name: str, **kwargs) -> BenchmarkProfile:
+    return BenchmarkProfile(name=name, **kwargs)
+
+
+#: The 12 SPEC Int 2000 applications used in the paper's detailed analysis
+#: (§3.1), with profiles calibrated to the orderings visible in Figures 1,
+#: 5-9 and 11-13.
+SPEC_INT_2000: Dict[str, BenchmarkProfile] = {
+    # bzip2: lots of narrow byte data, but the narrow values are mostly used
+    # as indices into wide tables -> highest copy/narrow ratio, worst 8-8-8
+    # performer.
+    "bzip2": _p(
+        "bzip2",
+        mix=InstructionMix(alu=0.46, load=0.26, store=0.11, cond_branch=0.12,
+                           uncond_branch=0.02, mul=0.005, div=0.002, fp=0.003),
+        narrow_data_fraction=0.78,
+        narrow_consumer_locality=0.30,
+        loop_trip_mean=120.0,
+        loop_body_size=10,
+        dependency_span=2.0,
+        aligned_base_fraction=0.55,
+        byte_load_fraction=0.45,
+        pointer_arith_fraction=0.30,
+        width_locality=0.95,
+        static_loops=18,
+    ),
+    # crafty: chess engine, 64-bit-ish bitboards emulated with wide logic ->
+    # comparatively few narrow operands.
+    "crafty": _p(
+        "crafty",
+        mix=InstructionMix(alu=0.50, load=0.23, store=0.09, cond_branch=0.12,
+                           uncond_branch=0.04, mul=0.008, div=0.002, fp=0.01),
+        narrow_data_fraction=0.45,
+        narrow_consumer_locality=0.55,
+        loop_trip_mean=18.0,
+        loop_body_size=16,
+        dependency_span=3.0,
+        aligned_base_fraction=0.50,
+        byte_load_fraction=0.10,
+        pointer_arith_fraction=0.35,
+        width_locality=0.92,
+        static_loops=40,
+    ),
+    # eon: C++ ray tracer, significant FP, moderate narrowness.
+    "eon": _p(
+        "eon",
+        mix=InstructionMix(alu=0.38, load=0.25, store=0.14, cond_branch=0.09,
+                           uncond_branch=0.04, mul=0.01, div=0.004, fp=0.09),
+        narrow_data_fraction=0.50,
+        narrow_consumer_locality=0.60,
+        loop_trip_mean=25.0,
+        loop_body_size=14,
+        dependency_span=2.8,
+        aligned_base_fraction=0.60,
+        byte_load_fraction=0.08,
+        pointer_arith_fraction=0.30,
+        width_locality=0.93,
+        static_loops=32,
+    ),
+    # gap: group theory interpreter, small integers dominate.
+    "gap": _p(
+        "gap",
+        mix=InstructionMix(alu=0.44, load=0.26, store=0.11, cond_branch=0.11,
+                           uncond_branch=0.04, mul=0.01, div=0.004, fp=0.02),
+        narrow_data_fraction=0.70,
+        narrow_consumer_locality=0.62,
+        loop_trip_mean=35.0,
+        loop_body_size=12,
+        dependency_span=2.4,
+        aligned_base_fraction=0.62,
+        byte_load_fraction=0.12,
+        pointer_arith_fraction=0.28,
+        width_locality=0.94,
+        static_loops=30,
+    ),
+    # gcc: compiler, many small enum/flag values consumed by further narrow
+    # tests -> best 8-8-8 performer, low copy ratio.
+    "gcc": _p(
+        "gcc",
+        mix=InstructionMix(alu=0.45, load=0.25, store=0.12, cond_branch=0.13,
+                           uncond_branch=0.035, mul=0.004, div=0.001, fp=0.005),
+        narrow_data_fraction=0.75,
+        narrow_consumer_locality=0.85,
+        loop_trip_mean=22.0,
+        loop_body_size=11,
+        dependency_span=2.2,
+        aligned_base_fraction=0.65,
+        byte_load_fraction=0.18,
+        pointer_arith_fraction=0.22,
+        width_locality=0.93,
+        static_loops=64,
+    ),
+    # gzip: LZ77 byte stream compression, very narrow data.
+    "gzip": _p(
+        "gzip",
+        mix=InstructionMix(alu=0.47, load=0.26, store=0.12, cond_branch=0.11,
+                           uncond_branch=0.02, mul=0.003, div=0.001, fp=0.002),
+        narrow_data_fraction=0.82,
+        narrow_consumer_locality=0.70,
+        loop_trip_mean=90.0,
+        loop_body_size=9,
+        dependency_span=2.0,
+        aligned_base_fraction=0.60,
+        byte_load_fraction=0.40,
+        pointer_arith_fraction=0.26,
+        width_locality=0.96,
+        static_loops=16,
+    ),
+    # mcf: pointer chasing over network simplex, addresses wide but node
+    # fields narrow; memory bound.
+    "mcf": _p(
+        "mcf",
+        mix=InstructionMix(alu=0.38, load=0.32, store=0.09, cond_branch=0.13,
+                           uncond_branch=0.03, mul=0.004, div=0.001, fp=0.003),
+        narrow_data_fraction=0.68,
+        narrow_consumer_locality=0.58,
+        loop_trip_mean=55.0,
+        loop_body_size=10,
+        dependency_span=2.3,
+        aligned_base_fraction=0.70,
+        byte_load_fraction=0.10,
+        pointer_arith_fraction=0.40,
+        width_locality=0.94,
+        static_loops=20,
+    ),
+    # parser: word dictionary lookups, mixed widths.
+    "parser": _p(
+        "parser",
+        mix=InstructionMix(alu=0.43, load=0.27, store=0.10, cond_branch=0.13,
+                           uncond_branch=0.035, mul=0.004, div=0.001, fp=0.005),
+        narrow_data_fraction=0.63,
+        narrow_consumer_locality=0.65,
+        loop_trip_mean=28.0,
+        loop_body_size=12,
+        dependency_span=2.5,
+        aligned_base_fraction=0.58,
+        byte_load_fraction=0.22,
+        pointer_arith_fraction=0.30,
+        width_locality=0.93,
+        static_loops=36,
+    ),
+    # perlbmk: interpreter dispatch, moderate narrowness, irregular control.
+    "perlbmk": _p(
+        "perlbmk",
+        mix=InstructionMix(alu=0.42, load=0.27, store=0.12, cond_branch=0.12,
+                           uncond_branch=0.05, mul=0.005, div=0.002, fp=0.008),
+        narrow_data_fraction=0.60,
+        narrow_consumer_locality=0.63,
+        loop_trip_mean=20.0,
+        loop_body_size=13,
+        dependency_span=2.7,
+        aligned_base_fraction=0.56,
+        byte_load_fraction=0.20,
+        pointer_arith_fraction=0.32,
+        width_locality=0.92,
+        static_loops=48,
+    ),
+    # twolf: place & route, coordinates exceed 8 bits fairly often.
+    "twolf": _p(
+        "twolf",
+        mix=InstructionMix(alu=0.44, load=0.25, store=0.10, cond_branch=0.12,
+                           uncond_branch=0.03, mul=0.015, div=0.006, fp=0.03),
+        narrow_data_fraction=0.52,
+        narrow_consumer_locality=0.58,
+        loop_trip_mean=30.0,
+        loop_body_size=14,
+        dependency_span=2.8,
+        aligned_base_fraction=0.52,
+        byte_load_fraction=0.08,
+        pointer_arith_fraction=0.30,
+        width_locality=0.92,
+        static_loops=34,
+    ),
+    # vortex: OO database, object headers with small tags.
+    "vortex": _p(
+        "vortex",
+        mix=InstructionMix(alu=0.41, load=0.27, store=0.14, cond_branch=0.11,
+                           uncond_branch=0.04, mul=0.004, div=0.001, fp=0.005),
+        narrow_data_fraction=0.62,
+        narrow_consumer_locality=0.66,
+        loop_trip_mean=24.0,
+        loop_body_size=12,
+        dependency_span=2.5,
+        aligned_base_fraction=0.60,
+        byte_load_fraction=0.15,
+        pointer_arith_fraction=0.33,
+        width_locality=0.93,
+        static_loops=44,
+    ),
+    # vpr: FPGA place & route, FP cost functions, wider data.
+    "vpr": _p(
+        "vpr",
+        mix=InstructionMix(alu=0.42, load=0.25, store=0.10, cond_branch=0.12,
+                           uncond_branch=0.03, mul=0.012, div=0.005, fp=0.06),
+        narrow_data_fraction=0.50,
+        narrow_consumer_locality=0.60,
+        loop_trip_mean=26.0,
+        loop_body_size=13,
+        dependency_span=2.7,
+        aligned_base_fraction=0.54,
+        byte_load_fraction=0.08,
+        pointer_arith_fraction=0.30,
+        width_locality=0.92,
+        static_loops=30,
+    ),
+}
+
+#: Names of the SPEC Int 2000 benchmarks in the order the paper plots them.
+SPEC_INT_NAMES: List[str] = list(SPEC_INT_2000.keys())
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a SPEC Int 2000 profile by name.
+
+    Raises ``KeyError`` with the list of known names if the benchmark is
+    unknown.
+    """
+    try:
+        return SPEC_INT_2000[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known benchmarks: {', '.join(SPEC_INT_NAMES)}"
+        ) from None
+
+
+def average_profile(profiles: Mapping[str, BenchmarkProfile] | None = None,
+                    name: str = "avg") -> BenchmarkProfile:
+    """Construct a profile whose numeric parameters are the mean of a set.
+
+    Useful for quick experiments that need a single representative workload.
+    """
+    profiles = dict(profiles or SPEC_INT_2000)
+    if not profiles:
+        raise ValueError("no profiles supplied")
+    items = list(profiles.values())
+    n = len(items)
+
+    def mean(attr: str) -> float:
+        return sum(getattr(p, attr) for p in items) / n
+
+    mixes = [p.mix.normalized() for p in items]
+    mix = InstructionMix(
+        alu=sum(m.alu for m in mixes) / n,
+        mul=sum(m.mul for m in mixes) / n,
+        div=sum(m.div for m in mixes) / n,
+        load=sum(m.load for m in mixes) / n,
+        store=sum(m.store for m in mixes) / n,
+        cond_branch=sum(m.cond_branch for m in mixes) / n,
+        uncond_branch=sum(m.uncond_branch for m in mixes) / n,
+        fp=sum(m.fp for m in mixes) / n,
+    )
+    return BenchmarkProfile(
+        name=name,
+        mix=mix,
+        narrow_data_fraction=mean("narrow_data_fraction"),
+        narrow_consumer_locality=mean("narrow_consumer_locality"),
+        loop_trip_mean=mean("loop_trip_mean"),
+        loop_body_size=int(round(mean("loop_body_size"))),
+        dependency_span=mean("dependency_span"),
+        aligned_base_fraction=mean("aligned_base_fraction"),
+        small_offset_fraction=mean("small_offset_fraction"),
+        byte_load_fraction=mean("byte_load_fraction"),
+        pointer_arith_fraction=mean("pointer_arith_fraction"),
+        width_locality=mean("width_locality"),
+        static_loops=int(round(mean("static_loops"))),
+        category="synthetic",
+    )

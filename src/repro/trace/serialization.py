@@ -1,0 +1,125 @@
+"""Trace (de)serialisation.
+
+Synthetic traces are cheap to regenerate, but a downstream user comparing
+steering policies wants to pin the *exact* uop stream to disk — both for
+long-running sweeps (generate once, simulate many times) and to exchange
+traces between machines.  The format is line-delimited JSON: one header line
+with the trace metadata followed by one compact JSON array per uop, which
+keeps files diff-able and streams without loading everything into memory.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import IO, Iterator, Optional, Union
+
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import ArchReg
+from repro.isa.uop import MicroOp
+from repro.trace.trace import Trace
+
+#: Format identifier written to the header line.
+FORMAT_VERSION = 1
+
+_PathLike = Union[str, Path]
+
+
+def _uop_to_record(uop: MicroOp) -> list:
+    """Encode one MicroOp as a compact JSON-serialisable list."""
+    return [
+        uop.uid,
+        uop.pc,
+        int(uop.opcode),
+        [int(r) for r in uop.srcs],
+        None if uop.dest is None else int(uop.dest),
+        uop.imm,
+        list(uop.src_values),
+        uop.result_value,
+        uop.flags_value,
+        uop.mem_addr,
+        uop.mem_size,
+        int(uop.is_taken),
+        [p for p in uop.producer_uids],
+        uop.flags_producer_uid,
+    ]
+
+
+def _record_to_uop(record: list) -> MicroOp:
+    """Decode one uop record produced by :func:`_uop_to_record`."""
+    (uid, pc, opcode, srcs, dest, imm, src_values, result_value, flags_value,
+     mem_addr, mem_size, is_taken, producer_uids, flags_producer_uid) = record
+    return MicroOp(
+        uid=uid,
+        pc=pc,
+        opcode=Opcode(opcode),
+        srcs=tuple(ArchReg(r) for r in srcs),
+        dest=None if dest is None else ArchReg(dest),
+        imm=imm,
+        src_values=tuple(src_values),
+        result_value=result_value,
+        flags_value=flags_value,
+        mem_addr=mem_addr,
+        mem_size=mem_size,
+        is_taken=bool(is_taken),
+        producer_uids=tuple(producer_uids),
+        flags_producer_uid=flags_producer_uid,
+    )
+
+
+def _open(path: _PathLike, mode: str) -> IO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def save_trace(trace: Trace, path: _PathLike) -> Path:
+    """Write a trace to ``path`` (gzip-compressed when the suffix is ``.gz``)."""
+    path = Path(path)
+    header = {
+        "format": FORMAT_VERSION,
+        "name": trace.name,
+        "seed": trace.seed,
+        "static_pcs": trace.static_pcs,
+        "num_uops": len(trace),
+    }
+    with _open(path, "w") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for uop in trace.uops:
+            handle.write(json.dumps(_uop_to_record(uop), separators=(",", ":")) + "\n")
+    return path
+
+
+def iter_trace_records(path: _PathLike) -> Iterator[MicroOp]:
+    """Stream uops from a saved trace without materialising the whole list."""
+    with _open(path, "r") as handle:
+        header = json.loads(handle.readline())
+        if header.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format {header.get('format')!r}; "
+                f"expected {FORMAT_VERSION}")
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield _record_to_uop(json.loads(line))
+
+
+def load_trace(path: _PathLike) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    with _open(path, "r") as handle:
+        header = json.loads(handle.readline())
+    if header.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format {header.get('format')!r}; expected {FORMAT_VERSION}")
+    trace = Trace(name=header.get("name", path.stem), seed=header.get("seed"),
+                  static_pcs=header.get("static_pcs", 0))
+    trace.uops.extend(iter_trace_records(path))
+    expected = header.get("num_uops")
+    if expected is not None and expected != len(trace):
+        raise ValueError(
+            f"trace file {path} is truncated: header says {expected} uops, "
+            f"found {len(trace)}")
+    return trace

@@ -1,0 +1,181 @@
+"""Tests for the cache, trace cache and memory hierarchy substrates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import AccessResult, Cache, CacheConfig
+from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+from repro.memory.tracecache import TraceCache, TraceCacheConfig
+
+
+def small_cache(sets=4, ways=2, line=16):
+    return Cache(CacheConfig(name="T", size_bytes=sets * ways * line,
+                             associativity=ways, line_bytes=line, hit_latency=3))
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        config = CacheConfig(name="DL0", size_bytes=32 * 1024, associativity=8,
+                             line_bytes=64)
+        assert config.num_sets == 64
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(name="bad", size_bytes=1000, associativity=3, line_bytes=64)
+        with pytest.raises(ValueError):
+            CacheConfig(name="bad", size_bytes=0, associativity=1, line_bytes=64)
+
+    def test_invalid_ports(self):
+        with pytest.raises(ValueError):
+            CacheConfig(name="bad", size_bytes=1024, associativity=2, line_bytes=64,
+                        ports=0)
+
+
+class TestCache:
+    def test_first_access_misses(self):
+        cache = small_cache()
+        assert not cache.access(0x1000).hit
+
+    def test_second_access_hits(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert cache.access(0x1000).hit
+
+    def test_same_line_hits(self):
+        cache = small_cache(line=16)
+        cache.access(0x1000)
+        assert cache.access(0x100F).hit
+        assert not cache.access(0x1010).hit
+
+    def test_lru_eviction(self):
+        cache = small_cache(sets=1, ways=2, line=16)
+        cache.access(0x000)  # A
+        cache.access(0x010)  # B
+        cache.access(0x000)  # touch A -> B is LRU
+        result = cache.access(0x020)  # C evicts B
+        assert result.evicted_tag is not None
+        assert cache.probe(0x000)
+        assert not cache.probe(0x010)
+
+    def test_probe_does_not_allocate(self):
+        cache = small_cache()
+        assert not cache.probe(0x40)
+        assert cache.stats.accesses == 0
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.access(0x80)
+        assert cache.invalidate(0x80)
+        assert not cache.probe(0x80)
+        assert not cache.invalidate(0x80)
+
+    def test_stats(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_reset(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.reset()
+        assert cache.occupancy() == 0
+        assert cache.stats.accesses == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_bounded_by_capacity(self, addresses):
+        cache = small_cache(sets=4, ways=2)
+        for addr in addresses:
+            cache.access(addr)
+        assert cache.occupancy() <= 4 * 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_immediate_rereference_always_hits(self, addresses):
+        cache = small_cache()
+        for addr in addresses:
+            cache.access(addr)
+            assert cache.access(addr).hit
+
+
+class TestTraceCache:
+    def test_default_geometry_matches_table1(self):
+        config = TraceCacheConfig()
+        assert config.capacity_uops == 32 * 1024
+        assert config.associativity == 4
+
+    def test_miss_then_hit(self):
+        tc = TraceCache()
+        assert tc.fetch(0x400000) > 0
+        assert tc.fetch(0x400000) == 0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TraceCacheConfig(capacity_uops=0)
+        with pytest.raises(ValueError):
+            TraceCacheConfig(miss_penalty=-1)
+
+    def test_reset(self):
+        tc = TraceCache()
+        tc.fetch(0x1234)
+        tc.reset()
+        assert tc.fetch(0x1234) > 0
+
+
+class TestHierarchy:
+    def test_dl0_hit_latency(self):
+        hier = MemoryHierarchy()
+        hier.load_latency(0x1000)            # cold miss
+        assert hier.load_latency(0x1000) == hier.config.dl0.hit_latency
+
+    def test_cold_miss_goes_to_memory(self):
+        hier = MemoryHierarchy()
+        latency = hier.load_latency(0x5000)
+        expected = (hier.config.dl0.hit_latency + hier.config.ul1.hit_latency
+                    + hier.config.main_memory_latency)
+        assert latency == expected
+
+    def test_ul1_hit_after_dl0_eviction(self):
+        hier = MemoryHierarchy()
+        base = 0x100000
+        hier.load_latency(base)
+        # Walk enough distinct lines mapping to the same DL0 set to evict it,
+        # while staying resident in the much larger UL1.
+        dl0 = hier.config.dl0
+        stride = dl0.num_sets * dl0.line_bytes
+        for i in range(1, dl0.associativity + 2):
+            hier.load_latency(base + i * stride)
+        latency = hier.load_latency(base)
+        assert latency == dl0.hit_latency + hier.config.ul1.hit_latency
+
+    def test_store_allocates(self):
+        hier = MemoryHierarchy()
+        hier.store(0x2000)
+        assert hier.load_latency(0x2000) == hier.config.dl0.hit_latency
+
+    def test_stats(self):
+        hier = MemoryHierarchy()
+        hier.load_latency(0x0)
+        hier.store(0x0)
+        assert hier.stats.loads == 1
+        assert hier.stats.stores == 1
+        assert 0.0 <= hier.stats.dl0_hit_rate <= 1.0
+
+    def test_table1_defaults(self):
+        config = MemoryConfig()
+        assert config.dl0.size_bytes == 32 * 1024
+        assert config.dl0.hit_latency == 3
+        assert config.ul1.size_bytes == 4 * 1024 * 1024
+        assert config.ul1.hit_latency == 13
+        assert config.main_memory_latency == 450
+
+    def test_reset(self):
+        hier = MemoryHierarchy()
+        hier.load_latency(0x0)
+        hier.reset()
+        assert hier.stats.loads == 0
+        assert not hier.dl0.probe(0x0)

@@ -1,0 +1,81 @@
+"""Tests for the SimulationResult metrics record and derived quantities."""
+
+import pytest
+
+from repro.power.wattch import ActivityCounts
+from repro.sim.metrics import PredictionBreakdown, SimulationResult, speedup
+
+
+def result(**overrides) -> SimulationResult:
+    base = SimulationResult(benchmark="toy", policy="n888", committed_uops=1000,
+                            slow_cycles=2000.0, fast_cycles=4000, helper_uops=200,
+                            copies=100)
+    for key, value in overrides.items():
+        setattr(base, key, value)
+    return base
+
+
+class TestPredictionBreakdown:
+    def test_rates(self):
+        breakdown = PredictionBreakdown(correct=90, non_fatal=8, fatal=2)
+        assert breakdown.total == 100
+        assert breakdown.accuracy == pytest.approx(0.9)
+        assert breakdown.fatal_rate == pytest.approx(0.02)
+        assert breakdown.non_fatal_rate == pytest.approx(0.08)
+
+    def test_empty(self):
+        breakdown = PredictionBreakdown()
+        assert breakdown.accuracy == 0.0
+        assert breakdown.fatal_rate == 0.0
+
+
+class TestSimulationResult:
+    def test_ipc(self):
+        assert result().ipc == pytest.approx(0.5)
+
+    def test_ipc_zero_cycles(self):
+        assert result(slow_cycles=0.0).ipc == 0.0
+
+    def test_fractions(self):
+        r = result()
+        assert r.helper_fraction == pytest.approx(0.2)
+        assert r.copy_fraction == pytest.approx(0.1)
+
+    def test_fractions_no_commits(self):
+        r = result(committed_uops=0)
+        assert r.helper_fraction == 0.0
+        assert r.copy_fraction == 0.0
+
+    def test_recovery_rate(self):
+        assert result(recoveries=10).recovery_rate == pytest.approx(0.01)
+
+    def test_summary_keys(self):
+        summary = result().summary()
+        assert summary["benchmark"] == "toy"
+        assert summary["policy"] == "n888"
+        assert set(summary) >= {"ipc", "helper_fraction", "copy_fraction",
+                                "prediction_accuracy", "fatal_rate"}
+
+    def test_default_activity_attached(self):
+        assert isinstance(result().activity, ActivityCounts)
+
+
+class TestSpeedup:
+    def test_positive_when_faster(self):
+        base = result(slow_cycles=2000.0)
+        fast = result(slow_cycles=1000.0)
+        assert speedup(base, fast) == pytest.approx(1.0)
+
+    def test_negative_when_slower(self):
+        base = result(slow_cycles=1000.0)
+        slow = result(slow_cycles=1250.0)
+        assert speedup(base, slow) == pytest.approx(-0.2)
+
+    def test_zero_when_equal(self):
+        assert speedup(result(), result()) == pytest.approx(0.0)
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(ValueError):
+            speedup(result(slow_cycles=0.0), result())
+        with pytest.raises(ValueError):
+            speedup(result(), result(slow_cycles=0.0))

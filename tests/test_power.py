@@ -1,0 +1,107 @@
+"""Tests for the Wattch-like power model and energy-delay² accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.power.energy import EnergyReport, compare_ed2, energy_delay_squared, report_from_activity
+from repro.power.wattch import ActivityCounts, PowerConfig, PowerModel
+
+
+def activity(**overrides) -> ActivityCounts:
+    base = ActivityCounts(
+        wide_cycles=1000, fast_cycles=2000, fetched_uops=5000, committed_uops=5000,
+        wide_alu_ops=2000, narrow_alu_ops=1000, wide_agu_ops=800, narrow_agu_ops=200,
+        fpu_ops=100, wide_regfile_accesses=9000, narrow_regfile_accesses=3000,
+        wide_scheduler_ops=3000, narrow_scheduler_ops=1500, rename_ops=5000,
+        rob_ops=5000, dl0_accesses=1500, ul1_accesses=100, memory_accesses=10,
+        predictor_accesses=5000, copies=500, helper_present=True)
+    for key, value in overrides.items():
+        setattr(base, key, value)
+    return base
+
+
+class TestPowerModel:
+    def test_total_positive(self):
+        breakdown = PowerModel().evaluate(activity())
+        assert breakdown.total > 0
+
+    def test_narrow_structures_cheaper_per_access(self):
+        config = PowerConfig()
+        model = PowerModel(config)
+        wide_only = model.evaluate(activity(narrow_alu_ops=0, wide_alu_ops=1000))
+        narrow_only = model.evaluate(activity(narrow_alu_ops=1000, wide_alu_ops=0))
+        assert narrow_only.per_structure["narrow_execute"] < wide_only.per_structure["wide_execute"]
+
+    def test_width_scale(self):
+        assert PowerConfig().width_scale(8) == pytest.approx(0.25)
+        assert PowerConfig().width_scale(16) == pytest.approx(0.5)
+
+    def test_no_helper_no_narrow_clock(self):
+        breakdown = PowerModel().evaluate(activity(helper_present=False))
+        assert breakdown.per_structure["narrow_clock"] == 0.0
+
+    def test_helper_adds_clock_energy(self):
+        with_helper = PowerModel().evaluate(activity())
+        assert with_helper.per_structure["narrow_clock"] > 0
+
+    def test_fraction(self):
+        breakdown = PowerModel().evaluate(activity())
+        assert 0 < breakdown.fraction("memory") < 1
+        assert breakdown.fraction("nonexistent") == 0.0
+
+    def test_energy_monotone_in_activity(self):
+        small = PowerModel().evaluate(activity(copies=0))
+        large = PowerModel().evaluate(activity(copies=10_000))
+        assert large.total > small.total
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_total_nonnegative(self, alu_ops):
+        breakdown = PowerModel().evaluate(activity(wide_alu_ops=alu_ops))
+        assert breakdown.total >= 0
+
+
+class TestEnergyDelay:
+    def test_ed2_definition(self):
+        report = EnergyReport(label="x", energy=10.0, delay_cycles=4.0)
+        assert report.energy_delay == 40.0
+        assert report.energy_delay_squared == 160.0
+
+    def test_energy_delay_squared_builder(self):
+        breakdown = PowerModel().evaluate(activity())
+        report = energy_delay_squared(breakdown, delay_cycles=100, label="run")
+        assert report.energy == pytest.approx(breakdown.total)
+
+    def test_invalid_delay(self):
+        breakdown = PowerModel().evaluate(activity())
+        with pytest.raises(ValueError):
+            energy_delay_squared(breakdown, delay_cycles=0)
+
+    def test_report_from_activity(self):
+        report = report_from_activity(activity(), delay_cycles=1000, label="helper")
+        assert report.label == "helper"
+        assert report.energy > 0
+
+    def test_compare_ed2_sign(self):
+        baseline = EnergyReport("base", energy=100.0, delay_cycles=10.0)
+        better = EnergyReport("helper", energy=105.0, delay_cycles=9.0)
+        worse = EnergyReport("bad", energy=150.0, delay_cycles=11.0)
+        assert compare_ed2(baseline, better) > 0
+        assert compare_ed2(baseline, worse) < 0
+
+    def test_compare_ed2_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            compare_ed2(EnergyReport("b", 0.0, 1.0), EnergyReport("c", 1.0, 1.0))
+
+    def test_faster_but_bigger_machine_can_win_ed2(self):
+        """The helper cluster adds energy per cycle but reduces cycles; ED²
+        rewards the trade exactly as §3.7 argues."""
+        base_activity = activity(helper_present=False, narrow_alu_ops=0,
+                                 narrow_scheduler_ops=0, narrow_regfile_accesses=0,
+                                 copies=0, fast_cycles=1000)
+        helper_activity = activity()
+        base = report_from_activity(base_activity, delay_cycles=1200, label="baseline")
+        helper = report_from_activity(helper_activity, delay_cycles=1000, label="helper")
+        # With an ~17% cycle reduction the quadratic delay term dominates the
+        # added helper energy.
+        assert compare_ed2(base, helper) > 0

@@ -1,0 +1,83 @@
+"""Tests for trace save/load round-trips."""
+
+import pytest
+
+from repro.sim.baseline import simulate_baseline
+from repro.trace.serialization import (
+    FORMAT_VERSION,
+    iter_trace_records,
+    load_trace,
+    save_trace,
+)
+from repro.trace.profiles import get_profile
+from repro.trace.synthetic import generate_trace
+
+
+@pytest.fixture()
+def small_trace():
+    return generate_trace(get_profile("gzip"), 500, seed=42)
+
+
+class TestRoundTrip:
+    def test_plain_roundtrip(self, small_trace, tmp_path):
+        path = save_trace(small_trace, tmp_path / "trace.jsonl")
+        loaded = load_trace(path)
+        assert loaded.name == small_trace.name
+        assert loaded.seed == small_trace.seed
+        assert loaded.static_pcs == small_trace.static_pcs
+        assert len(loaded) == len(small_trace)
+
+    def test_gzip_roundtrip(self, small_trace, tmp_path):
+        path = save_trace(small_trace, tmp_path / "trace.jsonl.gz")
+        loaded = load_trace(path)
+        assert len(loaded) == len(small_trace)
+
+    def test_uop_fields_preserved(self, small_trace, tmp_path):
+        path = save_trace(small_trace, tmp_path / "trace.jsonl")
+        loaded = load_trace(path)
+        for original, restored in zip(small_trace.uops, loaded.uops):
+            assert original.uid == restored.uid
+            assert original.pc == restored.pc
+            assert original.opcode == restored.opcode
+            assert original.srcs == restored.srcs
+            assert original.dest == restored.dest
+            assert original.imm == restored.imm
+            assert original.src_values == restored.src_values
+            assert original.result_value == restored.result_value
+            assert original.mem_addr == restored.mem_addr
+            assert original.is_taken == restored.is_taken
+            assert original.producer_uids == restored.producer_uids
+            assert original.flags_producer_uid == restored.flags_producer_uid
+
+    def test_loaded_trace_validates_and_simulates(self, small_trace, tmp_path):
+        path = save_trace(small_trace, tmp_path / "trace.jsonl")
+        loaded = load_trace(path)
+        loaded.validate()
+        original_result = simulate_baseline(small_trace)
+        loaded_result = simulate_baseline(loaded)
+        assert loaded_result.slow_cycles == original_result.slow_cycles
+        assert loaded_result.committed_uops == original_result.committed_uops
+
+    def test_streaming_iterator(self, small_trace, tmp_path):
+        path = save_trace(small_trace, tmp_path / "trace.jsonl")
+        streamed = list(iter_trace_records(path))
+        assert len(streamed) == len(small_trace)
+        assert streamed[0].uid == small_trace.uops[0].uid
+
+
+class TestErrors:
+    def test_unsupported_format_rejected(self, small_trace, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": 999, "num_uops": 0}\n', encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_truncated_file_rejected(self, small_trace, tmp_path):
+        path = save_trace(small_trace, tmp_path / "trace.jsonl")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        path.write_text("\n".join(lines[: len(lines) // 2]) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_format_version_constant(self):
+        assert FORMAT_VERSION == 1
