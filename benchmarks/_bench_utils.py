@@ -13,6 +13,10 @@ LADDER = ["n888", "n888_br", "n888_br_lr", "n888_br_lr_cr", "n888_br_lr_cr_cp",
 BENCH_UOPS = int(os.environ.get("REPRO_BENCH_UOPS", "5000"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2006"))
 APPS_PER_CATEGORY = int(os.environ.get("REPRO_BENCH_APPS_PER_CATEGORY", "4"))
+#: Sweep-engine worker processes (1 = serial, 0 = one per CPU).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+#: On-disk result cache directory (unset = no cache).
+BENCH_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
 
 RESULTS_DIR = Path(__file__).parent / "results"
 

@@ -4,9 +4,16 @@ Subcommands
 -----------
 ``run``        Simulate one benchmark under one policy and print the metrics.
 ``ladder``     Run the cumulative policy ladder over a set of benchmarks.
+``sweep``      Run an arbitrary benchmarks x policies sweep (CSV-friendly).
 ``analyze``    Run the Figure 1 / 11 / 13 trace characterisation analyses.
 ``table1``     Print the baseline machine parameters (Table 1).
 ``workloads``  List the Table 2 workload suite categories.
+
+``ladder`` and ``sweep`` accept the parallel-engine flags: ``--jobs N`` fans
+the (benchmark, policy) jobs over N worker processes (0 = one per CPU),
+``--cache-dir DIR`` enables the content-addressed on-disk result cache, and
+``--no-cache`` bypasses cache reads while still refreshing stored entries.
+Results are bit-identical across serial, parallel and cached runs.
 """
 
 from __future__ import annotations
@@ -21,11 +28,27 @@ from repro.analysis.narrowness import analyze_narrowness
 from repro.core.config import TABLE_1_PARAMETERS, helper_cluster_config
 from repro.core.steering import POLICY_LADDER
 from repro.sim.baseline import baseline_pair
-from repro.sim.experiment import run_spec_suite
-from repro.sim.reporting import format_ladder_summary, format_policy_table, format_table
+from repro.sim.experiment import ExperimentRunner, run_spec_suite
+from repro.sim.reporting import (
+    format_cache_stats,
+    format_ladder_summary,
+    format_policy_table,
+    format_table,
+    sweep_to_csv,
+)
 from repro.trace.profiles import SPEC_INT_NAMES, get_profile
 from repro.trace.synthetic import generate_trace
 from repro.trace.workloads import WORKLOAD_CATEGORIES
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Parallel-engine knobs shared by the sweep-shaped subcommands."""
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial, 0 = one per CPU)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for the on-disk result cache")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass cache reads (entries are still refreshed)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -46,6 +69,17 @@ def _build_parser() -> argparse.ArgumentParser:
     ladder.add_argument("--seed", type=int, default=2006)
     ladder.add_argument("--policies", nargs="*", default=None,
                         choices=[p for p in POLICY_LADDER if p != "baseline"])
+    _add_engine_flags(ladder)
+
+    sweep = sub.add_parser("sweep", help="run a benchmarks x policies sweep")
+    sweep.add_argument("--benchmarks", nargs="*", default=None, choices=SPEC_INT_NAMES)
+    sweep.add_argument("--policies", nargs="*", default=None,
+                       choices=[p for p in POLICY_LADDER if p != "baseline"])
+    sweep.add_argument("--uops", type=int, default=15_000)
+    sweep.add_argument("--seed", type=int, default=2006)
+    sweep.add_argument("--csv", default=None, metavar="PATH",
+                       help="also write the per-benchmark rows as CSV")
+    _add_engine_flags(sweep)
 
     analyze = sub.add_parser("analyze", help="run the trace characterisation analyses")
     analyze.add_argument("--benchmark", default="gcc", choices=SPEC_INT_NAMES)
@@ -79,15 +113,39 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_engine_sweep(args: argparse.Namespace, policies: List[str]):
+    """Run the sweep through an ExperimentRunner, returning (sweep, runner)."""
+    runner = ExperimentRunner(trace_uops=args.uops, seed=args.seed,
+                              jobs=args.jobs, cache_dir=args.cache_dir,
+                              use_cache=not args.no_cache)
+    names = args.benchmarks or list(SPEC_INT_NAMES)
+    profiles = [get_profile(name) for name in names]
+    return runner.run_suite(profiles, policies), runner
+
+
 def _cmd_ladder(args: argparse.Namespace) -> int:
     policies = args.policies or [p for p in POLICY_LADDER if p != "baseline"]
-    sweep = run_spec_suite(policies, trace_uops=args.uops, seed=args.seed,
-                           benchmarks=args.benchmarks)
+    sweep, _ = _run_engine_sweep(args, policies)
     print(format_ladder_summary(sweep, title="Cumulative steering-policy ladder"))
     print()
     for policy in policies:
         print(format_policy_table(sweep, policy))
         print()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    policies = args.policies or [p for p in POLICY_LADDER if p != "baseline"]
+    sweep, runner = _run_engine_sweep(args, policies)
+    print(format_ladder_summary(sweep, title="Sweep summary"))
+    csv_text = sweep_to_csv(sweep)
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(csv_text + "\n")
+        print(f"\nwrote {args.csv}")
+    if runner.cache is not None:
+        print()
+        print(format_cache_stats(runner.cache))
     return 0
 
 
@@ -130,6 +188,7 @@ def _cmd_workloads(_: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "ladder": _cmd_ladder,
+    "sweep": _cmd_sweep,
     "analyze": _cmd_analyze,
     "table1": _cmd_table1,
     "workloads": _cmd_workloads,

@@ -22,7 +22,7 @@ from typing import Dict, Optional
 from repro.pipeline.clocking import ClockDomain
 
 
-@dataclass
+@dataclass(slots=True)
 class CopyRequest:
     """A copy uop to be injected by the simulator.
 
@@ -76,7 +76,10 @@ class CopyEngine:
     def note_produced(self, value_uid: int, domain: ClockDomain,
                       ready_cycle: int) -> None:
         """Record that ``value_uid`` will be available in ``domain`` at ``ready_cycle``."""
-        self._availability.setdefault(value_uid, {})[domain] = ready_cycle
+        slots = self._availability.get(value_uid)
+        if slots is None:
+            slots = self._availability[value_uid] = {}
+        slots[domain] = ready_cycle
 
     def note_replicated(self, value_uid: int, ready_cycle: int,
                         extra_latency: int = 0) -> None:
@@ -95,11 +98,13 @@ class CopyEngine:
 
     def availability(self, value_uid: int, domain: ClockDomain) -> Optional[int]:
         """Fast cycle at which the value is available in ``domain`` (None = not there)."""
-        return self._availability.get(value_uid, {}).get(domain)
+        slots = self._availability.get(value_uid)
+        return None if slots is None else slots.get(domain)
 
     def domains_available(self, value_uid: int) -> list:
         """Clusters in which the value is (or will be) available."""
-        return list(self._availability.get(value_uid, {}))
+        slots = self._availability.get(value_uid)
+        return [] if slots is None else list(slots)
 
     def available_anywhere(self, value_uid: int) -> bool:
         return value_uid in self._availability
@@ -115,10 +120,12 @@ class CopyEngine:
             return False
         if to_domain in slots:
             return False
-        return to_domain not in self._pending.get(value_uid, set())
+        pending = self._pending.get(value_uid)
+        return pending is None or to_domain not in pending
 
     def copy_in_flight(self, value_uid: int, to_domain: ClockDomain) -> bool:
-        return to_domain in self._pending.get(value_uid, set())
+        pending = self._pending.get(value_uid)
+        return pending is not None and to_domain in pending
 
     def request_copy(self, value_uid: int, from_domain: ClockDomain,
                      to_domain: ClockDomain, prefetch: bool = False) -> CopyRequest:

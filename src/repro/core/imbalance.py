@@ -69,16 +69,39 @@ class ImbalanceMonitor:
         imbalance only insofar as the narrow cluster had free issue slots,
         and vice versa (that is the NREADY definition).
         """
+        self.record_cycle(sample.wide_ready_blocked, sample.narrow_ready_blocked,
+                          sample.wide_free_slots, sample.narrow_free_slots,
+                          sample.wide_occupancy, sample.narrow_occupancy)
+
+    def record_cycle(self, wide_ready_blocked: int, narrow_ready_blocked: int,
+                     wide_free_slots: int, narrow_free_slots: int,
+                     wide_occupancy: int, narrow_occupancy: int) -> None:
+        """Scalar fast path of :meth:`record` (no sample object allocation)."""
         self.samples += 1
-        self.issue_opportunities += max(1, sample.wide_occupancy + sample.narrow_occupancy)
-        self.wide_to_narrow_nready += min(sample.wide_ready_blocked,
-                                          sample.narrow_free_slots)
-        self.narrow_to_wide_nready += min(sample.narrow_ready_blocked,
-                                          sample.wide_free_slots)
-        self.wide_occupancy_accum += sample.wide_occupancy
-        self.narrow_occupancy_accum += sample.narrow_occupancy
-        self._last_wide_occupancy = sample.wide_occupancy
-        self._last_narrow_occupancy = sample.narrow_occupancy
+        self.issue_opportunities += max(1, wide_occupancy + narrow_occupancy)
+        self.wide_to_narrow_nready += min(wide_ready_blocked, narrow_free_slots)
+        self.narrow_to_wide_nready += min(narrow_ready_blocked, wide_free_slots)
+        self.wide_occupancy_accum += wide_occupancy
+        self.narrow_occupancy_accum += narrow_occupancy
+        self._last_wide_occupancy = wide_occupancy
+        self._last_narrow_occupancy = narrow_occupancy
+
+    def record_idle_cycles(self, wide_occupancy: int, narrow_occupancy: int,
+                           cycles: int) -> None:
+        """Record ``cycles`` consecutive idle observations in one call.
+
+        Used when the simulator fast-forwards over cycles during which
+        provably nothing issues, completes or dispatches: the queues are
+        frozen, no active backend has blocked-ready work, so every skipped
+        cycle would have contributed identical occupancy terms and zero
+        NREADY terms.  The aggregate equals per-cycle sampling exactly.
+        """
+        self.samples += cycles
+        self.issue_opportunities += cycles * max(1, wide_occupancy + narrow_occupancy)
+        self.wide_occupancy_accum += cycles * wide_occupancy
+        self.narrow_occupancy_accum += cycles * narrow_occupancy
+        self._last_wide_occupancy = wide_occupancy
+        self._last_narrow_occupancy = narrow_occupancy
 
     # ------------------------------------------------------------------ rates
     def wide_to_narrow_imbalance(self) -> float:

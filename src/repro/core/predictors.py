@@ -66,7 +66,7 @@ class ConfidenceCounter:
         return self.value >= threshold
 
 
-@dataclass
+@dataclass(slots=True)
 class WidthPrediction:
     """Result of a width-predictor lookup."""
 

@@ -60,7 +60,7 @@ POLICY_LADDER: Dict[str, frozenset] = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class SteerDecision:
     """Outcome of steering one uop."""
 
@@ -78,6 +78,9 @@ class SteerDecision:
     replicate_load: bool = False
     #: IR: the uop is split into narrow chunks (handled by the simulator)
     split: bool = False
+    #: width-predictor lookup made while steering, forwarded so dispatch does
+    #: not have to probe the table a second time
+    prediction: Optional["WidthPrediction"] = None
 
     @property
     def to_helper(self) -> bool:
@@ -126,7 +129,9 @@ class SteeringPolicy:
     def steer(self, fetched: FetchedUop, ctx: SteeringContext) -> SteerDecision:
         raise NotImplementedError
 
-    def _account(self, decision: SteerDecision) -> SteerDecision:
+    def _account(self, decision: SteerDecision,
+                 prediction: Optional[WidthPrediction] = None) -> SteerDecision:
+        decision.prediction = prediction
         self.stats.steered += 1
         if decision.to_helper:
             self.stats.to_narrow += 1
@@ -163,19 +168,29 @@ class DataWidthSteering(SteeringPolicy):
         super().__init__()
         self.schemes = frozenset(schemes)
         self.name = name or "+".join(sorted(s.name for s in self.schemes)) or "wide_only"
+        # Scheme membership tested once here instead of per steered uop.
+        self._has_n888 = Scheme.N888 in self.schemes
+        self._has_br = Scheme.BR in self.schemes
+        self._has_lr = Scheme.LR in self.schemes
+        self._has_cr = Scheme.CR in self.schemes
+        self._has_ir = Scheme.IR in self.schemes
+        self._has_ir_nodest = Scheme.IR_NODEST in self.schemes
 
     # ------------------------------------------------------------------ helpers
     def _source_widths(self, uop: MicroOp, ctx: SteeringContext) -> List[bool]:
         """Width-table view of each source: actual width if written back, else prediction."""
-        widths: List[bool] = []
-        for reg in uop.srcs:
-            widths.append(ctx.rename.source_is_narrow(reg))
-        return widths
+        return ctx.rename.source_widths(uop.srcs)
 
     def _immediate_narrow(self, uop: MicroOp, ctx: SteeringContext) -> bool:
         if uop.imm is None:
             return True
-        return is_narrow(truncate(uop.imm), ctx.config.narrow_width)
+        memo = uop.__dict__.get("_imm_narrow_memo")
+        width = ctx.config.narrow_width
+        if memo is not None and memo[0] == width:
+            return memo[1]
+        result = is_narrow(truncate(uop.imm), width)
+        uop._imm_narrow_memo = (width, result)
+        return result
 
     def _helper_supports(self, uop: MicroOp) -> bool:
         """The helper backend has integer ALUs/AGUs only (§2.1)."""
@@ -195,7 +210,7 @@ class DataWidthSteering(SteeringPolicy):
 
         # §1 item 5 / §3.7: if the helper cluster is overloaded, steer narrow
         # work back to the wide cluster until balance is restored.
-        rebalance_to_wide = (Scheme.IR in self.schemes
+        rebalance_to_wide = (self._has_ir
                              and ctx.imbalance.helper_overloaded())
 
         # --- BR: conditional branch depending on a narrow-cluster flag write.
@@ -203,7 +218,7 @@ class DataWidthSteering(SteeringPolicy):
         # schemes (they have no register result); they go to the helper
         # cluster only under the BR rule.
         if uop.is_branch:
-            if Scheme.BR in self.schemes and uop.is_cond_branch:
+            if self._has_br and uop.is_cond_branch:
                 flags_entry = ctx.rename.entry(ArchReg.FLAGS)
                 flag_in_narrow = flags_entry.producer_domain is ClockDomain.NARROW
                 if (flag_in_narrow and fetched.target_resolved_in_frontend
@@ -220,23 +235,23 @@ class DataWidthSteering(SteeringPolicy):
         # --- LR: loads predicted to fetch a narrow value have their result
         # register allocated in both clusters through the shared MOB (§3.4),
         # independent of which cluster executes the load.
-        replicate = (Scheme.LR in self.schemes and uop.is_load
+        replicate = (self._has_lr and uop.is_load
                      and prediction.narrow and prediction.confident)
 
         # --- 8-8-8: all sources narrow and result predicted narrow with
         # high confidence (§3.2).
-        if Scheme.N888 in self.schemes and sources_narrow and uop.srcs:
+        if self._has_n888 and sources_narrow and uop.srcs:
             result_ok = (not uop.has_dest) or (prediction.narrow and prediction.confident)
             if uop.has_dest and prediction.narrow and not prediction.confident:
                 self.stats.rejected_low_confidence += 1
             if result_ok and not rebalance_to_wide:
                 return self._account(SteerDecision(
                     domain=ClockDomain.NARROW, reason="n888",
-                    predicted_narrow=True, replicate_load=replicate))
+                    predicted_narrow=True, replicate_load=replicate), prediction)
 
         # --- CR: one narrow and one wide source, wide result, carry predicted
         # not to propagate past the low byte (§3.5).
-        if Scheme.CR in self.schemes and uop.info.cr_eligible and not rebalance_to_wide:
+        if self._has_cr and uop.info.cr_eligible and not rebalance_to_wide:
             wide_sources = [i for i, narrow in enumerate(source_widths) if not narrow]
             narrow_sources = [i for i, narrow in enumerate(source_widths) if narrow]
             result_predicted_wide = uop.has_dest and not prediction.narrow
@@ -254,25 +269,26 @@ class DataWidthSteering(SteeringPolicy):
                     and prediction.carry_safe):
                 return self._account(SteerDecision(
                     domain=ClockDomain.NARROW, reason="cr_no_carry",
-                    via_cr=True, replicate_load=replicate))
+                    via_cr=True, replicate_load=replicate), prediction)
 
         # --- IR: split wide instructions into narrow chunks while the helper
         # cluster is underutilised (§3.7).
-        if Scheme.IR in self.schemes and ctx.imbalance.helper_underutilised():
-            require_no_dest = Scheme.IR_NODEST in self.schemes
+        if self._has_ir and ctx.imbalance.helper_underutilised():
+            require_no_dest = self._has_ir_nodest
             ctx.splitter.require_no_dest = require_no_dest
             if ctx.splitter.can_split(uop):
                 return self._account(SteerDecision(
-                    domain=ClockDomain.NARROW, reason="ir_split", split=True))
+                    domain=ClockDomain.NARROW, reason="ir_split", split=True),
+                    prediction)
 
         if rebalance_to_wide:
             self.stats.rebalanced_to_wide += 1
             return self._account(SteerDecision(domain=ClockDomain.WIDE,
                                                reason="helper_overloaded",
-                                               replicate_load=replicate))
+                                               replicate_load=replicate), prediction)
         return self._account(SteerDecision(domain=ClockDomain.WIDE,
                                            reason="default_wide",
-                                           replicate_load=replicate))
+                                           replicate_load=replicate), prediction)
 
     # --------------------------------------------------------------- properties
     @property

@@ -28,7 +28,7 @@ from repro.isa.registers import Flags
 from repro.isa.values import MACHINE_WIDTH, to_signed, truncate
 
 
-class OpClass(Enum):
+class OpClass(IntEnum):
     """Coarse instruction classes used by steering policies and statistics."""
 
     ALU = auto()          # simple integer arithmetic / logic / shifts / moves
@@ -44,7 +44,7 @@ class OpClass(Enum):
     NOP = auto()          # no operation / fence
 
 
-class FunctionalUnit(Enum):
+class FunctionalUnit(IntEnum):
     """Functional unit kinds present in a backend."""
 
     IALU = auto()
@@ -187,8 +187,16 @@ OPCODE_INFO: Dict[Opcode, OpcodeInfo] = {
 
 
 def opcode_info(opcode: Opcode) -> OpcodeInfo:
-    """Look up the static :class:`OpcodeInfo` for an opcode."""
-    return OPCODE_INFO[Opcode(opcode)]
+    """Look up the static :class:`OpcodeInfo` for an opcode.
+
+    This is on the simulator's per-uop hot path, so the common case (an
+    actual :class:`Opcode` member) is a single dict probe; raw values are
+    coerced through the enum only on a miss.
+    """
+    info = OPCODE_INFO.get(opcode)
+    if info is None:
+        info = OPCODE_INFO[Opcode(opcode)]
+    return info
 
 
 # ---------------------------------------------------------------------------

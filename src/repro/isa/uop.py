@@ -12,6 +12,7 @@ a uop are the oracle against which predictions are scored.
 from __future__ import annotations
 
 import itertools
+from functools import cached_property
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
@@ -75,56 +76,56 @@ class MicroOp:
     synthetic: bool = False
 
     # ------------------------------------------------------------------ info
-    @property
+    @cached_property
     def info(self) -> OpcodeInfo:
         """Static opcode properties."""
         return opcode_info(self.opcode)
 
-    @property
+    @cached_property
     def op_class(self) -> OpClass:
         return self.info.op_class
 
-    @property
+    @cached_property
     def has_dest(self) -> bool:
         return self.dest is not None and self.info.has_dest
 
-    @property
+    @cached_property
     def writes_flags(self) -> bool:
         return self.info.writes_flags
 
-    @property
+    @cached_property
     def reads_flags(self) -> bool:
         return self.info.reads_flags
 
-    @property
+    @cached_property
     def is_memory(self) -> bool:
         return self.info.is_memory
 
-    @property
+    @cached_property
     def is_load(self) -> bool:
         return self.op_class == OpClass.LOAD
 
-    @property
+    @cached_property
     def is_store(self) -> bool:
         return self.op_class == OpClass.STORE
 
-    @property
+    @cached_property
     def is_branch(self) -> bool:
         return self.op_class in (OpClass.BRANCH, OpClass.JUMP)
 
-    @property
+    @cached_property
     def is_cond_branch(self) -> bool:
         return self.op_class == OpClass.BRANCH
 
-    @property
+    @cached_property
     def is_fp(self) -> bool:
         return self.op_class == OpClass.FP
 
-    @property
+    @cached_property
     def is_copy(self) -> bool:
         return self.op_class == OpClass.COPY
 
-    @property
+    @cached_property
     def latency(self) -> int:
         """Execution latency in wide-cluster cycles."""
         return self.info.latency
@@ -137,23 +138,92 @@ class MicroOp:
         return is_narrow(self.src_values[index], narrow_width)
 
     def all_sources_narrow(self, narrow_width: int = NARROW_WIDTH) -> bool:
-        """True if every source value (and the immediate) is narrow."""
+        """True if every source value (and the immediate) is narrow.
+
+        Memoised per uop: traces are shared across the simulator runs of a
+        policy sweep, so the oracle is computed once, not once per run.
+        """
+        memo = self.__dict__.get("_asn_memo")
+        if memo is not None and memo[0] == narrow_width:
+            return memo[1]
+        result = True
         for value in self.src_values:
             if not is_narrow(value, narrow_width):
-                return False
-        if self.imm is not None and not is_narrow(truncate(self.imm), narrow_width):
-            return False
-        return True
+                result = False
+                break
+        if result and self.imm is not None and not is_narrow(
+                truncate(self.imm), narrow_width):
+            result = False
+        self._asn_memo = (narrow_width, result)
+        return result
 
     def result_is_narrow(self, narrow_width: int = NARROW_WIDTH) -> bool:
         """True if the result value is narrow (uops with no result count as narrow)."""
+        memo = self.__dict__.get("_rin_memo")
+        if memo is not None and memo[0] == narrow_width:
+            return memo[1]
         if self.result_value is None:
-            return True
-        return is_narrow(self.result_value, narrow_width)
+            result = True
+        else:
+            result = is_narrow(self.result_value, narrow_width)
+        self._rin_memo = (narrow_width, result)
+        return result
+
+    # ------------------------------------------------------- CR oracles (§3.5)
+    def _cr_values(self) -> List[int]:
+        values = list(self.src_values)
+        if self.imm is not None:
+            values.append(self.imm)
+        return values
+
+    def cr_carry_crosses(self, narrow_width: int = NARROW_WIDTH) -> bool:
+        """Carry out of the low byte when summing the two primary operands."""
+        memo = self.__dict__.get("_crc_memo")
+        if memo is not None and memo[0] == narrow_width:
+            return memo[1]
+        values = self._cr_values()
+        mask = (1 << narrow_width) - 1
+        result = (len(values) >= 2
+                  and (values[0] & mask) + (values[1] & mask) > mask)
+        self._crc_memo = (narrow_width, result)
+        return result
+
+    def cr_operated_narrow(self, narrow_width: int = NARROW_WIDTH) -> bool:
+        """Did this (potential CR) uop actually operate on the low byte only?
+
+        Set when the instruction had the one-narrow/one-wide operand pattern
+        and the carry did not propagate past the low byte.
+        """
+        memo = self.__dict__.get("_cron_memo")
+        if memo is not None and memo[0] == narrow_width:
+            return memo[1]
+        values = self._cr_values()
+        result = False
+        if len(values) >= 2:
+            wide_vals = [v for v in values if not is_narrow(v, narrow_width)]
+            if len(wide_vals) == 1 and len(wide_vals) != len(values):
+                result = not self.cr_carry_crosses(narrow_width)
+        self._cron_memo = (narrow_width, result)
+        return result
 
     def is_fully_narrow(self, narrow_width: int = NARROW_WIDTH) -> bool:
         """The 8-8-8 oracle condition of §3.2: all sources and the result narrow."""
         return self.all_sources_narrow(narrow_width) and self.result_is_narrow(narrow_width)
+
+    # --------------------------------------------------------------- deps
+    @cached_property
+    def effective_producers(self) -> Tuple[int, ...]:
+        """Producer uids this uop waits on, FLAGS producer included.
+
+        The FLAGS producer joins the list only when the register sources do
+        not already cover every source slot (matching dispatch's historical
+        dependence-resolution rule).  ``None`` live-in entries are dropped.
+        """
+        producers = [uid for uid in self.producer_uids if uid is not None]
+        if (self.reads_flags and self.flags_producer_uid is not None
+                and len(self.producer_uids) < len(self.srcs)):
+            producers.append(self.flags_producer_uid)
+        return tuple(producers)
 
     # --------------------------------------------------------------- helpers
     def with_values(

@@ -106,14 +106,14 @@ def is_narrow(value: int, narrow_width: int = NARROW_WIDTH, width: int = MACHINE
     ``narrow_width`` bits.  This is exactly what the consecutive zero/one
     detectors of §2.1 report.
     """
-    value = truncate(value, width)
     upper_bits = width - narrow_width
     if upper_bits <= 0:
         return True
-    return (
-        leading_zero_count(value, width) >= upper_bits
-        or leading_one_count(value, width) >= upper_bits
-    )
+    # Upper bits all zero (zero-extension) or all one (sign-extension):
+    # equivalent to the leading zero/one detector counts reaching
+    # ``upper_bits``, computed branch-free on the hot path.
+    upper = (value & ((1 << width) - 1)) >> narrow_width
+    return upper == 0 or upper == (1 << upper_bits) - 1
 
 
 def detect_narrow(values: Iterable[int], narrow_width: int = NARROW_WIDTH) -> List[bool]:

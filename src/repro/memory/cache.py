@@ -92,22 +92,43 @@ class Cache:
         index, tag = self._index_and_tag(addr)
         return tag in self._sets[index]
 
-    def access(self, addr: int) -> AccessResult:
-        """Access the cache, allocating the line on a miss (allocate-on-miss)."""
+    def _access_tag(self, addr: int):
+        """Shared tag-store walk: LRU update, allocation and statistics.
+
+        Returns ``(hit, evicted_tag)``.  Both :meth:`access` and
+        :meth:`access_hit` go through here so the two entry points can never
+        model different caches.
+        """
         index, tag = self._index_and_tag(addr)
         ways = self._sets[index]
         self.stats.accesses += 1
+        if ways and ways[0] == tag:
+            # MRU fast path: no list rotation needed.
+            self.stats.hits += 1
+            return True, None
         if tag in ways:
             ways.remove(tag)
             ways.insert(0, tag)
             self.stats.hits += 1
-            return AccessResult(hit=True, latency=self.config.hit_latency)
+            return True, None
         self.stats.misses += 1
         evicted: Optional[int] = None
         if len(ways) >= self.config.associativity:
             evicted = ways.pop()
             self.stats.evictions += 1
         ways.insert(0, tag)
+        return False, evicted
+
+    def access_hit(self, addr: int) -> bool:
+        """Like :meth:`access` (same stats/LRU side effects) but returns only
+        the hit flag, avoiding the result-record allocation on hot paths."""
+        return self._access_tag(addr)[0]
+
+    def access(self, addr: int) -> AccessResult:
+        """Access the cache, allocating the line on a miss (allocate-on-miss)."""
+        hit, evicted = self._access_tag(addr)
+        if hit:
+            return AccessResult(hit=True, latency=self.config.hit_latency)
         return AccessResult(hit=False, latency=self.config.hit_latency,
                             evicted_tag=evicted)
 

@@ -62,8 +62,7 @@ class TraceCache:
         Returns the additional frontend stall (in slow cycles): 0 on a hit,
         the rebuild penalty on a miss.
         """
-        result = self._cache.access(pc)
-        return 0 if result.hit else self.config.miss_penalty
+        return 0 if self._cache.access_hit(pc) else self.config.miss_penalty
 
     def reset(self) -> None:
         self._cache.reset()

@@ -14,14 +14,18 @@ domain — only act on fast cycles that are multiples of the clock ratio.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from enum import Enum
+from enum import IntEnum
 
 
-class ClockDomain(Enum):
-    """The two clock domains of the machine."""
+class ClockDomain(IntEnum):
+    """The two clock domains of the machine.
 
-    WIDE = "wide"      # 32-bit backend, frontend, commit
-    NARROW = "narrow"  # 8-bit helper backend
+    An ``IntEnum`` so the simulator's per-uop dict probes keyed by domain
+    hash at C speed.
+    """
+
+    WIDE = 0      # 32-bit backend, frontend, commit
+    NARROW = 1    # 8-bit helper backend
 
 
 @dataclass(frozen=True)

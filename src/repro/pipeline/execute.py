@@ -66,6 +66,10 @@ class ExecutionUnitPool:
             self.unit_counts[FunctionalUnit.FPU] = 0
         for unit, count in self.unit_counts.items():
             self._busy_until[unit] = [0] * count
+        # Per-opcode lookups are immutable for a given domain/clocking, so
+        # they are memoised off the hot path.
+        self._latency_cache: Dict[Opcode, int] = {}
+        self._unit_cache: Dict[Opcode, FunctionalUnit] = {}
 
     # ------------------------------------------------------------------ query
     def supports(self, opcode: Opcode) -> bool:
@@ -75,17 +79,32 @@ class ExecutionUnitPool:
 
     def exec_latency(self, opcode: Opcode) -> int:
         """Issue-to-writeback latency of ``opcode`` in fast cycles."""
-        return self.clocking.exec_latency(self.domain, opcode_info(opcode).latency)
+        latency = self._latency_cache.get(opcode)
+        if latency is None:
+            latency = self.clocking.exec_latency(self.domain, opcode_info(opcode).latency)
+            self._latency_cache[opcode] = latency
+        return latency
+
+    def unit_for(self, opcode: Opcode) -> FunctionalUnit:
+        """Functional-unit kind ``opcode`` executes on."""
+        unit = self._unit_cache.get(opcode)
+        if unit is None:
+            unit = opcode_info(opcode).unit
+            self._unit_cache[opcode] = unit
+        return unit
 
     # ------------------------------------------------------------------ issue
-    def try_issue(self, opcode: Opcode, fast_cycle: int) -> Optional[int]:
+    def try_issue(self, opcode: Opcode, fast_cycle: int,
+                  unit: Optional[FunctionalUnit] = None) -> Optional[int]:
         """Attempt to issue ``opcode`` at ``fast_cycle``.
 
         Returns the completion (writeback) fast cycle on success, or ``None``
         if no unit of the required kind is free (structural hazard).
+        ``unit`` may be passed by callers that precomputed the functional
+        unit kind at dispatch time.
         """
-        info = opcode_info(opcode)
-        unit = info.unit
+        if unit is None:
+            unit = self.unit_for(opcode)
         instances = self._busy_until.get(unit)
         if not instances:
             self.structural_stalls += 1

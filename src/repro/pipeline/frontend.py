@@ -19,7 +19,7 @@ from repro.memory.tracecache import TraceCache, TraceCacheConfig
 from repro.trace.trace import Trace
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchedUop:
     """A uop leaving the frontend, annotated with frontend-derived facts."""
 
@@ -69,9 +69,12 @@ class Frontend:
             return []
         budget = self.fetch_width if max_uops is None else min(self.fetch_width, max_uops)
         fetched: List[FetchedUop] = []
-        while budget > 0 and not self.exhausted:
-            uop = self.trace.uops[self._cursor]
-            penalty = self.trace_cache.fetch(uop.pc)
+        uops = self.trace.uops
+        total = len(uops)
+        tc_fetch = self.trace_cache.fetch
+        while budget > 0 and self._cursor < total:
+            uop = uops[self._cursor]
+            penalty = tc_fetch(uop.pc)
             if penalty > 0:
                 # Miss: this fetch group stops here and the frontend stalls
                 # while the trace segment is rebuilt from UL1.

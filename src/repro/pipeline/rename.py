@@ -69,7 +69,7 @@ class RenameTable:
 
     # ----------------------------------------------------------------- access
     def entry(self, reg: ArchReg) -> RenameEntry:
-        return self._entries[ArchReg(reg)]
+        return self._entries[reg]
 
     def entries(self) -> Iterable[RenameEntry]:
         return self._entries.values()
@@ -78,7 +78,7 @@ class RenameTable:
     def allocate(self, reg: ArchReg, producer_uid: int, domain: ClockDomain,
                  predicted_narrow: bool) -> None:
         """Bind ``reg`` to a new in-flight producer at rename time."""
-        entry = self._entries[ArchReg(reg)]
+        entry = self._entries[reg]
         # If the previous binding carried a CR link, renaming the destination
         # releases one reference on the wide upper-bits register.
         if entry.upper_bits_reg is not None:
@@ -92,7 +92,7 @@ class RenameTable:
     def writeback(self, reg: ArchReg, producer_uid: int, narrow: bool,
                   domain: Optional[ClockDomain] = None) -> None:
         """Record that the producer of ``reg`` wrote back with actual width."""
-        entry = self._entries[ArchReg(reg)]
+        entry = self._entries[reg]
         if entry.producer_uid != producer_uid:
             # A younger rename already superseded this producer; the width
             # table keeps the younger prediction.
@@ -104,22 +104,27 @@ class RenameTable:
 
     def source_width_known(self, reg: ArchReg) -> bool:
         """True if the source's width can be read as fact (already written back)."""
-        return self._entries[ArchReg(reg)].written_back
+        return self._entries[reg].written_back
 
     def source_is_narrow(self, reg: ArchReg) -> bool:
         """Width-table view of a source: actual width if known, else last prediction."""
-        return self._entries[ArchReg(reg)].narrow
+        return self._entries[reg].narrow
+
+    def source_widths(self, regs) -> list:
+        """Bulk :meth:`source_is_narrow` over a register sequence."""
+        entries = self._entries
+        return [entries[reg].narrow for reg in regs]
 
     def producer_domain(self, reg: ArchReg) -> ClockDomain:
-        return self._entries[ArchReg(reg)].producer_domain
+        return self._entries[reg].producer_domain
 
     def producer_uid(self, reg: ArchReg) -> Optional[int]:
-        return self._entries[ArchReg(reg)].producer_uid
+        return self._entries[reg].producer_uid
 
     # ----------------------------------------------------------------- CR tags
     def link_upper_bits(self, dest: ArchReg, wide_source: ArchReg) -> None:
         """Attach a CR tag: ``dest``'s upper 24 bits live in ``wide_source``."""
-        entry = self._entries[ArchReg(dest)]
+        entry = self._entries[dest]
         entry.upper_bits_reg = ArchReg(wide_source)
         self._upper_refcounts[ArchReg(wide_source)] = (
             self._upper_refcounts.get(ArchReg(wide_source), 0) + 1)

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Deque, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class ROBEntry:
     """One reorder-buffer entry."""
 

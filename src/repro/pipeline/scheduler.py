@@ -6,6 +6,13 @@ selected oldest-first up to the issue width (select).  The helper cluster's
 queue is identical in structure but is clocked at the fast frequency, so it
 gets a select opportunity every fast cycle.
 
+The queue maintains an explicit *ready set* so the simulator's inner loop
+never scans the whole scheduler: ``ready_count`` is O(1) and ``select`` only
+orders the entries that are actually ready.  Selection order is identical to
+a stable oldest-first sort over the whole queue: ties on the sequence number
+are broken by dispatch (insertion) order, tracked with a monotonically
+increasing counter.
+
 The issue queue also exposes the occupancy and ready-but-not-issued counts
 that the NREADY load-imbalance metric (§3.7) and the IR splitting heuristic
 consume.
@@ -13,11 +20,11 @@ consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class IssueQueueEntry:
     """One scheduler entry."""
 
@@ -33,6 +40,11 @@ class IssueQueueEntry:
         return self.remaining_sources == 0
 
 
+def _age_key(item):
+    entry, order = item
+    return (entry.seq, order)
+
+
 class IssueQueue:
     """A bounded issue queue with explicit wakeup and oldest-first select."""
 
@@ -44,6 +56,12 @@ class IssueQueue:
         self.issue_width = issue_width
         self.memory_ports = memory_ports
         self._entries: Dict[int, IssueQueueEntry] = {}
+        #: dispatch-order counter; breaks seq ties the way a stable sort over
+        #: the insertion-ordered entry dict used to
+        self._order_counter = 0
+        self._order: Dict[int, int] = {}
+        #: uid -> entry for entries with no outstanding sources
+        self._ready: Dict[int, IssueQueueEntry] = {}
         # Statistics for imbalance measurement.
         self.total_occupancy_samples = 0
         self.occupancy_accum = 0
@@ -77,6 +95,10 @@ class IssueQueue:
         if entry.uid in self._entries:
             raise ValueError(f"uid {entry.uid} already in issue queue")
         self._entries[entry.uid] = entry
+        self._order[entry.uid] = self._order_counter
+        self._order_counter += 1
+        if entry.remaining_sources == 0:
+            self._ready[entry.uid] = entry
 
     # ----------------------------------------------------------------- wakeup
     def wakeup(self, uid: int, count: int = 1) -> None:
@@ -85,6 +107,8 @@ class IssueQueue:
         if entry is None:
             return
         entry.remaining_sources = max(0, entry.remaining_sources - count)
+        if entry.remaining_sources == 0:
+            self._ready[uid] = entry
 
     # ----------------------------------------------------------------- select
     def select(self, max_issue: Optional[int] = None,
@@ -95,15 +119,24 @@ class IssueQueue:
         this cycle (DL0 port limit); non-memory entries are unaffected.
         Selected entries are removed from the queue.
         """
+        if not self._ready:
+            return []
         budget = self.issue_width if max_issue is None else min(max_issue, self.issue_width)
         if budget <= 0:
             return []
         mem_budget = memory_slots if memory_slots is not None else (
             self.memory_ports if self.memory_ports is not None else budget)
-        ready = sorted((e for e in self._entries.values() if e.ready),
-                       key=lambda e: e.seq)
+        if len(self._ready) == 1:
+            entry = next(iter(self._ready.values()))
+            if entry.is_memory and mem_budget <= 0:
+                return []
+            self._remove(entry.uid)
+            return [entry]
+        order = self._order
+        ready = sorted(((e, order[e.uid]) for e in self._ready.values()),
+                       key=_age_key)
         selected: List[IssueQueueEntry] = []
-        for entry in ready:
+        for entry, _ in ready:
             if len(selected) >= budget:
                 break
             if entry.is_memory:
@@ -112,8 +145,13 @@ class IssueQueue:
                 mem_budget -= 1
             selected.append(entry)
         for entry in selected:
-            del self._entries[entry.uid]
+            self._remove(entry.uid)
         return selected
+
+    def _remove(self, uid: int) -> None:
+        del self._entries[uid]
+        del self._order[uid]
+        self._ready.pop(uid, None)
 
     # ------------------------------------------------------------------ flush
     def flush_from(self, seq: int) -> List[IssueQueueEntry]:
@@ -123,23 +161,36 @@ class IssueQueue:
         misprediction every instruction starting from the mispredicted one is
         squashed in the narrow backend.
         """
-        squashed = [e for e in self._entries.values() if e.seq >= seq]
-        for entry in squashed:
-            del self._entries[entry.uid]
-        return sorted(squashed, key=lambda e: e.seq)
+        order = self._order
+        squashed = sorted(((e, order[e.uid]) for e in self._entries.values()
+                           if e.seq >= seq), key=_age_key)
+        result = [entry for entry, _ in squashed]
+        for entry in result:
+            self._remove(entry.uid)
+        return result
 
     def drain(self) -> List[IssueQueueEntry]:
         """Remove and return everything (used at simulation teardown)."""
-        entries = sorted(self._entries.values(), key=lambda e: e.seq)
+        order = self._order
+        entries = sorted(((e, order[e.uid]) for e in self._entries.values()),
+                         key=_age_key)
         self._entries.clear()
-        return entries
+        self._order.clear()
+        self._ready.clear()
+        return [entry for entry, _ in entries]
 
     # -------------------------------------------------------------- statistics
-    def sample_occupancy(self) -> None:
-        """Record occupancy and ready-but-unissued counts for this cycle."""
-        self.total_occupancy_samples += 1
-        self.occupancy_accum += len(self._entries)
-        self.ready_not_issued_accum += sum(1 for e in self._entries.values() if e.ready)
+    def sample_occupancy(self, cycles: int = 1) -> None:
+        """Record occupancy and ready-but-unissued counts for ``cycles`` cycles.
+
+        ``cycles > 1`` is used by the simulator when it fast-forwards over a
+        stretch of cycles during which the queue provably does not change: the
+        aggregate statistics are exactly what per-cycle sampling would have
+        recorded.
+        """
+        self.total_occupancy_samples += cycles
+        self.occupancy_accum += len(self._entries) * cycles
+        self.ready_not_issued_accum += len(self._ready) * cycles
 
     @property
     def mean_occupancy(self) -> float:
@@ -149,7 +200,7 @@ class IssueQueue:
 
     def ready_count(self) -> int:
         """Number of currently ready (issuable) entries."""
-        return sum(1 for e in self._entries.values() if e.ready)
+        return len(self._ready)
 
     def reset_stats(self) -> None:
         self.total_occupancy_samples = 0

@@ -1,0 +1,159 @@
+"""Content-addressed on-disk cache of simulation results.
+
+A sweep over (benchmark, policy, config) jobs is embarrassingly repetitive:
+CI reruns the same headline ladder on every push, and interactive work
+re-simulates everything after touching one policy.  The cache keys each
+:class:`~repro.sim.metrics.SimulationResult` by a stable hash of everything
+that determines it — trace profile, trace length, seed, machine config,
+policy name and a code-version tag — so repeated sweeps are near-free while
+any change to the inputs (or to simulator semantics, via the version tag)
+misses cleanly.
+
+Entry format (one file per result, sharded by key prefix)::
+
+    <header JSON line>\\n<pickled SimulationResult payload>
+
+The header records the format version, the full key and a SHA-256 digest of
+the payload.  ``load`` re-verifies both: a corrupted, truncated or stale
+entry is detected, dropped from disk, and reported as a miss so the caller
+recomputes it.  Writes go through a temp file + ``os.replace`` so readers
+never observe a half-written entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.sim.metrics import SimulationResult
+
+#: On-disk entry format; bump when the entry layout changes.
+CACHE_FORMAT = 1
+
+#: Version tag folded into every cache key.  Bump whenever a code change
+#: alters simulation *semantics* (cycle accounting, steering behaviour,
+#: metrics definitions), so stale results from older simulator versions can
+#: never be served.  Pure refactors and optimisations that keep results
+#: bit-identical do not need a bump.
+SIMULATOR_VERSION = "1"
+
+
+def result_key(*parts: object) -> str:
+    """Stable content hash over the given key parts (reprs are hashed)."""
+    hasher = hashlib.sha256()
+    hasher.update(SIMULATOR_VERSION.encode("utf-8"))
+    for part in parts:
+        hasher.update(b"\x00")
+        hasher.update(repr(part).encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of :class:`SimulationResult` records."""
+
+    def __init__(self, cache_dir: os.PathLike | str, enabled: bool = True) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        #: entries dropped because the digest or key did not verify
+        self.corrupt_drops = 0
+
+    # ------------------------------------------------------------------ paths
+    def path_for(self, key: str) -> Path:
+        """Location of the entry for ``key`` (two-level sharding)."""
+        return self.cache_dir / key[:2] / f"{key}.res"
+
+    # ------------------------------------------------------------------- load
+    def load(self, key: str) -> Optional[SimulationResult]:
+        """Return the cached result for ``key``, or None on miss/corruption."""
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        result = self._decode(key, blob)
+        if result is None:
+            # Corrupt or stale: remove so the slot is rewritten cleanly.
+            self.corrupt_drops += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def _decode(self, key: str, blob: bytes) -> Optional[SimulationResult]:
+        newline = blob.find(b"\n")
+        if newline < 0:
+            return None
+        try:
+            header = json.loads(blob[:newline].decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        payload = blob[newline + 1:]
+        if (not isinstance(header, dict)
+                or header.get("format") != CACHE_FORMAT
+                or header.get("key") != key
+                or header.get("digest") != hashlib.sha256(payload).hexdigest()):
+            return None
+        try:
+            result = pickle.loads(payload)
+        except Exception:
+            return None
+        if not isinstance(result, SimulationResult):
+            return None
+        return result
+
+    # ------------------------------------------------------------------ store
+    def store(self, key: str, result: SimulationResult) -> None:
+        """Persist ``result`` under ``key`` (atomic rename, best effort)."""
+        if not self.enabled:
+            return
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        header = json.dumps({
+            "format": CACHE_FORMAT,
+            "key": key,
+            "digest": hashlib.sha256(payload).hexdigest(),
+        }, sort_keys=True).encode("utf-8")
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        except OSError:
+            # Unusable cache location (e.g. --cache-dir points at a file):
+            # caching degrades to a no-op rather than failing the sweep.
+            return
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(header)
+                handle.write(b"\n")
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return
+        self.stores += 1
+
+    # -------------------------------------------------------------- reporting
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt_drops": self.corrupt_drops,
+        }

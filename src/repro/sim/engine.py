@@ -1,0 +1,269 @@
+"""Job-based parallel sweep engine.
+
+The paper's results are all *sweeps* — benchmarks x steering policies (x
+config ablations).  This module turns a sweep into a list of self-contained
+:class:`SweepJob` records and executes them either serially in-process or
+fanned out over a ``multiprocessing`` pool, with an optional content-addressed
+on-disk :class:`~repro.sim.cache.ResultCache` in front.
+
+Determinism
+-----------
+A job carries everything that determines its result: benchmark profile, trace
+length, an explicit per-job seed (a pure function of the sweep seed and the
+benchmark — no global RNG state is consulted), slicing mode and policy name.
+Trace generation is seeded from the job alone and the simulator itself is
+deterministic, so a job computes the bit-identical ``SimulationResult``
+whether it runs in the parent process, in a pool worker, or is replayed from
+the cache; ``tests/test_engine.py`` pins this property.
+
+Results are keyed and re-assembled by job (not by completion order), so the
+parallel path produces identical sweeps regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import MachineConfig, baseline_config, helper_cluster_config
+from repro.core.steering import make_policy
+from repro.sim.cache import ResultCache, result_key
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulator import simulate
+from repro.trace.profiles import BenchmarkProfile, get_profile
+from repro.trace.slicing import select_simulation_slice
+from repro.trace.synthetic import generate_trace
+from repro.trace.trace import Trace
+
+#: Upper bound on the per-process memoised trace set (each full-length trace
+#: is a few MB of MicroOps; a sweep touches each benchmark's trace many times
+#: but only a handful of distinct traces at once).
+_TRACE_MEMO_LIMIT = 32
+
+_trace_memo: Dict[Tuple[str, int, int, bool], Trace] = {}
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One (benchmark, policy) simulation of a sweep.
+
+    ``policy == "baseline"`` runs the monolithic baseline machine; every
+    other name is resolved through the policy ladder.
+    """
+
+    benchmark: str
+    policy: str
+    trace_uops: int
+    seed: int
+    use_slicing: bool = False
+
+
+def job_seed(sweep_seed: int, benchmark: str) -> int:
+    """Deterministic per-job seed.
+
+    The historical serial runner seeds every benchmark's trace generator with
+    the sweep seed directly, and the sweep's published numbers depend on
+    that, so the mapping is the identity.  It lives in one named function so
+    the seeding policy is explicit, shared by the serial and parallel paths,
+    and changeable in exactly one place (with a
+    :data:`~repro.sim.cache.SIMULATOR_VERSION` bump).
+    """
+    del benchmark  # deliberately not folded in; see docstring
+    return sweep_seed
+
+
+def trace_for_job(job: SweepJob, profile: Optional[BenchmarkProfile] = None) -> Trace:
+    """Generate (or reuse) the trace a job runs on.
+
+    Traces are memoised per process keyed by (benchmark, length, seed,
+    slicing): within a sweep every policy of a benchmark shares one trace,
+    which is both the main wall-clock saving of grouped execution and what
+    the serial runner has always done.
+    """
+    if profile is None:
+        profile = get_profile(job.benchmark)
+    # The profile content is part of the key so a caller-supplied profile that
+    # shadows a registered name cannot collide with it.
+    key = (repr(profile), job.trace_uops, job.seed, job.use_slicing)
+    trace = _trace_memo.get(key)
+    if trace is None:
+        if job.use_slicing:
+            # Generate a longer run and keep the paper's simulation slice
+            # (§3.1: split into 10 slices, start from the fourth).
+            full = generate_trace(profile, job.trace_uops * 10, seed=job.seed)
+            trace = select_simulation_slice(full)
+        else:
+            trace = generate_trace(profile, job.trace_uops, seed=job.seed)
+        if len(_trace_memo) >= _TRACE_MEMO_LIMIT:
+            _trace_memo.pop(next(iter(_trace_memo)))
+        _trace_memo[key] = trace
+    return trace
+
+
+def execute_job(job: SweepJob, config: MachineConfig,
+                profile: Optional[BenchmarkProfile] = None) -> SimulationResult:
+    """Run one job to completion (trace generation included)."""
+    trace = trace_for_job(job, profile)
+    if job.policy == "baseline":
+        cfg = baseline_config()
+        return simulate(trace, config=cfg, policy=make_policy("baseline"))
+    return simulate(trace, config=config, policy=make_policy(job.policy))
+
+
+def _pool_worker(task: bytes) -> bytes:
+    """Pool entry point; pickled tuples keep the Pool API version-stable."""
+    job, config, profile = pickle.loads(task)
+    result = execute_job(job, config, profile)
+    return pickle.dumps((job, result), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def default_jobs() -> int:
+    """Worker count used when the caller asks for ``jobs=0`` ("auto")."""
+    return max(1, (os.cpu_count() or 1))
+
+
+class SweepEngine:
+    """Executes sweeps of :class:`SweepJob` records, optionally in parallel.
+
+    Parameters
+    ----------
+    config:
+        Machine configuration for the policy runs (the baseline policy always
+        runs on :func:`baseline_config`, mirroring the paper's methodology).
+    jobs:
+        Worker processes; 1 = serial in-process, 0 = one per CPU.
+    cache:
+        Optional :class:`ResultCache` consulted before and filled after
+        every job.
+    """
+
+    def __init__(self, config: Optional[MachineConfig] = None, jobs: int = 1,
+                 cache: Optional[ResultCache] = None) -> None:
+        self.config = config or helper_cluster_config()
+        self.jobs = default_jobs() if jobs == 0 else max(1, jobs)
+        self.cache = cache
+        self._profiles: Dict[str, BenchmarkProfile] = {}
+
+    # ------------------------------------------------------------------ keys
+    def key_for(self, job: SweepJob) -> str:
+        """Content-address of a job's result."""
+        config = baseline_config() if job.policy == "baseline" else self.config
+        profile = self._profile_for(job.benchmark)
+        return result_key(profile, job.trace_uops, job.seed, job.use_slicing,
+                          config, job.policy)
+
+    def register_profile(self, profile: BenchmarkProfile) -> None:
+        """Make a (possibly unregistered) profile resolvable by name."""
+        self._profiles[profile.name] = profile
+
+    def _profile_for(self, benchmark: str) -> BenchmarkProfile:
+        profile = self._profiles.get(benchmark)
+        if profile is None:
+            profile = get_profile(benchmark)
+            self._profiles[benchmark] = profile
+        return profile
+
+    # ------------------------------------------------------------------- run
+    def run_jobs(self, sweep_jobs: Sequence[SweepJob],
+                 use_cache: bool = True) -> Dict[SweepJob, SimulationResult]:
+        """Execute a batch of jobs and return ``{job: result}``.
+
+        Cached results are served first; the remainder runs serially or on a
+        pool.  The returned mapping is keyed (and therefore ordered) by the
+        input job list, independent of worker completion order.
+        """
+        results: Dict[SweepJob, SimulationResult] = {}
+        pending: List[SweepJob] = []
+        keys: Dict[SweepJob, str] = {}
+        seen: set = set()
+        for job in sweep_jobs:
+            if job in seen:
+                continue  # duplicate job in the batch
+            seen.add(job)
+            if self.cache is not None and use_cache:
+                key = self.key_for(job)
+                keys[job] = key
+                cached = self.cache.load(key)
+                if cached is not None:
+                    results[job] = cached
+                    continue
+            pending.append(job)
+
+        if len(pending) > 1 and self.jobs > 1:
+            computed = self._run_parallel(pending)
+        else:
+            computed = {job: execute_job(job, self.config,
+                                         self._profile_for(job.benchmark))
+                        for job in pending}
+
+        for job, result in computed.items():
+            if self.cache is not None:
+                self.cache.store(keys.get(job) or self.key_for(job), result)
+            results[job] = result
+        return {job: results[job] for job in sweep_jobs if job in results}
+
+    def _run_parallel(self, pending: Sequence[SweepJob]
+                      ) -> Dict[SweepJob, SimulationResult]:
+        import multiprocessing
+
+        # Adjacent jobs share a benchmark (the builders emit them grouped),
+        # so contiguous chunks let each worker reuse its memoised trace.
+        tasks = [pickle.dumps((job, self.config, self._profile_for(job.benchmark)),
+                              protocol=pickle.HIGHEST_PROTOCOL)
+                 for job in pending]
+        workers = min(self.jobs, len(tasks))
+        chunksize = max(1, len(tasks) // (workers * 2))
+        computed: Dict[SweepJob, SimulationResult] = {}
+        with multiprocessing.Pool(processes=workers) as pool:
+            for blob in pool.imap(_pool_worker, tasks, chunksize=chunksize):
+                job, result = pickle.loads(blob)
+                computed[job] = result
+        return computed
+
+    # ----------------------------------------------------------------- sweeps
+    def build_suite_jobs(self, profiles: Iterable[BenchmarkProfile],
+                         policies: Sequence[str], trace_uops: int, seed: int,
+                         use_slicing: bool = False) -> List[SweepJob]:
+        """Jobs for a benchmarks x policies sweep, grouped by benchmark.
+
+        A baseline job is always included per benchmark (speedups need it).
+        """
+        jobs: List[SweepJob] = []
+        for profile in profiles:
+            self.register_profile(profile)
+            seed_for_bench = job_seed(seed, profile.name)
+            jobs.append(SweepJob(profile.name, "baseline", trace_uops,
+                                 seed_for_bench, use_slicing))
+            for name in policies:
+                if name == "baseline":
+                    continue
+                jobs.append(SweepJob(profile.name, name, trace_uops,
+                                     seed_for_bench, use_slicing))
+        return jobs
+
+    def run_suite(self, profiles: Iterable[BenchmarkProfile],
+                  policies: Sequence[str], trace_uops: int, seed: int,
+                  use_slicing: bool = False, use_cache: bool = True):
+        """Run a benchmarks x policies sweep into a ``PolicySweepResult``."""
+        from repro.sim.experiment import BenchmarkResult, PolicySweepResult
+
+        profiles = list(profiles)
+        jobs = self.build_suite_jobs(profiles, policies, trace_uops, seed,
+                                     use_slicing)
+        results = self.run_jobs(jobs, use_cache=use_cache)
+
+        sweep = PolicySweepResult(
+            policies=[p for p in policies if p != "baseline"],
+            benchmarks=[p.name for p in profiles])
+        for profile in profiles:
+            seed_for_bench = job_seed(seed, profile.name)
+            baseline = results[SweepJob(profile.name, "baseline", trace_uops,
+                                        seed_for_bench, use_slicing)]
+            bench = BenchmarkResult(benchmark=profile.name, baseline=baseline)
+            for name in sweep.policies:
+                bench.by_policy[name] = results[SweepJob(
+                    profile.name, name, trace_uops, seed_for_bench, use_slicing)]
+            sweep.results[profile.name] = bench
+        return sweep

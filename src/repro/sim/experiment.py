@@ -4,6 +4,12 @@ This is the layer the benchmark harness and examples drive.  It owns trace
 generation (with caching), baseline simulation and the cumulative policy
 ladder, and returns structured results that :mod:`repro.sim.reporting` turns
 into the paper's tables and series.
+
+Execution is delegated to the job-based :class:`~repro.sim.engine.SweepEngine`,
+which fans (benchmark, policy) jobs over a process pool when ``jobs > 1`` and
+serves repeated runs from the on-disk result cache when one is configured.
+Serial and parallel paths are bit-identical (see DESIGN.md and
+``tests/test_engine.py``).
 """
 
 from __future__ import annotations
@@ -13,12 +19,11 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.config import MachineConfig, helper_cluster_config
 from repro.core.steering import POLICY_LADDER, make_policy
-from repro.sim.baseline import simulate_baseline
+from repro.sim.cache import ResultCache
+from repro.sim.engine import SweepEngine, SweepJob, job_seed, trace_for_job
 from repro.sim.metrics import SimulationResult, speedup
 from repro.sim.simulator import simulate
 from repro.trace.profiles import SPEC_INT_2000, SPEC_INT_NAMES, BenchmarkProfile
-from repro.trace.slicing import select_simulation_slice
-from repro.trace.synthetic import generate_trace
 from repro.trace.trace import Trace
 
 #: Default trace length (uops) used by experiments.  The paper simulates
@@ -69,88 +74,106 @@ class PolicySweepResult:
 
 
 class ExperimentRunner:
-    """Caches traces and baseline runs across policy sweeps."""
+    """Front-end over :class:`SweepEngine` that caches traces and baselines.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for sweeps (1 = serial, 0 = one per CPU).
+    cache_dir:
+        Directory for the on-disk result cache; None disables caching.
+    use_cache:
+        When False, an existing ``cache_dir`` is bypassed on reads (results
+        are still recomputed and stored), the CLI's ``--no-cache``.
+    """
 
     def __init__(self, trace_uops: int = DEFAULT_TRACE_UOPS, seed: int = 2006,
                  config: Optional[MachineConfig] = None,
-                 use_slicing: bool = False) -> None:
+                 use_slicing: bool = False, jobs: int = 1,
+                 cache_dir: Optional[str] = None,
+                 use_cache: bool = True) -> None:
         if trace_uops <= 0:
             raise ValueError("trace_uops must be positive")
         self.trace_uops = trace_uops
         self.seed = seed
         self.config = config or helper_cluster_config()
         self.use_slicing = use_slicing
-        self._traces: Dict[str, Trace] = {}
+        self.use_cache = use_cache
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.engine = SweepEngine(config=self.config, jobs=jobs,
+                                  cache=self.cache)
         self._baselines: Dict[str, SimulationResult] = {}
+
+    # ------------------------------------------------------------------ jobs
+    def _job(self, profile: BenchmarkProfile, policy: str) -> SweepJob:
+        self.engine.register_profile(profile)
+        return SweepJob(profile.name, policy, self.trace_uops,
+                        job_seed(self.seed, profile.name), self.use_slicing)
 
     # ------------------------------------------------------------------ traces
     def trace_for(self, profile: BenchmarkProfile) -> Trace:
         """Generate (and cache) the trace for a profile."""
-        key = f"{profile.name}:{self.seed}:{self.trace_uops}:{self.use_slicing}"
-        if key not in self._traces:
-            if self.use_slicing:
-                # Generate a longer run and keep the paper's simulation slice
-                # (§3.1: split into 10 slices, start from the fourth).
-                full = generate_trace(profile, self.trace_uops * 10, seed=self.seed)
-                self._traces[key] = select_simulation_slice(full)
-            else:
-                self._traces[key] = generate_trace(profile, self.trace_uops,
-                                                   seed=self.seed)
-        return self._traces[key]
+        return trace_for_job(self._job(profile, "baseline"), profile)
 
     def baseline_for(self, profile: BenchmarkProfile) -> SimulationResult:
         """Run (and cache) the monolithic baseline for a profile."""
         key = f"{profile.name}:{self.seed}:{self.trace_uops}:{self.use_slicing}"
         if key not in self._baselines:
-            self._baselines[key] = simulate_baseline(self.trace_for(profile))
+            job = self._job(profile, "baseline")
+            self._baselines[key] = self.engine.run_jobs(
+                [job], use_cache=self.use_cache)[job]
         return self._baselines[key]
 
     # ------------------------------------------------------------------- runs
     def run_policy(self, profile: BenchmarkProfile, policy_name: str,
                    config: Optional[MachineConfig] = None) -> SimulationResult:
         """Run one benchmark under one policy of the ladder."""
-        trace = self.trace_for(profile)
         if policy_name == "baseline":
             return self.baseline_for(profile)
-        return simulate(trace, config=config or self.config,
-                        policy=make_policy(policy_name))
+        if config is not None and config is not self.config:
+            # One-off config override: run directly, outside the engine's
+            # (config-keyed) cache.
+            return simulate(self.trace_for(profile), config=config,
+                            policy=make_policy(policy_name))
+        job = self._job(profile, policy_name)
+        return self.engine.run_jobs([job], use_cache=self.use_cache)[job]
 
     def run_benchmark(self, profile: BenchmarkProfile,
                       policies: Sequence[str]) -> BenchmarkResult:
         """Run one benchmark under several policies, sharing the baseline."""
-        result = BenchmarkResult(benchmark=profile.name,
-                                 baseline=self.baseline_for(profile))
-        for name in policies:
-            if name == "baseline":
-                continue
-            result.by_policy[name] = self.run_policy(profile, name)
-        return result
+        sweep = self.run_suite([profile], policies)
+        return sweep.results[profile.name]
 
     def run_suite(self, profiles: Iterable[BenchmarkProfile],
                   policies: Sequence[str]) -> PolicySweepResult:
         """Run a set of benchmarks under a set of policies."""
-        profiles = list(profiles)
-        sweep = PolicySweepResult(
-            policies=[p for p in policies if p != "baseline"],
-            benchmarks=[p.name for p in profiles])
-        for profile in profiles:
-            sweep.results[profile.name] = self.run_benchmark(profile, policies)
-        return sweep
+        return self.engine.run_suite(profiles, policies,
+                                     trace_uops=self.trace_uops,
+                                     seed=self.seed,
+                                     use_slicing=self.use_slicing,
+                                     use_cache=self.use_cache)
 
 
 def run_spec_suite(policies: Sequence[str], trace_uops: int = DEFAULT_TRACE_UOPS,
                    seed: int = 2006, benchmarks: Optional[Sequence[str]] = None,
-                   config: Optional[MachineConfig] = None) -> PolicySweepResult:
+                   config: Optional[MachineConfig] = None, jobs: int = 1,
+                   cache_dir: Optional[str] = None,
+                   use_cache: bool = True) -> PolicySweepResult:
     """Run the 12 SPEC Int 2000 benchmarks (or a subset) under the given policies."""
-    runner = ExperimentRunner(trace_uops=trace_uops, seed=seed, config=config)
+    runner = ExperimentRunner(trace_uops=trace_uops, seed=seed, config=config,
+                              jobs=jobs, cache_dir=cache_dir,
+                              use_cache=use_cache)
     names = list(benchmarks) if benchmarks else SPEC_INT_NAMES
     profiles = [SPEC_INT_2000[name] for name in names]
     return runner.run_suite(profiles, policies)
 
 
 def run_policy_ladder(trace_uops: int = DEFAULT_TRACE_UOPS, seed: int = 2006,
-                      benchmarks: Optional[Sequence[str]] = None) -> PolicySweepResult:
+                      benchmarks: Optional[Sequence[str]] = None, jobs: int = 1,
+                      cache_dir: Optional[str] = None,
+                      use_cache: bool = True) -> PolicySweepResult:
     """Run the full cumulative policy ladder of the paper over SPEC Int 2000."""
     policies = [name for name in POLICY_LADDER if name != "baseline"]
     return run_spec_suite(policies, trace_uops=trace_uops, seed=seed,
-                          benchmarks=benchmarks)
+                          benchmarks=benchmarks, jobs=jobs,
+                          cache_dir=cache_dir, use_cache=use_cache)

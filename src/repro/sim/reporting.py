@@ -96,6 +96,37 @@ def format_ladder_summary(sweep: PolicySweepResult, title: str = "Policy ladder"
     return format_table(headers, rows, title=title, float_format="{:.2f}")
 
 
+def sweep_to_csv(sweep: PolicySweepResult) -> str:
+    """All (benchmark, policy) rows of a sweep as CSV (the ``sweep`` command).
+
+    One row per benchmark per policy with the headline per-run metrics, plus
+    the speedup against the shared baseline.
+    """
+    headers = ["benchmark", "policy", "speedup", "ipc", "helper_fraction",
+               "copy_fraction", "prediction_accuracy", "fatal_rate",
+               "recoveries", "slow_cycles"]
+    rows: List[List[object]] = []
+    for benchmark in sweep.benchmarks:
+        bench = sweep.results[benchmark]
+        for policy in sweep.policies:
+            result = bench.by_policy[policy]
+            rows.append([
+                benchmark, policy, bench.speedup(policy), result.ipc,
+                result.helper_fraction, result.copy_fraction,
+                result.prediction.accuracy, result.prediction.fatal_rate,
+                result.recoveries, result.slow_cycles,
+            ])
+    return to_csv(headers, rows)
+
+
+def format_cache_stats(cache) -> str:
+    """Render a :class:`~repro.sim.cache.ResultCache`'s hit/miss counters."""
+    stats = cache.stats()
+    rows = [[name, value] for name, value in stats.items()]
+    rows.append(["cache_dir", str(cache.cache_dir)])
+    return format_table(["cache metric", "value"], rows, title="Result cache")
+
+
 def to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
     """Render rows as CSV text (no external dependencies)."""
     lines = [",".join(str(h) for h in headers)]

@@ -35,7 +35,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 from repro.core.cluster import Backend, BackendKind
 from repro.core.config import MachineConfig, helper_cluster_config
 from repro.core.copy_engine import CopyEngine, CopyRequest
-from repro.core.imbalance import ImbalanceMonitor, ImbalanceSample
+from repro.core.imbalance import ImbalanceMonitor
 from repro.core.predictors import WidthPredictor
 from repro.core.splitting import InstructionSplitter, SplitPlan
 from repro.core.steering import (
@@ -65,7 +65,7 @@ from repro.trace.trace import Trace
 _MAX_CYCLES_PER_UOP = 400
 
 
-@dataclass
+@dataclass(slots=True)
 class _DynUop:
     """Per-in-flight-operation simulator state."""
 
@@ -88,6 +88,9 @@ class _DynUop:
     replicate_load: bool = False
     is_last_chunk: bool = False
     rename_dest: Optional[object] = None
+    #: functional-unit kind of ``opcode``, precomputed at dispatch so the
+    #: issue loop needs no opcode-info lookup
+    unit: Optional[FunctionalUnit] = None
 
 
 class HelperClusterSimulator:
@@ -146,7 +149,16 @@ class HelperClusterSimulator:
         self._prediction = PredictionBreakdown()
         self._helper_committed = 0
         self._split_committed = 0
-        self._fast_cycle = 0
+
+        # Hot-loop invariants, hoisted once.
+        self._steer = self.policy.steer
+        self._predict = self.width_predictor.predict
+        self._activity = self.result.activity
+        self._ratio = self.clocking.ratio
+        self._dl0_hit_fast = (self.config.memory.dl0.hit_latency - 1) * self.clocking.ratio
+        self._helper_enabled = self.config.helper.enabled
+        self._uses_cp = getattr(self.policy, "uses_copy_prefetch", False)
+        self._uses_lr = getattr(self.policy, "uses_load_replication", False)
 
     # ======================================================================
     # public API
@@ -158,21 +170,22 @@ class HelperClusterSimulator:
         t = 0
         last_progress_cycle = 0
         last_committed = 0
+        ratio = self.clocking.ratio
+        result = self.result
         while not self._done():
             if t > limit or t - last_progress_cycle > stall_window:
                 raise RuntimeError(
                     f"no forward progress after {t - last_progress_cycle} fast cycles "
                     f"at cycle {t}; likely deadlock "
                     f"(trace={self.trace.name}, policy={self.policy.name})")
-            self._fast_cycle = t
             self._writeback(t)
             self._issue(t)
-            if self.clocking.is_wide_cycle(t):
+            if t % ratio == 0:
                 self._commit(t)
                 self._dispatch(t)
             self._sample_imbalance(t)
-            if self.result.committed_uops > last_committed:
-                last_committed = self.result.committed_uops
+            if result.committed_uops > last_committed:
+                last_committed = result.committed_uops
                 last_progress_cycle = t
             t = self._advance(t)
         self._finalise(t)
@@ -182,17 +195,32 @@ class HelperClusterSimulator:
     # termination / time advance
     # ======================================================================
     def _done(self) -> bool:
-        return (self.frontend.exhausted and self.rob.is_empty()
-                and not self._redispatch and not self._pending_fetch
-                and not self._completions)
+        return (not self._completions and not self._redispatch
+                and not self._pending_fetch and self.frontend.exhausted
+                and self.rob.is_empty())
 
     def _advance(self, t: int) -> int:
-        """Advance time, skipping idle stretches (long memory waits)."""
+        """Advance time, skipping cycles on which provably nothing can happen.
+
+        Three cases, in order:
+
+        * the helper scheduler has ready work — it can issue on the very next
+          fast cycle, so time advances by one;
+        * event skip (long memory waits): nothing is ready in either cluster
+          and completions are pending — jump to the next completion, or the
+          next wide cycle if dispatch could make progress.  These skipped
+          cycles are not sampled, preserving the original accounting;
+        * idle hop: the helper scheduler has nothing ready, so no backend can
+          act strictly before the next wide cycle (or completion).  Hop
+          there, folding the skipped cycles' — provably frozen — occupancy
+          statistics in as one aggregate sample.
+        """
+        if self._helper_enabled and self.narrow.issue_queue.ready_count():
+            return t + 1
         next_t = t + 1
-        if (self.wide.issue_queue.ready_count() == 0
-                and self.narrow.issue_queue.ready_count() == 0
-                and self._completions):
-            next_event = min(self._completions)
+        completions = self._completions
+        if self.wide.issue_queue.ready_count() == 0 and completions:
+            next_event = min(completions)
             # Dispatch may still make progress at the next wide cycle if
             # there is anything to dispatch and room to put it.
             can_dispatch = ((not self.frontend.exhausted or self._redispatch
@@ -203,7 +231,34 @@ class HelperClusterSimulator:
                 next_event = min(next_event, next_wide)
             if next_event > next_t:
                 return next_event
-        return next_t
+            return next_t
+        target = self.clocking.next_active_cycle(ClockDomain.WIDE, next_t)
+        if completions:
+            next_completion = min(completions)
+            if next_completion < target:
+                target = next_completion
+        skipped = target - next_t
+        if skipped > 0:
+            # The machine may already be fully drained (the run loop is about
+            # to observe completion); keep the original final-cycle count.
+            if self._done():
+                return next_t
+            if self._helper_enabled:
+                self._record_idle_cycles(skipped)
+        return target
+
+    def _record_idle_cycles(self, cycles: int) -> None:
+        """Fold ``cycles`` skipped no-op cycles into the sampling statistics.
+
+        During an idle hop neither queue changes and the helper queue has
+        nothing ready, so each skipped (always narrow-only) cycle would have
+        recorded the same occupancy terms and zero NREADY terms.
+        """
+        wide_iq = self.wide.issue_queue
+        narrow_iq = self.narrow.issue_queue
+        self.imbalance.record_idle_cycles(len(wide_iq), len(narrow_iq), cycles)
+        wide_iq.sample_occupancy(cycles)
+        narrow_iq.sample_occupancy(cycles)
 
     # ======================================================================
     # writeback stage
@@ -259,8 +314,7 @@ class HelperClusterSimulator:
 
     def _complete_trace_uop(self, dyn: _DynUop, t: int) -> None:
         uop = dyn.uop
-        assert uop is not None
-        backend = self._backend(dyn.domain)
+        backend = self.narrow if dyn.domain is ClockDomain.NARROW else self.wide
         backend.stats.completed += 1
 
         actual_narrow = uop.result_is_narrow(self._narrow_width)
@@ -273,7 +327,7 @@ class HelperClusterSimulator:
                 fatal = (not uop.all_sources_narrow(self._narrow_width)
                          or not actual_narrow)
             elif dyn.decision.via_cr:
-                fatal = self._cr_violated(uop)
+                fatal = uop.cr_carry_crosses(self._narrow_width)
 
         # Figure 5 accounting: every result-producing uop whose width was
         # predicted contributes one outcome.
@@ -289,7 +343,8 @@ class HelperClusterSimulator:
         if uop.has_dest:
             self.width_predictor.update(uop.pc, actual_narrow)
         if uop.info.cr_eligible:
-            self.width_predictor.update_carry(uop.pc, self._cr_operated_narrow(uop))
+            self.width_predictor.update_carry(
+                uop.pc, uop.cr_operated_narrow(self._narrow_width))
 
         if fatal:
             self._recover(dyn, t)
@@ -321,27 +376,10 @@ class HelperClusterSimulator:
     def _cr_operated_narrow(self, uop: MicroOp) -> bool:
         """Did this (potential CR) uop actually operate on the low byte only?
 
-        Used to train the carry-width predictor bit at writeback (§3.5): set
-        when the instruction had the one-narrow/one-wide operand pattern and
-        the carry did not propagate past the low byte.
+        Used to train the carry-width predictor bit at writeback (§3.5).
+        Delegates to the memoised per-uop oracle.
         """
-        values = list(uop.src_values)
-        if uop.imm is not None:
-            values.append(uop.imm)
-        if len(values) < 2:
-            return False
-        wide_vals = [v for v in values if not is_narrow(v, self._narrow_width)]
-        narrow_vals = [v for v in values if is_narrow(v, self._narrow_width)]
-        if len(wide_vals) != 1 or not narrow_vals:
-            return False
-        return not self._carry_out_of_low_byte(values)
-
-    def _carry_out_of_low_byte(self, values: List[int]) -> bool:
-        """Carry out of the low byte when summing the two primary operands."""
-        mask = (1 << self._narrow_width) - 1
-        if len(values) < 2:
-            return False
-        return (values[0] & mask) + (values[1] & mask) > mask
+        return uop.cr_operated_narrow(self._narrow_width)
 
     def _cr_violated(self, uop: MicroOp) -> bool:
         """A CR-steered uop is fatally mispredicted if the carry propagated.
@@ -351,10 +389,7 @@ class HelperClusterSimulator:
         source's upper bits is only correct when no carry leaves the low
         byte.
         """
-        values = list(uop.src_values)
-        if uop.imm is not None:
-            values.append(uop.imm)
-        return self._carry_out_of_low_byte(values)
+        return uop.cr_carry_crosses(self._narrow_width)
 
     # --------------------------------------------------------------- recovery
     def _recover(self, trigger: _DynUop, t: int) -> None:
@@ -443,36 +478,38 @@ class HelperClusterSimulator:
             value_uid=dyn.value_uid,
             predicted_narrow=None,
             in_rob=dyn.in_rob,
+            unit=dyn.unit,
         )
 
     # ======================================================================
     # issue stage
     # ======================================================================
     def _issue(self, t: int) -> None:
-        for backend in (self.narrow, self.wide):
-            if not self.config.helper.enabled and backend is self.narrow:
+        if self._helper_enabled and self.narrow.issue_queue.ready_count():
+            self._issue_backend(self.narrow, t)
+        if t % self._ratio == 0 and self.wide.issue_queue.ready_count():
+            self._issue_backend(self.wide, t)
+
+    def _issue_backend(self, backend: Backend, t: int) -> None:
+        slow_cycle = t // self._ratio
+        dl0_free = self.memory.dl0_ports - self._dl0_slots.get(slow_cycle, 0)
+        selected = backend.issue_queue.select(memory_slots=max(0, dl0_free))
+        completions = self._completions
+        for entry in selected:
+            dyn = entry.payload
+            completion = backend.units.try_issue(dyn.opcode, t, unit=dyn.unit)
+            if completion is None:
+                # Structural hazard on the functional unit: put the entry
+                # back and retry next cycle.  Forced because the entry was
+                # resident a moment ago (recovery may have over-filled the
+                # queue in the meantime).
+                backend.issue_queue.insert(entry, force=True)
                 continue
-            if not backend.active(t):
-                continue
-            slow_cycle = t // self.clocking.ratio
-            dl0_free = self.memory.dl0_ports - self._dl0_slots.get(slow_cycle, 0)
-            selected = backend.issue_queue.select(memory_slots=max(0, dl0_free))
-            for entry in selected:
-                dyn = entry.payload
-                assert isinstance(dyn, _DynUop)
-                completion = backend.units.try_issue(dyn.opcode, t)
-                if completion is None:
-                    # Structural hazard on the functional unit: put the entry
-                    # back and retry next cycle.  Forced because the entry was
-                    # resident a moment ago (recovery may have over-filled the
-                    # queue in the meantime).
-                    backend.issue_queue.insert(entry, force=True)
-                    continue
-                if dyn.uop is not None and dyn.uop.is_memory and dyn.kind == "trace":
-                    completion = self._memory_access(dyn, t, completion, slow_cycle)
-                dyn.issued = True
-                backend.stats.issued += 1
-                self._completions.setdefault(completion, []).append(dyn)
+            if entry.is_memory and dyn.kind == "trace":
+                completion = self._memory_access(dyn, t, completion, slow_cycle)
+            dyn.issued = True
+            backend.stats.issued += 1
+            completions.setdefault(completion, []).append(dyn)
 
     def _memory_access(self, dyn: _DynUop, t: int, completion: int,
                        slow_cycle: int) -> int:
@@ -482,7 +519,7 @@ class HelperClusterSimulator:
             # Memory uops without a concrete address in the trace (e.g. FP
             # loads whose address the generator does not materialise) are
             # charged the DL0 hit latency.
-            return completion + (self.config.memory.dl0.hit_latency - 1) * self.clocking.ratio
+            return completion + self._dl0_hit_fast
         self._dl0_slots[slow_cycle] = self._dl0_slots.get(slow_cycle, 0) + 1
         if uop.is_store:
             latency_slow = self.memory.store(uop.mem_addr)
@@ -494,19 +531,21 @@ class HelperClusterSimulator:
             latency_slow = 1
         else:
             latency_slow = self.memory.load_latency(uop.mem_addr)
-        return completion + (latency_slow - 1) * self.clocking.ratio
+        return completion + (latency_slow - 1) * self._ratio
 
     # ======================================================================
     # commit stage
     # ======================================================================
     def _commit(self, t: int) -> None:
         retired = self.rob.commit()
+        uses_cp = self._uses_cp
+        result = self.result
         for entry in retired:
             dyn = entry.payload
             if not isinstance(dyn, _DynUop) or dyn.uop is None:
                 continue
             uop = dyn.uop
-            self.result.committed_uops += 1
+            result.committed_uops += 1
             if dyn.domain is ClockDomain.NARROW or dyn.kind == "chunk" or (
                     dyn.decision is not None and dyn.decision.split):
                 self._helper_committed += 1
@@ -516,10 +555,10 @@ class HelperClusterSimulator:
                 self.mob.release(uop.uid)
             # Copy-prefetch predictor training: the producer "incurred a copy"
             # if any consumer demanded one before it retired (§3.6).
-            if uop.has_dest and self.policy_uses_cp():
+            if uop.has_dest and uses_cp:
                 self.width_predictor.update_copy(uop.pc, uop.uid in self._copied_values)
             reason = dyn.decision.reason if dyn.decision is not None else "none"
-            self.result.steer_reasons[reason] = self.result.steer_reasons.get(reason, 0) + 1
+            result.steer_reasons[reason] = result.steer_reasons.get(reason, 0) + 1
 
     def policy_uses_cp(self) -> bool:
         return getattr(self.policy, "uses_copy_prefetch", False)
@@ -575,9 +614,16 @@ class HelperClusterSimulator:
         if uop.is_memory and not self.mob.can_allocate(uop.is_store):
             return None
 
-        decision = self.policy.steer(fetched, self.context)
-        prediction = self.width_predictor.predict(uop.pc)
-        self.result.activity.predictor_accesses += 1
+        decision = self._steer(fetched, self.context)
+        if uop.has_dest:
+            prediction = decision.prediction
+            if prediction is None:
+                prediction = self._predict(uop.pc)
+            predicted_narrow = prediction.narrow
+        else:
+            prediction = decision.prediction
+            predicted_narrow = None
+        self._activity.predictor_accesses += 1
 
         if decision.split:
             return self._dispatch_split(fetched, decision, t)
@@ -592,8 +638,8 @@ class HelperClusterSimulator:
             dyn_id=self._dyn_counter, kind="trace", seq=fetched.seq,
             domain=decision.domain, opcode=uop.opcode, uop=uop,
             decision=decision, value_uid=uop.uid if produces_value else None,
-            predicted_narrow=prediction.narrow if uop.has_dest else None,
-            replicate_load=decision.replicate_load and self.policy_uses_lr(),
+            predicted_narrow=predicted_narrow,
+            replicate_load=decision.replicate_load and self._uses_lr,
         )
         if not self._dispatch_dyn(dyn, t, fetched=fetched, allocate_rob=True):
             return None
@@ -603,10 +649,11 @@ class HelperClusterSimulator:
                       allocate_rob: bool = False, force: bool = False) -> bool:
         """Place a dynamic uop into its backend's scheduler, wiring dependences."""
         uop = dyn.uop
-        assert uop is not None
-        backend = self._backend(dyn.domain)
+        backend = self.narrow if dyn.domain is ClockDomain.NARROW else self.wide
         if backend.issue_queue.is_full() and not force:
             return False
+        if dyn.unit is None:
+            dyn.unit = backend.units.unit_for(dyn.opcode)
 
         # Resolve source dependences (and generate demand copies).
         outstanding = self._resolve_dependences(dyn, t, force=force)
@@ -616,7 +663,7 @@ class HelperClusterSimulator:
         if allocate_rob:
             self.rob.allocate(uop.uid, dyn.seq, payload=dyn)
             dyn.in_rob = True
-            self.result.activity.rob_ops += 1
+            self._activity.rob_ops += 1
             if uop.is_memory:
                 self.mob.allocate(uop.uid, dyn.seq, uop.is_store, uop.mem_addr,
                                   uop.mem_size)
@@ -634,7 +681,7 @@ class HelperClusterSimulator:
                         self.rename.link_upper_bits(uop.dest, wide_sources[0])
             if uop.writes_flags:
                 self.rename.allocate(ArchReg.FLAGS, uop.uid, dyn.domain, True)
-            self.result.activity.rename_ops += 1
+            self._activity.rename_ops += 1
 
         entry = IssueQueueEntry(
             uid=dyn.dyn_id, seq=dyn.seq, remaining_sources=outstanding,
@@ -645,19 +692,21 @@ class HelperClusterSimulator:
         self._account_dispatch(dyn, backend)
 
         # Copy prefetching (§3.6): generate the copy at the producer.
-        if allocate_rob and uop.has_dest and self.policy_uses_cp():
+        if allocate_rob and uop.has_dest and self._uses_cp:
             self._maybe_prefetch_copy(dyn, t)
         return True
 
     def _account_dispatch(self, dyn: _DynUop, backend: Backend) -> None:
-        activity = self.result.activity
+        activity = self._activity
         if backend.is_narrow:
             activity.narrow_scheduler_ops += 1
             activity.narrow_regfile_accesses += 3
         else:
             activity.wide_scheduler_ops += 1
             activity.wide_regfile_accesses += 3
-        unit = opcode_info(dyn.opcode).unit
+        unit = dyn.unit
+        if unit is None:
+            unit = backend.units.unit_for(dyn.opcode)
         if unit in (FunctionalUnit.IALU, FunctionalUnit.BRU, FunctionalUnit.COPY,
                     FunctionalUnit.IMUL, FunctionalUnit.IDIV):
             if backend.is_narrow:
@@ -692,19 +741,11 @@ class HelperClusterSimulator:
         scheduler is full (the caller stalls dispatch).
         """
         uop = dyn.uop
-        assert uop is not None
         outstanding = 0
         needed_copies: List[Tuple[int, ClockDomain]] = []
         deps: List[int] = []
 
-        producer_ids = list(uop.producer_uids)
-        if uop.reads_flags and uop.flags_producer_uid is not None:
-            if len(producer_ids) < len(uop.srcs):
-                producer_ids.append(uop.flags_producer_uid)
-
-        for producer_uid in producer_ids:
-            if producer_uid is None:
-                continue
+        for producer_uid in uop.effective_producers:
             avail_here = self.copy_engine.availability(producer_uid, dyn.domain)
             if avail_here is not None and avail_here <= t:
                 if (producer_uid, dyn.domain) in self._prefetched_values:
@@ -783,7 +824,7 @@ class HelperClusterSimulator:
         dyn = _DynUop(
             dyn_id=self._dyn_counter, kind="copy", seq=producer_seq,
             domain=from_domain, opcode=Opcode.COPY, copy_request=request,
-            value_uid=value_uid)
+            value_uid=value_uid, unit=FunctionalUnit.COPY)
         backend = self._backend(from_domain)
         # The copy depends on the value being available in the producer
         # cluster (it reads the producer's register file).
@@ -810,7 +851,9 @@ class HelperClusterSimulator:
         result-width predictor predicts wide-to-narrow copies."""
         uop = dyn.uop
         assert uop is not None and uop.has_dest
-        prediction = self.width_predictor.predict(uop.pc)
+        prediction = dyn.decision.prediction if dyn.decision is not None else None
+        if prediction is None:
+            prediction = self.width_predictor.predict(uop.pc)
         target: Optional[ClockDomain] = None
         if dyn.domain is ClockDomain.NARROW and prediction.will_copy:
             target = ClockDomain.WIDE
@@ -881,7 +924,8 @@ class HelperClusterSimulator:
                 dyn_id=self._dyn_counter, kind="chunk", seq=fetched.seq,
                 domain=ClockDomain.NARROW, opcode=chunk.opcode, uop=uop,
                 parent=parent, chunk_index=chunk.chunk_index,
-                is_last_chunk=(chunk.chunk_index == plan.num_chunks - 1))
+                is_last_chunk=(chunk.chunk_index == plan.num_chunks - 1),
+                unit=self.narrow.units.unit_for(chunk.opcode))
             outstanding = 0
             if chunk.chunk_index == 0:
                 resolved = self._resolve_dependences(chunk_dyn, t)
@@ -928,7 +972,7 @@ class HelperClusterSimulator:
     def _wake_dyn(self, dyn: _DynUop) -> None:
         if dyn.squashed:
             return
-        backend = self._backend(dyn.domain)
+        backend = self.narrow if dyn.domain is ClockDomain.NARROW else self.wide
         backend.issue_queue.wakeup(dyn.dyn_id)
         # Chunk chains use a synthetic key; completing chunks wake successors.
 
@@ -943,21 +987,21 @@ class HelperClusterSimulator:
     # sampling / finalisation
     # ======================================================================
     def _sample_imbalance(self, t: int) -> None:
-        if not self.config.helper.enabled:
+        if not self._helper_enabled:
             return
         wide_active = self.clocking.is_wide_cycle(t)
-        sample = ImbalanceSample(
-            fast_cycle=t,
-            wide_ready_blocked=self.wide.issue_queue.ready_count() if wide_active else 0,
-            narrow_ready_blocked=self.narrow.issue_queue.ready_count(),
-            wide_free_slots=self.wide.issue_queue.issue_width if wide_active else 0,
-            narrow_free_slots=self.narrow.issue_queue.issue_width,
-            wide_occupancy=len(self.wide.issue_queue),
-            narrow_occupancy=len(self.narrow.issue_queue),
+        wide_iq = self.wide.issue_queue
+        narrow_iq = self.narrow.issue_queue
+        self.imbalance.record_cycle(
+            wide_ready_blocked=wide_iq.ready_count() if wide_active else 0,
+            narrow_ready_blocked=narrow_iq.ready_count(),
+            wide_free_slots=wide_iq.issue_width if wide_active else 0,
+            narrow_free_slots=narrow_iq.issue_width,
+            wide_occupancy=len(wide_iq),
+            narrow_occupancy=len(narrow_iq),
         )
-        self.imbalance.record(sample)
-        self.wide.issue_queue.sample_occupancy()
-        self.narrow.issue_queue.sample_occupancy()
+        wide_iq.sample_occupancy()
+        narrow_iq.sample_occupancy()
 
     def _finalise(self, final_cycle: int) -> None:
         result = self.result

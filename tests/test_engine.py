@@ -1,0 +1,178 @@
+"""Tests for the parallel sweep engine, its determinism and the result cache.
+
+The engine's core contract is that *how* a sweep executes — serially in one
+process, fanned over a worker pool, or replayed from the on-disk cache —
+never changes *what* it computes.  These tests pin that contract, plus the
+cache's corruption handling and the determinism of trace generation itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import helper_cluster_config
+from repro.sim.cache import ResultCache, result_key
+from repro.sim.engine import SweepEngine, SweepJob, execute_job, job_seed
+from repro.sim.experiment import ExperimentRunner, run_spec_suite
+from repro.sim.metrics import SimulationResult
+from repro.trace.profiles import get_profile
+from repro.trace.synthetic import generate_trace
+
+POLICIES = ["n888", "ir"]
+BENCHMARKS = ["gcc", "gzip"]
+UOPS = 1200
+SEED = 2006
+
+
+def _sweep_fingerprint(sweep) -> dict:
+    """Full field-level dump of a sweep, for bit-identity comparisons."""
+    out = {}
+    for bench, result in sweep.results.items():
+        out[bench] = {"baseline": dataclasses.asdict(result.baseline)}
+        for policy, run in result.by_policy.items():
+            out[bench][policy] = dataclasses.asdict(run)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+class TestDeterminism:
+    def test_trace_generation_is_deterministic(self):
+        profile = get_profile("gcc")
+        a = generate_trace(profile, 800, seed=7)
+        b = generate_trace(profile, 800, seed=7)
+        assert len(a) == len(b)
+        for ua, ub in zip(a.uops, b.uops):
+            assert ua == ub
+
+    def test_trace_generation_seed_sensitivity(self):
+        profile = get_profile("gcc")
+        a = generate_trace(profile, 800, seed=7)
+        b = generate_trace(profile, 800, seed=8)
+        assert any(ua != ub for ua, ub in zip(a.uops, b.uops))
+
+    def test_job_reexecution_is_bit_identical(self):
+        job = SweepJob("gzip", "ir", UOPS, job_seed(SEED, "gzip"))
+        config = helper_cluster_config()
+        first = execute_job(job, config)
+        second = execute_job(job, config)
+        assert dataclasses.asdict(first) == dataclasses.asdict(second)
+
+    def test_serial_and_parallel_paths_identical(self):
+        serial = run_spec_suite(POLICIES, trace_uops=UOPS, seed=SEED,
+                                benchmarks=BENCHMARKS, jobs=1)
+        parallel = run_spec_suite(POLICIES, trace_uops=UOPS, seed=SEED,
+                                  benchmarks=BENCHMARKS, jobs=2)
+        assert _sweep_fingerprint(serial) == _sweep_fingerprint(parallel)
+
+    def test_job_seed_is_pure(self):
+        assert job_seed(2006, "gcc") == job_seed(2006, "gcc")
+
+
+# ---------------------------------------------------------------------------
+# cache behaviour
+# ---------------------------------------------------------------------------
+class TestResultCache:
+    def _run(self, tmp_path, use_cache=True):
+        return run_spec_suite(["n888"], trace_uops=UOPS, seed=SEED,
+                              benchmarks=["gcc"], cache_dir=str(tmp_path),
+                              use_cache=use_cache)
+
+    def test_cached_rerun_is_identical(self, tmp_path):
+        cold = self._run(tmp_path)
+        warm = self._run(tmp_path)
+        assert _sweep_fingerprint(cold) == _sweep_fingerprint(warm)
+
+    def test_warm_run_hits_cache(self, tmp_path):
+        self._run(tmp_path)
+        runner = ExperimentRunner(trace_uops=UOPS, seed=SEED,
+                                  cache_dir=str(tmp_path))
+        runner.run_suite([get_profile("gcc")], ["n888"])
+        assert runner.cache.hits == 2          # baseline + policy
+        assert runner.cache.misses == 0
+
+    def test_bypass_flag_skips_reads(self, tmp_path):
+        self._run(tmp_path)
+        runner = ExperimentRunner(trace_uops=UOPS, seed=SEED,
+                                  cache_dir=str(tmp_path), use_cache=False)
+        sweep = runner.run_suite([get_profile("gcc")], ["n888"])
+        assert runner.cache.hits == 0          # reads bypassed...
+        assert runner.cache.stores == 2        # ...but entries refreshed
+        assert _sweep_fingerprint(sweep) == _sweep_fingerprint(self._run(tmp_path))
+
+    def test_corrupted_entry_detected_and_recomputed(self, tmp_path):
+        runner = ExperimentRunner(trace_uops=UOPS, seed=SEED,
+                                  cache_dir=str(tmp_path))
+        reference = runner.run_suite([get_profile("gcc")], ["n888"])
+        # Flip bytes in every stored payload.
+        entries = list(tmp_path.rglob("*.res"))
+        assert entries
+        for path in entries:
+            blob = bytearray(path.read_bytes())
+            blob[-1] ^= 0xFF
+            path.write_bytes(bytes(blob))
+        fresh = ExperimentRunner(trace_uops=UOPS, seed=SEED,
+                                 cache_dir=str(tmp_path))
+        recomputed = fresh.run_suite([get_profile("gcc")], ["n888"])
+        assert fresh.cache.corrupt_drops == len(entries)
+        assert fresh.cache.hits == 0
+        assert _sweep_fingerprint(recomputed) == _sweep_fingerprint(reference)
+
+    def test_truncated_entry_detected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = result_key("probe")
+        cache.store(key, SimulationResult(benchmark="x", policy="y"))
+        path = cache.path_for(key)
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.load(key) is None
+        assert cache.corrupt_drops == 1
+        assert not path.exists()  # dropped so the slot rewrites cleanly
+
+    def test_stale_key_mismatch_detected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key_a, key_b = result_key("a"), result_key("b")
+        cache.store(key_a, SimulationResult(benchmark="x", policy="y"))
+        target = cache.path_for(key_b)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key_a).rename(target)
+        assert cache.load(key_b) is None
+        assert cache.corrupt_drops == 1
+
+    def test_disabled_cache_never_touches_disk(self, tmp_path):
+        cache = ResultCache(tmp_path / "never", enabled=False)
+        cache.store(result_key("k"), SimulationResult(benchmark="x", policy="y"))
+        assert cache.load(result_key("k")) is None
+        assert not (tmp_path / "never").exists()
+
+
+# ---------------------------------------------------------------------------
+# cache keys
+# ---------------------------------------------------------------------------
+class TestCacheKeys:
+    def test_key_sensitivity(self):
+        engine = SweepEngine(config=helper_cluster_config())
+        base = SweepJob("gcc", "ir", 1000, 2006)
+        assert engine.key_for(base) == engine.key_for(SweepJob("gcc", "ir", 1000, 2006))
+        for other in [SweepJob("gzip", "ir", 1000, 2006),
+                      SweepJob("gcc", "n888", 1000, 2006),
+                      SweepJob("gcc", "ir", 2000, 2006),
+                      SweepJob("gcc", "ir", 1000, 7),
+                      SweepJob("gcc", "ir", 1000, 2006, use_slicing=True)]:
+            assert engine.key_for(other) != engine.key_for(base)
+
+    def test_key_depends_on_config(self):
+        narrow8 = SweepEngine(config=helper_cluster_config(narrow_width=8))
+        narrow16 = SweepEngine(config=helper_cluster_config(narrow_width=16))
+        job = SweepJob("gcc", "ir", 1000, 2006)
+        assert narrow8.key_for(job) != narrow16.key_for(job)
+
+    def test_baseline_key_ignores_sweep_config(self):
+        # The baseline always runs on the monolithic machine, so its cached
+        # result is shared across helper-config sweeps.
+        narrow8 = SweepEngine(config=helper_cluster_config(narrow_width=8))
+        narrow16 = SweepEngine(config=helper_cluster_config(narrow_width=16))
+        job = SweepJob("gcc", "baseline", 1000, 2006)
+        assert narrow8.key_for(job) == narrow16.key_for(job)

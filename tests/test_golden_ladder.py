@@ -1,0 +1,107 @@
+"""Golden regression tests pinning the headline policy-ladder numbers.
+
+Two layers of protection:
+
+* a live mini-ladder (3 benchmarks x 3 policies, short traces) whose
+  speedups are pinned to full precision — any engine or simulator hot-path
+  refactor that shifts cycle accounting fails here immediately, inside
+  tier-1;
+* the checked-in headline artefact ``benchmarks/results/headline_policy_
+  ladder.txt`` whose mean-speedup column is pinned to its published values —
+  a regenerated artefact with silently shifted paper numbers cannot land
+  unnoticed.
+
+A deliberate semantic change to the simulator must update the pinned values
+here, the results artefacts, and bump :data:`repro.sim.cache.SIMULATOR_VERSION`.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.sim.experiment import run_spec_suite
+
+HEADLINE_RESULTS = (Path(__file__).parent.parent
+                    / "benchmarks" / "results" / "headline_policy_ladder.txt")
+
+#: Mean speedups (%) of the checked-in headline ladder artefact
+#: (12 SPEC Int benchmarks, 5000-uop traces, seed 2006).
+HEADLINE_MEAN_SPEEDUPS = {
+    "n888": 0.92,
+    "n888_br": 1.43,
+    "n888_br_lr": 1.52,
+    "n888_br_lr_cr": 2.24,
+    "n888_br_lr_cr_cp": 1.79,
+    "ir": 2.19,
+    "ir_nodest": 1.45,
+}
+
+#: Live mini-ladder pins: 2500-uop traces, seed 2006.  Full precision — the
+#: simulator is deterministic, so any drift is a semantic change.
+MINI_LADDER_SPEEDUPS = {
+    "n888": {
+        "gcc": 0.022912994712, "bzip2": 0.01707369786, "parser": 0.052312087127,
+    },
+    "n888_br_lr_cr": {
+        "gcc": 0.041605482134, "bzip2": 0.088092485549, "parser": 0.085651132805,
+    },
+    "ir": {
+        "gcc": 0.044673539519, "bzip2": 0.098762549615, "parser": 0.095335439509,
+    },
+}
+
+
+class TestMiniLadderGolden:
+    @pytest.fixture(scope="class")
+    def mini_sweep(self):
+        return run_spec_suite(list(MINI_LADDER_SPEEDUPS), trace_uops=2500,
+                              seed=2006, benchmarks=["gcc", "bzip2", "parser"])
+
+    def test_per_benchmark_speedups_pinned(self, mini_sweep):
+        for policy, expected in MINI_LADDER_SPEEDUPS.items():
+            series = mini_sweep.speedup_series(policy)
+            for benchmark, value in expected.items():
+                assert series[benchmark] == pytest.approx(value, rel=1e-9), (
+                    f"{benchmark}/{policy} speedup drifted: "
+                    f"{series[benchmark]:.12f} != {value:.12f}")
+
+    def test_mean_speedups_pinned(self, mini_sweep):
+        means = {p: sum(v.values()) / len(v) for p, v in MINI_LADDER_SPEEDUPS.items()}
+        for policy, expected in means.items():
+            assert mini_sweep.mean_speedup(policy) == pytest.approx(expected, rel=1e-9)
+
+    def test_parallel_engine_matches_golden(self, mini_sweep):
+        parallel = run_spec_suite(list(MINI_LADDER_SPEEDUPS), trace_uops=2500,
+                                  seed=2006,
+                                  benchmarks=["gcc", "bzip2", "parser"], jobs=2)
+        for policy in MINI_LADDER_SPEEDUPS:
+            assert parallel.speedup_series(policy) == mini_sweep.speedup_series(policy)
+
+
+class TestHeadlineArtefactGolden:
+    def _parse_summary(self) -> dict:
+        """Mean-speedup column of the artefact's summary table."""
+        text = HEADLINE_RESULTS.read_text(encoding="utf-8")
+        means = {}
+        for line in text.splitlines():
+            match = re.match(r"^(\w+)\s+(-?\d+\.\d+)\s+\d+\.\d+\s+\d+\.\d+\s*$", line)
+            if match and match.group(1) in HEADLINE_MEAN_SPEEDUPS:
+                means[match.group(1)] = float(match.group(2))
+        return means
+
+    def test_artefact_exists(self):
+        assert HEADLINE_RESULTS.exists(), (
+            "headline artefact missing; run the benchmark harness to regenerate")
+
+    def test_mean_speedups_match_published(self):
+        means = self._parse_summary()
+        assert set(means) == set(HEADLINE_MEAN_SPEEDUPS), (
+            f"summary table incomplete: parsed {sorted(means)}")
+        for policy, expected in HEADLINE_MEAN_SPEEDUPS.items():
+            assert means[policy] == pytest.approx(expected, abs=0.005), (
+                f"headline mean speedup for {policy} shifted: "
+                f"{means[policy]} != {expected} — if intentional, update "
+                f"this pin and bump SIMULATOR_VERSION")
