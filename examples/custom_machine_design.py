@@ -12,7 +12,7 @@ Run with::
 
 import argparse
 
-from repro.core.config import helper_cluster_config
+from repro.core.config import helper_cluster_config, helper_topology, topology_config
 from repro.core.steering import make_policy
 from repro.power.energy import compare_ed2, report_from_activity
 from repro.sim.baseline import simulate_baseline
@@ -31,6 +31,16 @@ DESIGN_POINTS = [
                                           predictor_entries=32)),
 ]
 
+#: Machine shapes beyond the two-cluster API: built as explicit topologies
+#: (``repro.cli explore`` sweeps whole grids of these through the parallel
+#: engine).
+TOPOLOGY_POINTS = [
+    ("two 8-bit helpers, 2x clock",
+     topology_config(helper_topology(narrow_width=8, clock_ratio=2, helpers=2))),
+    ("one 16-bit helper, 1x clock",
+     topology_config(helper_topology(narrow_width=16, clock_ratio=1))),
+]
+
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -45,9 +55,12 @@ def main() -> int:
     baseline_energy = report_from_activity(baseline.activity, baseline.slow_cycles,
                                            label="baseline")
 
+    configs = [(label, helper_cluster_config(**overrides))
+               for label, overrides in DESIGN_POINTS]
+    configs.extend(TOPOLOGY_POINTS)
+
     rows = []
-    for label, overrides in DESIGN_POINTS:
-        config = helper_cluster_config(**overrides)
+    for label, config in configs:
         result = simulate(trace, config=config, policy=make_policy(args.policy))
         energy = report_from_activity(result.activity, result.slow_cycles, label=label)
         rows.append([

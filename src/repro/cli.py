@@ -4,13 +4,16 @@ Subcommands
 -----------
 ``run``        Simulate one benchmark under one policy and print the metrics.
 ``ladder``     Run the cumulative policy ladder over a set of benchmarks.
-``sweep``      Run an arbitrary benchmarks x policies sweep (CSV-friendly).
+``sweep``      Run a benchmarks x policies sweep (``--suite table2`` runs the
+               412-app workload suite and regenerates the Figure 14 tables).
+``explore``    Design-space exploration: sweep a topology grid (narrow width
+               x clock ratio x helper count) and print a sensitivity table.
 ``analyze``    Run the Figure 1 / 11 / 13 trace characterisation analyses.
 ``table1``     Print the baseline machine parameters (Table 1).
 ``workloads``  List the Table 2 workload suite categories.
 
-``ladder`` and ``sweep`` accept the parallel-engine flags: ``--jobs N`` fans
-the (benchmark, policy) jobs over N worker processes (0 = one per CPU),
+``ladder``, ``sweep`` and ``explore`` accept the parallel-engine flags:
+``--jobs N`` fans the jobs over N worker processes (0 = one per CPU),
 ``--cache-dir DIR`` enables the content-addressed on-disk result cache, and
 ``--no-cache`` bypasses cache reads while still refreshing stored entries.
 Results are bit-identical across serial, parallel and cached runs.
@@ -28,13 +31,20 @@ from repro.analysis.narrowness import analyze_narrowness
 from repro.core.config import TABLE_1_PARAMETERS, helper_cluster_config
 from repro.core.steering import POLICY_LADDER
 from repro.sim.baseline import baseline_pair
-from repro.sim.experiment import ExperimentRunner, run_spec_suite
+from repro.sim.experiment import (
+    ExperimentRunner,
+    build_topology_grid,
+    run_spec_suite,
+)
 from repro.sim.reporting import (
     format_cache_stats,
     format_ladder_summary,
     format_policy_table,
     format_table,
+    format_topology_table,
+    format_workload_summary,
     sweep_to_csv,
+    topology_sweep_to_csv,
 )
 from repro.trace.profiles import SPEC_INT_NAMES, get_profile
 from repro.trace.synthetic import generate_trace
@@ -72,14 +82,42 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_engine_flags(ladder)
 
     sweep = sub.add_parser("sweep", help="run a benchmarks x policies sweep")
+    sweep.add_argument("--suite", default="spec", choices=["spec", "table2"],
+                       help="spec: SPEC Int 2000; table2: the 412-app "
+                            "workload suite of §3.8 / Figure 14")
     sweep.add_argument("--benchmarks", nargs="*", default=None, choices=SPEC_INT_NAMES)
     sweep.add_argument("--policies", nargs="*", default=None,
                        choices=[p for p in POLICY_LADDER if p != "baseline"])
+    sweep.add_argument("--categories", nargs="*", default=None,
+                       choices=list(WORKLOAD_CATEGORIES),
+                       help="table2 only: restrict to these categories")
+    sweep.add_argument("--apps-per-category", type=int, default=None,
+                       metavar="N",
+                       help="table2 only: cap apps per category "
+                            "(default: the full Table 2 counts)")
     sweep.add_argument("--uops", type=int, default=15_000)
     sweep.add_argument("--seed", type=int, default=2006)
     sweep.add_argument("--csv", default=None, metavar="PATH",
                        help="also write the per-benchmark rows as CSV")
     _add_engine_flags(sweep)
+
+    explore = sub.add_parser(
+        "explore", help="design-space exploration over a topology grid")
+    explore.add_argument("--widths", nargs="*", type=int, default=[4, 8, 16],
+                         help="narrow datapath widths in bits")
+    explore.add_argument("--ratios", nargs="*", type=int, default=[1, 2],
+                         help="helper clock ratios")
+    explore.add_argument("--helpers", nargs="*", type=int, default=[1, 2],
+                         help="helper cluster counts")
+    explore.add_argument("--benchmarks", nargs="*", default=None,
+                         choices=SPEC_INT_NAMES)
+    explore.add_argument("--policy", default="ir",
+                         choices=[p for p in POLICY_LADDER if p != "baseline"])
+    explore.add_argument("--uops", type=int, default=15_000)
+    explore.add_argument("--seed", type=int, default=2006)
+    explore.add_argument("--csv", default=None, metavar="PATH",
+                         help="also write the per-point rows as CSV")
+    _add_engine_flags(explore)
 
     analyze = sub.add_parser("analyze", help="run the trace characterisation analyses")
     analyze.add_argument("--benchmark", default="gcc", choices=SPEC_INT_NAMES)
@@ -135,6 +173,16 @@ def _cmd_ladder(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.suite == "table2":
+        if args.benchmarks:
+            print("--benchmarks selects SPEC benchmarks; with --suite table2 "
+                  "use --categories / --apps-per-category", file=sys.stderr)
+            return 2
+        return _cmd_sweep_table2(args)
+    if args.categories or args.apps_per_category is not None:
+        print("--categories / --apps-per-category require --suite table2",
+              file=sys.stderr)
+        return 2
     policies = args.policies or [p for p in POLICY_LADDER if p != "baseline"]
     sweep, runner = _run_engine_sweep(args, policies)
     print(format_ladder_summary(sweep, title="Sweep summary"))
@@ -142,6 +190,54 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.csv:
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(csv_text + "\n")
+        print(f"\nwrote {args.csv}")
+    if runner.cache is not None:
+        print()
+        print(format_cache_stats(runner.cache))
+    return 0
+
+
+def _cmd_sweep_table2(args: argparse.Namespace) -> int:
+    """§3.8 / Figure 14: the workload suite through the parallel engine."""
+    policies = args.policies or ["ir_nodest"]
+    if len(policies) != 1:
+        print("--suite table2 takes exactly one policy", file=sys.stderr)
+        return 2
+    runner = ExperimentRunner(trace_uops=args.uops, seed=args.seed,
+                              jobs=args.jobs, cache_dir=args.cache_dir,
+                              use_cache=not args.no_cache)
+    sweep = runner.run_workload_suite(
+        policy=policies[0], categories=args.categories,
+        apps_per_category=args.apps_per_category)
+    descriptions = {key: category.description
+                    for key, category in WORKLOAD_CATEGORIES.items()}
+    print(format_workload_summary(sweep, descriptions=descriptions))
+    if args.csv:
+        from repro.sim.reporting import to_csv
+        rows = [[app.name, app.category, sweep.speedup(app.name),
+                 sweep.by_app[app.name].ipc]
+                for app in sweep.apps]
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(to_csv(["app", "category", "speedup", "ipc"], rows) + "\n")
+        print(f"\nwrote {args.csv}")
+    if runner.cache is not None:
+        print()
+        print(format_cache_stats(runner.cache))
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(trace_uops=args.uops, seed=args.seed,
+                              jobs=args.jobs, cache_dir=args.cache_dir,
+                              use_cache=not args.no_cache)
+    points = build_topology_grid(args.widths, args.ratios, args.helpers)
+    names = args.benchmarks or list(SPEC_INT_NAMES)
+    profiles = [get_profile(name) for name in names]
+    sweep = runner.run_topology_grid(points, profiles, policy=args.policy)
+    print(format_topology_table(sweep))
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(topology_sweep_to_csv(sweep) + "\n")
         print(f"\nwrote {args.csv}")
     if runner.cache is not None:
         print()
@@ -189,6 +285,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "ladder": _cmd_ladder,
     "sweep": _cmd_sweep,
+    "explore": _cmd_explore,
     "analyze": _cmd_analyze,
     "table1": _cmd_table1,
     "workloads": _cmd_workloads,

@@ -1,26 +1,31 @@
-"""Backend (cluster) model: the wide 32-bit and narrow 8-bit execution engines.
+"""Backend (cluster) model: one execution engine per topology cluster.
 
 A :class:`Backend` bundles the per-cluster structures — issue queue,
 functional-unit pool and statistics — together with the clock domain it lives
-in.  The helper (narrow) backend has integer units only and is clocked at the
-fast frequency; the wide backend also hosts the floating point queue/units
-(§2.1).
+in.  Backends are built from :class:`~repro.core.config.ClusterSpec` records:
+cluster 0 is the host (the paper's wide 32-bit backend, which also hosts the
+floating point queue/units, §2.1), every further cluster is a helper backend
+clocked at its spec's ratio.
+
+The :class:`BackendKind` enum and the ``Backend(kind, config)`` constructor
+of the original two-cluster API are kept as shims over the cluster-indexed
+form.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Optional
+from typing import Optional, Union
 
-from repro.core.config import MachineConfig, SchedulerConfig
+from repro.core.config import ClusterSpec, MachineConfig
 from repro.pipeline.clocking import ClockDomain, ClockingModel
 from repro.pipeline.execute import ExecutionUnitPool
 from repro.pipeline.scheduler import IssueQueue
 
 
 class BackendKind(Enum):
-    """Which of the two backends a structure belongs to."""
+    """Which of the paper's two backends a structure belongs to (shim)."""
 
     WIDE = "wide"
     NARROW = "narrow"
@@ -43,34 +48,77 @@ class BackendStats:
 
 
 class Backend:
-    """One execution backend (cluster)."""
+    """One execution backend (cluster).
 
-    def __init__(self, kind: BackendKind, config: MachineConfig,
-                 clocking: Optional[ClockingModel] = None) -> None:
-        self.kind = kind
+    Parameters
+    ----------
+    spec_or_kind:
+        A :class:`ClusterSpec` (the topology form) or a :class:`BackendKind`
+        (the original two-cluster shim, which resolves the spec from
+        ``config.cluster_topology()``).
+    config:
+        The machine configuration the backend belongs to.
+    clocking:
+        Clock model shared by all backends of a machine.
+    index:
+        Cluster index in the topology (0 = host).  Implied by the kind in
+        the shim form.
+    """
+
+    def __init__(self, spec_or_kind: Union[ClusterSpec, BackendKind],
+                 config: MachineConfig,
+                 clocking: Optional[ClockingModel] = None,
+                 index: Optional[int] = None) -> None:
+        if isinstance(spec_or_kind, BackendKind):
+            topology = config.cluster_topology()
+            index = 0 if spec_or_kind is BackendKind.WIDE else 1
+            if index < len(topology.clusters):
+                spec = topology.clusters[index]
+            else:
+                # A narrow backend of a host-only machine (the original code
+                # always built both): synthesise the shim's helper spec.
+                spec = ClusterSpec(
+                    name="narrow", datapath_width=config.helper.narrow_width,
+                    clock_ratio=config.helper.clock_ratio,
+                    issue_width=config.scheduler.issue_width,
+                    queue_size=config.scheduler.queue_size,
+                    memory_ports=config.scheduler.memory_ports,
+                    has_fp=config.helper.has_fp)
+        else:
+            spec = spec_or_kind
+            if index is None:
+                raise ValueError("a cluster index is required with a ClusterSpec")
+        self.spec = spec
+        self.index = index
         self.config = config
         self.clocking = clocking or ClockingModel(ratio=config.clock_ratio)
-        scheduler: SchedulerConfig = config.scheduler
         self.issue_queue = IssueQueue(
-            size=scheduler.queue_size,
-            issue_width=scheduler.issue_width,
-            memory_ports=scheduler.memory_ports,
+            size=spec.queue_size,
+            issue_width=spec.issue_width,
+            memory_ports=spec.memory_ports,
         )
         self.units = ExecutionUnitPool(
-            domain=kind.domain,
+            domain=self.domain,
             clocking=self.clocking,
-            has_fp=(kind is BackendKind.WIDE),
+            has_fp=spec.has_fp,
         )
         self.stats = BackendStats()
 
     # ----------------------------------------------------------------- domain
     @property
-    def domain(self) -> ClockDomain:
-        return self.kind.domain
+    def kind(self) -> BackendKind:
+        """Two-cluster shim view: the host is WIDE, every helper is NARROW."""
+        return BackendKind.WIDE if self.index == 0 else BackendKind.NARROW
+
+    @property
+    def domain(self) -> int:
+        """Clock domain (= cluster index; a :class:`ClockDomain` member for
+        the paper's pair so existing identity checks keep working)."""
+        return ClockDomain(self.index) if self.index < 2 else self.index
 
     @property
     def is_narrow(self) -> bool:
-        return self.kind is BackendKind.NARROW
+        return self.index != 0
 
     def active(self, fast_cycle: int) -> bool:
         """Whether this backend gets an issue opportunity this fast cycle."""
@@ -80,7 +128,7 @@ class Backend:
     @property
     def datapath_width(self) -> int:
         """Datapath width in bits."""
-        return self.config.helper.narrow_width if self.is_narrow else 32
+        return self.spec.datapath_width
 
     def can_execute_width(self, value_is_narrow: bool) -> bool:
         """Whether a value of the given width class fits this backend's datapath."""
@@ -88,11 +136,11 @@ class Backend:
 
     # ------------------------------------------------------------------ reset
     def reset(self) -> None:
-        scheduler = self.config.scheduler
+        spec = self.spec
         self.issue_queue = IssueQueue(
-            size=scheduler.queue_size,
-            issue_width=scheduler.issue_width,
-            memory_ports=scheduler.memory_ports,
+            size=spec.queue_size,
+            issue_width=spec.issue_width,
+            memory_ports=spec.memory_ports,
         )
         self.units.reset()
         self.stats = BackendStats()

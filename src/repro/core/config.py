@@ -1,20 +1,27 @@
-"""Machine configuration: the Table 1 baseline and the helper cluster.
+"""Machine configuration: data-driven cluster topologies plus the Table 1 baseline.
 
-``MachineConfig`` bundles everything the simulator needs: the frontend and
-memory parameters of the monolithic baseline (Table 1), the scheduler
-parameters shared by both backends, and the helper-cluster parameters of §2
-(narrow width, clock ratio, whether the helper cluster exists at all).
+The machine description is a list of :class:`ClusterSpec` records — one per
+execution cluster — bundled into a :class:`Topology`.  Cluster 0 is the *host*
+(the paper's wide 32-bit backend; it owns the frontend, commit, and the FP
+units by default) and every further cluster is a helper backend with its own
+datapath width, clock ratio, scheduler resources and FU mix.  The paper's
+machine is one point in that space: ``helper_topology()`` (a wide host plus
+one 8-bit helper at a 2x clock); the monolithic baseline is
+``monolithic_topology()`` (the host alone).
 
-The baseline monolithic processor of the paper has the same resources as the
-frontend plus the *wide* backend of the clustered machine; the helper-cluster
-configuration simply adds the narrow backend.  ``baseline_config()`` and
-``helper_cluster_config()`` construct exactly those two machines.
+``MachineConfig`` bundles the topology with everything else the simulator
+needs: frontend and memory parameters of the monolithic baseline (Table 1),
+the predictor configuration, and — for backwards compatibility — the
+two-cluster :class:`HelperClusterConfig` shim of the original API.  When no
+explicit topology is given, one is derived from the shim, so
+``baseline_config()`` / ``helper_cluster_config()`` / ``with_helper()`` keep
+working unchanged on top of topologies.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Optional, Tuple
 
 from repro.isa.values import MACHINE_WIDTH, NARROW_WIDTH
 from repro.memory.cache import CacheConfig
@@ -56,8 +63,148 @@ class PredictorConfig:
 
 
 @dataclass(frozen=True)
+class ClusterSpec:
+    """One execution cluster of the machine.
+
+    Cluster 0 of a :class:`Topology` is the host (wide) cluster; it must run
+    at ``clock_ratio`` 1 and hosts frontend/commit.  Every other cluster is a
+    helper backend.
+    """
+
+    name: str
+    #: Datapath width in bits (32 for the host, 8 for the paper's helper).
+    datapath_width: int = MACHINE_WIDTH
+    #: Clock multiplier relative to the host cluster (§2.2; 2 at the paper's
+    #: design point — narrower datapaths close timing at higher frequency).
+    clock_ratio: int = 1
+    #: Scheduler resources (Table 1: 32-entry, 3-issue, 2 memory ports).
+    issue_width: int = 3
+    queue_size: int = 32
+    memory_ports: int = 2
+    #: Whether the cluster has FP units (§2.1: the helper backend has integer
+    #: units only).
+    has_fp: bool = False
+    #: Latency of an inter-cluster copy executed in this cluster, in slow
+    #: cycles (issue in the producer cluster + transfer to the consumer).
+    copy_latency_slow: int = 2
+    #: Recovery penalty of a flushing squash triggered in this cluster, in
+    #: slow cycles (§3.2).
+    flush_penalty_slow: int = 5
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("cluster name must be non-empty")
+        if self.datapath_width <= 0 or self.datapath_width > MACHINE_WIDTH:
+            raise ValueError("cluster datapath width must be in (0, machine width]")
+        if self.clock_ratio < 1:
+            raise ValueError("cluster clock ratio must be >= 1")
+        if self.issue_width <= 0 or self.queue_size <= 0 or self.memory_ports <= 0:
+            raise ValueError("cluster scheduler parameters must be positive")
+        if self.copy_latency_slow < 1:
+            raise ValueError("copy latency must be >= 1 slow cycle")
+        if self.flush_penalty_slow < 0:
+            raise ValueError("flush penalty must be non-negative")
+
+    @property
+    def is_narrow(self) -> bool:
+        return self.datapath_width < MACHINE_WIDTH
+
+    @property
+    def split_chunks(self) -> int:
+        """Number of chunks a full-width value splits into on this datapath (§3.7)."""
+        return max(1, MACHINE_WIDTH // self.datapath_width)
+
+    def to_key_dict(self) -> dict:
+        """Canonical, JSON-serialisable form (cache keys, reports)."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An ordered set of clusters: host first, helpers after."""
+
+    clusters: Tuple[ClusterSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise ValueError("a topology needs at least one cluster (the host)")
+        if not isinstance(self.clusters, tuple):
+            object.__setattr__(self, "clusters", tuple(self.clusters))
+        host = self.clusters[0]
+        if host.clock_ratio != 1:
+            raise ValueError("the host cluster must run at clock ratio 1")
+        if not host.has_fp:
+            # Steering keeps FP/MUL/DIV in the host (§2.1), so a host without
+            # FP units would deadlock the simulator on the first FP uop.
+            raise ValueError("the host cluster must have FP units (has_fp=True)")
+        names = [spec.name for spec in self.clusters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"cluster names must be unique, got {names}")
+        for spec in self.clusters[1:]:
+            if spec.datapath_width > host.datapath_width:
+                raise ValueError("helper clusters cannot be wider than the host")
+
+    # ------------------------------------------------------------- structure
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def __iter__(self):
+        return iter(self.clusters)
+
+    def __getitem__(self, index: int) -> ClusterSpec:
+        return self.clusters[index]
+
+    @property
+    def host(self) -> ClusterSpec:
+        return self.clusters[0]
+
+    @property
+    def helpers(self) -> Tuple[ClusterSpec, ...]:
+        return self.clusters[1:]
+
+    @property
+    def num_helpers(self) -> int:
+        return len(self.clusters) - 1
+
+    # --------------------------------------------------------------- derived
+    @property
+    def clock_ratios(self) -> Tuple[int, ...]:
+        return tuple(spec.clock_ratio for spec in self.clusters)
+
+    @property
+    def max_clock_ratio(self) -> int:
+        return max(self.clock_ratios)
+
+    @property
+    def narrow_width(self) -> Optional[int]:
+        """Narrowest helper datapath width, or None for a host-only topology."""
+        if not self.helpers:
+            return None
+        return min(spec.datapath_width for spec in self.helpers)
+
+    @property
+    def flush_penalty_slow(self) -> int:
+        """Recovery penalty used by the shared recovery manager."""
+        if self.helpers:
+            return self.helpers[0].flush_penalty_slow
+        return self.host.flush_penalty_slow
+
+    def to_key_dict(self) -> dict:
+        """Canonical, JSON-serialisable form (cache keys, reports)."""
+        return {"clusters": [spec.to_key_dict() for spec in self.clusters]}
+
+
+@dataclass(frozen=True)
 class HelperClusterConfig:
-    """Parameters of the narrow helper backend (§2)."""
+    """Parameters of the narrow helper backend (§2).
+
+    .. deprecated::
+        This is the original two-cluster shim; new code should describe the
+        machine with a :class:`Topology` (``MachineConfig.with_topology`` /
+        ``helper_topology``).  The shim is kept so existing configs, examples
+        and tests run unmodified: when ``MachineConfig.topology`` is unset,
+        the topology is derived from these fields.
+    """
 
     #: Whether the helper cluster exists (False = monolithic baseline).
     enabled: bool = True
@@ -105,31 +252,174 @@ class MachineConfig:
     trace_cache: TraceCacheConfig = field(default_factory=TraceCacheConfig)
     predictor: PredictorConfig = field(default_factory=PredictorConfig)
     helper: HelperClusterConfig = field(default_factory=HelperClusterConfig)
+    #: Explicit cluster topology.  ``None`` derives a topology from the
+    #: two-cluster ``helper`` shim above (the original API).
+    topology: Optional[Topology] = None
 
     def __post_init__(self) -> None:
         if self.fetch_width <= 0 or self.commit_width <= 0 or self.rob_size <= 0:
             raise ValueError("frontend/commit/ROB parameters must be positive")
 
+    # ------------------------------------------------------------- topology
+    def cluster_topology(self) -> Topology:
+        """The machine's topology, deriving one from the shim when unset."""
+        if self.topology is not None:
+            return self.topology
+        host = ClusterSpec(
+            name="wide", datapath_width=MACHINE_WIDTH, clock_ratio=1,
+            issue_width=self.scheduler.issue_width,
+            queue_size=self.scheduler.queue_size,
+            memory_ports=self.scheduler.memory_ports,
+            has_fp=True,
+            copy_latency_slow=self.helper.copy_latency_slow,
+            flush_penalty_slow=self.helper.flush_penalty_slow)
+        if not self.helper.enabled:
+            return Topology((host,))
+        narrow = ClusterSpec(
+            name="narrow", datapath_width=self.helper.narrow_width,
+            clock_ratio=self.helper.clock_ratio,
+            issue_width=self.scheduler.issue_width,
+            queue_size=self.scheduler.queue_size,
+            memory_ports=self.scheduler.memory_ports,
+            has_fp=self.helper.has_fp,
+            copy_latency_slow=self.helper.copy_latency_slow,
+            flush_penalty_slow=self.helper.flush_penalty_slow)
+        return Topology((host, narrow))
+
     # ------------------------------------------------------------- derived
     @property
     def narrow_width(self) -> int:
+        """Narrowest helper datapath width.
+
+        Falls back to the shim's ``narrow_width`` for host-only machines so
+        width-accounting (predictor training, Figure 5 statistics) of the
+        monolithic baseline is unchanged by the topology refactor.
+        """
+        if self.topology is not None:
+            width = self.topology.narrow_width
+            if width is not None:
+                return width
         return self.helper.narrow_width
 
     @property
     def clock_ratio(self) -> int:
+        if self.topology is not None:
+            return self.topology.max_clock_ratio
         return self.helper.clock_ratio if self.helper.enabled else 1
 
     def with_helper(self, **overrides) -> "MachineConfig":
-        """Return a copy with helper-cluster fields overridden."""
-        return replace(self, helper=replace(self.helper, **overrides))
+        """Return a copy with helper-cluster fields overridden.
+
+        .. deprecated:: prefer :meth:`with_topology`.  Kept as a thin shim:
+            it clears any explicit topology so the result is re-derived from
+            the updated two-cluster fields.
+        """
+        return replace(self, helper=replace(self.helper, **overrides),
+                       topology=None)
+
+    def with_topology(self, topology: Topology) -> "MachineConfig":
+        """Return a copy using an explicit cluster topology."""
+        return replace(self, topology=topology)
 
     def with_predictor(self, **overrides) -> "MachineConfig":
         """Return a copy with predictor fields overridden."""
         return replace(self, predictor=replace(self.predictor, **overrides))
 
     def with_scheduler(self, **overrides) -> "MachineConfig":
-        """Return a copy with (integer) scheduler fields overridden."""
-        return replace(self, scheduler=replace(self.scheduler, **overrides))
+        """Return a copy with (integer) scheduler fields overridden.
+
+        Like the original shim, one ``SchedulerConfig`` governs every
+        backend: with an explicit topology the overrides are applied to all
+        of its clusters (use :meth:`with_topology` for per-cluster tuning).
+        """
+        scheduler = replace(self.scheduler, **overrides)
+        topology = self.topology
+        if topology is not None:
+            topology = Topology(tuple(
+                replace(spec,
+                        issue_width=scheduler.issue_width,
+                        queue_size=scheduler.queue_size,
+                        memory_ports=scheduler.memory_ports)
+                for spec in topology.clusters))
+        return replace(self, scheduler=scheduler, topology=topology)
+
+    # -------------------------------------------------------------- caching
+    def to_key_dict(self) -> dict:
+        """Canonical, JSON-serialisable description of everything that can
+        affect a simulation result.
+
+        This is the cache-key contract (see DESIGN.md): the
+        :class:`~repro.sim.cache.ResultCache` key is a SHA-256 over this
+        dictionary's sorted-key JSON form, so *any* config field change —
+        including nested scheduler/memory/predictor/cluster fields — changes
+        the key and can never be served a stale result.
+        """
+        return {
+            "fetch_width": self.fetch_width,
+            "commit_width": self.commit_width,
+            "rob_size": self.rob_size,
+            "scheduler": asdict(self.scheduler),
+            "fp_scheduler": asdict(self.fp_scheduler),
+            "memory": asdict(self.memory),
+            "trace_cache": asdict(self.trace_cache),
+            "predictor": asdict(self.predictor),
+            "helper": asdict(self.helper),
+            "topology": self.cluster_topology().to_key_dict(),
+            "explicit_topology": self.topology is not None,
+        }
+
+
+# ---------------------------------------------------------------- topologies
+def monolithic_topology(scheduler: Optional[SchedulerConfig] = None) -> Topology:
+    """A host-only topology: the monolithic baseline of §3.1."""
+    scheduler = scheduler or SchedulerConfig()
+    return Topology((ClusterSpec(
+        name="wide", datapath_width=MACHINE_WIDTH, clock_ratio=1,
+        issue_width=scheduler.issue_width, queue_size=scheduler.queue_size,
+        memory_ports=scheduler.memory_ports, has_fp=True),))
+
+
+def helper_topology(narrow_width: int = NARROW_WIDTH, clock_ratio: int = 2,
+                    helpers: int = 1,
+                    scheduler: Optional[SchedulerConfig] = None,
+                    has_fp: bool = False,
+                    copy_latency_slow: int = 2,
+                    flush_penalty_slow: int = 5) -> Topology:
+    """A wide host plus ``helpers`` identical narrow backends.
+
+    ``helper_topology()`` with the defaults is the paper's design point; the
+    2-helper and 16-bit-helper scenarios of the design-space exploration are
+    one-argument variations.
+    """
+    if helpers < 0:
+        raise ValueError("helper count must be non-negative")
+    scheduler = scheduler or SchedulerConfig()
+    host = ClusterSpec(
+        name="wide", datapath_width=MACHINE_WIDTH, clock_ratio=1,
+        issue_width=scheduler.issue_width, queue_size=scheduler.queue_size,
+        memory_ports=scheduler.memory_ports, has_fp=True,
+        copy_latency_slow=copy_latency_slow,
+        flush_penalty_slow=flush_penalty_slow)
+    names = (["narrow"] if helpers == 1
+             else [f"narrow{i}" for i in range(helpers)])
+    specs = [ClusterSpec(
+        name=name, datapath_width=narrow_width, clock_ratio=clock_ratio,
+        issue_width=scheduler.issue_width, queue_size=scheduler.queue_size,
+        memory_ports=scheduler.memory_ports, has_fp=has_fp,
+        copy_latency_slow=copy_latency_slow,
+        flush_penalty_slow=flush_penalty_slow) for name in names]
+    return Topology(tuple([host] + specs))
+
+
+def topology_config(topology: Topology, predictor_entries: int = 256,
+                    use_confidence: bool = True) -> MachineConfig:
+    """A :class:`MachineConfig` around an explicit topology."""
+    return MachineConfig(
+        topology=topology,
+        helper=HelperClusterConfig(enabled=topology.num_helpers > 0),
+        predictor=PredictorConfig(table_entries=predictor_entries,
+                                  use_confidence=use_confidence),
+    )
 
 
 def baseline_config() -> MachineConfig:
@@ -140,7 +430,13 @@ def baseline_config() -> MachineConfig:
 def helper_cluster_config(narrow_width: int = NARROW_WIDTH, clock_ratio: int = 2,
                           predictor_entries: int = 256,
                           use_confidence: bool = True) -> MachineConfig:
-    """The baseline augmented with the 8-bit helper cluster of §2."""
+    """The baseline augmented with the 8-bit helper cluster of §2.
+
+    .. deprecated:: prefer :func:`topology_config` around
+        :func:`helper_topology` for new code; this remains the canned paper
+        design point and is equivalent to
+        ``topology_config(helper_topology(narrow_width, clock_ratio))``.
+    """
     return MachineConfig(
         helper=HelperClusterConfig(enabled=True, narrow_width=narrow_width,
                                    clock_ratio=clock_ratio),

@@ -63,9 +63,17 @@ class CopyStats:
 
 
 class CopyEngine:
-    """Tracks value availability per cluster and generates copy requests."""
+    """Tracks value availability per cluster and generates copy requests.
 
-    def __init__(self) -> None:
+    Domains are cluster indices (:class:`ClockDomain` members for the paper's
+    wide + narrow pair, plain ints for further helper clusters); the engine
+    never assumes there are only two.
+    """
+
+    def __init__(self, num_domains: int = 2) -> None:
+        if num_domains < 1:
+            raise ValueError("a machine has at least one cluster")
+        self.num_domains = num_domains
         #: value_uid -> {domain: fast cycle at which the value is available there}
         self._availability: Dict[int, Dict[ClockDomain, int]] = {}
         #: value_uid -> domain of a copy already in flight toward that domain
@@ -83,13 +91,13 @@ class CopyEngine:
 
     def note_replicated(self, value_uid: int, ready_cycle: int,
                         extra_latency: int = 0) -> None:
-        """Load replication (§3.4): the value appears in *both* clusters.
+        """Load replication (§3.4): the value appears in *every* cluster.
 
-        The replica in the second cluster becomes available ``extra_latency``
-        fast cycles after the primary (register-file write port scheduling).
+        The replicas become available ``extra_latency`` fast cycles after the
+        primary (register-file write port scheduling).
         """
         slots = self._availability.setdefault(value_uid, {})
-        for domain in (ClockDomain.WIDE, ClockDomain.NARROW):
+        for domain in range(self.num_domains):
             if domain in slots:
                 continue
             base = min(slots.values()) if slots else ready_cycle

@@ -45,6 +45,11 @@ class ImbalanceMonitor:
     """
 
     queue_size: int = 32
+    #: wide-cluster scheduler capacity; defaults to ``queue_size`` (the two
+    #: clusters of the paper's machine have identical schedulers).  With
+    #: several helper clusters ``queue_size`` is the *aggregate* helper
+    #: capacity, which no longer equals the wide queue's own size.
+    wide_queue_size: Optional[int] = None
     #: occupancy gap (wide minus narrow, normalised by queue size) above which
     #: the IR heuristic splits wide instructions toward the narrow cluster
     occupancy_threshold: float = 0.15
@@ -132,7 +137,9 @@ class ImbalanceMonitor:
         pays off when the wide scheduler is genuinely congested, so an
         absolute occupancy floor is required as well.
         """
-        if self._last_wide_occupancy < 0.75 * self.queue_size:
+        wide_capacity = (self.wide_queue_size if self.wide_queue_size is not None
+                         else self.queue_size)
+        if self._last_wide_occupancy < 0.75 * wide_capacity:
             return False
         if self._last_narrow_occupancy > 0.5 * self.queue_size:
             return False

@@ -84,7 +84,7 @@ class SteerDecision:
 
     @property
     def to_helper(self) -> bool:
-        return self.domain is ClockDomain.NARROW
+        return self.domain != ClockDomain.WIDE
 
 
 @dataclass
@@ -97,6 +97,30 @@ class SteeringContext:
     imbalance: ImbalanceMonitor
     copy_engine: CopyEngine
     splitter: InstructionSplitter
+
+    def __post_init__(self) -> None:
+        self._topology_of: Optional[MachineConfig] = None
+        self._num_helpers = 0
+        self._helper_fp_available = False
+
+    def _sync_topology(self) -> None:
+        # Topology facts hoisted out of the per-uop steer loop; recomputed
+        # only when the context's config object is swapped.
+        if self._topology_of is not self.config:
+            topology = self.config.cluster_topology()
+            self._topology_of = self.config
+            self._num_helpers = topology.num_helpers
+            self._helper_fp_available = any(spec.has_fp for spec in topology.helpers)
+
+    @property
+    def num_helpers(self) -> int:
+        self._sync_topology()
+        return self._num_helpers
+
+    @property
+    def helper_fp_available(self) -> bool:
+        self._sync_topology()
+        return self._helper_fp_available
 
 
 @dataclass
@@ -192,19 +216,27 @@ class DataWidthSteering(SteeringPolicy):
         uop._imm_narrow_memo = (width, result)
         return result
 
-    def _helper_supports(self, uop: MicroOp) -> bool:
-        """The helper backend has integer ALUs/AGUs only (§2.1)."""
-        return uop.op_class not in (OpClass.FP, OpClass.MUL, OpClass.DIV)
+    def _helper_supports(self, uop: MicroOp, ctx: SteeringContext) -> bool:
+        """Whether some helper backend can execute the uop.
+
+        The paper's helper has integer ALUs/AGUs only (§2.1); FP work becomes
+        steerable only when the topology declares an FP-capable helper.
+        Long-latency MUL/DIV stay in the wide backend regardless.
+        """
+        if uop.op_class in (OpClass.MUL, OpClass.DIV):
+            return False
+        if uop.op_class is OpClass.FP:
+            return ctx.helper_fp_available
+        return True
 
     # -------------------------------------------------------------------- steer
     def steer(self, fetched: FetchedUop, ctx: SteeringContext) -> SteerDecision:
         uop = fetched.uop
-        helper = ctx.config.helper
 
-        if not helper.enabled or not self.schemes:
+        if ctx.num_helpers == 0 or not self.schemes:
             return self._account(SteerDecision(domain=ClockDomain.WIDE,
                                                reason="helper_disabled"))
-        if not self._helper_supports(uop):
+        if not self._helper_supports(uop, ctx):
             return self._account(SteerDecision(domain=ClockDomain.WIDE,
                                                reason="no_unit_in_helper"))
 
@@ -220,7 +252,9 @@ class DataWidthSteering(SteeringPolicy):
         if uop.is_branch:
             if self._has_br and uop.is_cond_branch:
                 flags_entry = ctx.rename.entry(ArchReg.FLAGS)
-                flag_in_narrow = flags_entry.producer_domain is ClockDomain.NARROW
+                # Domains may be plain cluster indices (>= 2) for extra
+                # helper clusters, so compare by value, not identity.
+                flag_in_narrow = flags_entry.producer_domain != ClockDomain.WIDE
                 if (flag_in_narrow and fetched.target_resolved_in_frontend
                         and not rebalance_to_wide):
                     return self._account(SteerDecision(

@@ -1,4 +1,4 @@
-"""Clock domains of the helper-cluster machine (§2.2).
+"""Clock domains of the helper-cluster machine (§2.2), generalised to N clusters.
 
 The integer ALU and its bypass loop limit the backend frequency, and that
 limit scales with the datapath width (typical ALU latency ~ log N in the
@@ -6,22 +6,34 @@ operand width).  The 8-bit helper backend can therefore be clocked 2x faster
 than the 32-bit backend while keeping the two clocks synchronised (no
 resynchronisation penalty on cluster crossings).
 
-The simulator advances time in *fast* cycles (helper-cluster cycles).  The
-wide cluster — and the frontend and commit stages, which belong to the wide
-domain — only act on fast cycles that are multiples of the clock ratio.
+The simulator advances time in *fast* cycles — the cycles of the fastest
+cluster in the topology.  Each cluster c has a *period*: the number of fast
+cycles between its active edges.  The wide (host) cluster — and the frontend
+and commit stages, which belong to it — only act on fast cycles that are
+multiples of its period.  The paper's two-cluster design point is periods
+``(2, 1)``: the wide backend every second fast cycle, the helper every cycle.
+
+Domains are small integers (the cluster index in the topology).  The
+:class:`ClockDomain` enum names the two domains of the paper's machine and is
+kept for the two-cluster API; additional helper clusters simply use their
+integer index.  ``IntEnum`` members hash and compare as their integer value,
+so enum and plain-int domains interoperate everywhere.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import IntEnum
+from math import lcm
+from typing import Sequence, Tuple
 
 
 class ClockDomain(IntEnum):
-    """The two clock domains of the machine.
+    """The two clock domains of the paper's machine.
 
     An ``IntEnum`` so the simulator's per-uop dict probes keyed by domain
-    hash at C speed.
+    hash at C speed, and so domains beyond the paper's pair can be plain
+    cluster indices (2, 3, ...) without a dedicated member.
     """
 
     WIDE = 0      # 32-bit backend, frontend, commit
@@ -30,21 +42,58 @@ class ClockDomain(IntEnum):
 
 @dataclass(frozen=True)
 class ClockingModel:
-    """Conversion between slow (wide) and fast (narrow) cycles.
+    """Conversion between slow (wide) cycles, fast cycles and cluster clocks.
 
     Attributes
     ----------
     ratio:
-        How many fast cycles fit in one slow cycle.  The paper's design point
-        is 2 (§2.2); a ratio of 1 degenerates to a symmetric two-cluster
+        How many fast cycles fit in one slow (wide/host) cycle.  The paper's
+        design point is 2 (§2.2); a ratio of 1 degenerates to a symmetric
         machine and is used by the clock-ratio ablation.
+    periods:
+        Per-domain activation period in fast cycles, indexed by cluster
+        (domain) number.  Defaults to ``(ratio, 1)`` — the paper's wide +
+        helper pair.  Build multi-cluster models with :meth:`from_ratios`.
     """
 
     ratio: int = 2
+    periods: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.ratio < 1:
             raise ValueError(f"clock ratio must be >= 1, got {self.ratio}")
+        if not self.periods:
+            object.__setattr__(self, "periods", (self.ratio, 1))
+        for period in self.periods:
+            if period < 1:
+                raise ValueError(f"domain periods must be >= 1, got {self.periods}")
+        if self.periods[0] != self.ratio:
+            raise ValueError("the host domain's period must equal the clock ratio")
+
+    @classmethod
+    def from_ratios(cls, ratios: Sequence[int]) -> "ClockingModel":
+        """Build a model from per-cluster clock multipliers.
+
+        ``ratios[c]`` is how many times faster cluster ``c`` is clocked than
+        the host cluster (``ratios[0]`` must be 1).  The fast cycle is the
+        least common multiple of the multipliers, so every cluster's clock
+        edge lands exactly on a fast cycle (synchronous clocks, no
+        resynchronisation penalty — §2.2).
+        """
+        if not ratios:
+            raise ValueError("at least one cluster ratio is required")
+        if ratios[0] != 1:
+            raise ValueError("the host cluster's clock ratio must be 1")
+        for ratio in ratios:
+            if ratio < 1:
+                raise ValueError(f"cluster clock ratios must be >= 1, got {ratios}")
+        base = lcm(*ratios)
+        periods = tuple(base // ratio for ratio in ratios)
+        return cls(ratio=base, periods=periods)
+
+    @property
+    def num_domains(self) -> int:
+        return len(self.periods)
 
     # ------------------------------------------------------------- membership
     def is_wide_cycle(self, fast_cycle: int) -> bool:
@@ -52,13 +101,14 @@ class ClockingModel:
         return fast_cycle % self.ratio == 0
 
     def is_narrow_cycle(self, fast_cycle: int) -> bool:
-        """The narrow domain acts every fast cycle."""
-        return True
+        """Whether the paper's helper domain is active (period-1 helpers always are)."""
+        if len(self.periods) < 2:
+            return True
+        return fast_cycle % self.periods[1] == 0
 
-    def domain_active(self, domain: ClockDomain, fast_cycle: int) -> bool:
-        if domain == ClockDomain.WIDE:
-            return self.is_wide_cycle(fast_cycle)
-        return self.is_narrow_cycle(fast_cycle)
+    def domain_active(self, domain: int, fast_cycle: int) -> bool:
+        period = self.periods[domain]
+        return period == 1 or fast_cycle % period == 0
 
     # ------------------------------------------------------------ conversions
     def slow_to_fast(self, slow_cycles: int | float) -> int:
@@ -70,22 +120,23 @@ class ClockingModel:
         """Convert fast cycles to (possibly fractional) slow cycles."""
         return fast_cycles / self.ratio
 
-    def exec_latency(self, domain: ClockDomain, latency_slow: int) -> int:
+    def exec_latency(self, domain: int, latency_slow: int) -> int:
         """Execution latency of an op, in fast cycles, for the given domain.
 
-        A one-slow-cycle ALU op costs ``ratio`` fast cycles in the wide
-        cluster but only one fast cycle in the helper cluster — that is the
-        entire performance argument for the helper cluster.
+        Opcode latencies are defined in cycles of the executing cluster's own
+        clock, so an op of latency L takes ``L * period`` fast cycles.  A
+        one-slow-cycle ALU op therefore costs ``ratio`` fast cycles in the
+        wide cluster but only one fast cycle in a full-speed helper cluster —
+        that is the entire performance argument for the helper cluster.
         """
         if latency_slow < 1:
             raise ValueError(f"latency must be >= 1 slow cycle, got {latency_slow}")
-        if domain == ClockDomain.WIDE:
-            return latency_slow * self.ratio
-        return latency_slow
+        return latency_slow * self.periods[domain]
 
-    def next_active_cycle(self, domain: ClockDomain, fast_cycle: int) -> int:
+    def next_active_cycle(self, domain: int, fast_cycle: int) -> int:
         """First fast cycle >= ``fast_cycle`` on which ``domain`` is active."""
-        if domain == ClockDomain.NARROW:
+        period = self.periods[domain]
+        if period == 1:
             return fast_cycle
-        remainder = fast_cycle % self.ratio
-        return fast_cycle if remainder == 0 else fast_cycle + (self.ratio - remainder)
+        remainder = fast_cycle % period
+        return fast_cycle if remainder == 0 else fast_cycle + (period - remainder)

@@ -48,9 +48,13 @@ class ExecutionUnitPool:
     Divide and multiply units are not pipelined (an operation occupies the
     unit for its full latency); everything else accepts a new operation every
     cycle of its own clock domain.
+
+    ``domain`` is the owning cluster's index into the clocking model's
+    per-domain periods (a :class:`ClockDomain` member for the paper's pair,
+    a plain int for further helper clusters).
     """
 
-    domain: ClockDomain
+    domain: int
     clocking: ClockingModel
     has_fp: bool = True
     unit_counts: Dict[FunctionalUnit, int] = field(

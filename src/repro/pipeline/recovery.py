@@ -56,14 +56,22 @@ class RecoveryManager:
 
     # ------------------------------------------------------------------ flush
     def trigger(self, trigger_uid: int, trigger_seq: int, fast_cycle: int,
-                squashed_uids: Optional[List[int]] = None) -> RecoveryEvent:
-        """Register a fatal misprediction detected at ``fast_cycle``."""
+                squashed_uids: Optional[List[int]] = None,
+                penalty_slow: Optional[int] = None) -> RecoveryEvent:
+        """Register a fatal misprediction detected at ``fast_cycle``.
+
+        ``penalty_slow`` overrides the manager's default flush penalty for
+        this event — the simulator passes the penalty of the cluster the
+        misprediction was detected in (per-cluster ``flush_penalty_slow``).
+        """
+        if penalty_slow is None:
+            penalty_slow = self.flush_penalty_slow
         event = RecoveryEvent(
             trigger_uid=trigger_uid,
             trigger_seq=trigger_seq,
             fast_cycle=fast_cycle,
             squashed_uids=list(squashed_uids or []),
-            refetch_ready_cycle=fast_cycle + self.flush_penalty_slow * self.clock_ratio,
+            refetch_ready_cycle=fast_cycle + penalty_slow * self.clock_ratio,
         )
         self.events.append(event)
         self._blocked_until_fast_cycle = max(self._blocked_until_fast_cycle,

@@ -37,8 +37,10 @@ class RenameEntry:
     #: value is already committed / written back.
     producer_uid: Optional[int] = None
     #: Cluster the producer was steered to (meaningful while in flight, and
-    #: kept after writeback so consumers know where the value lives).
-    producer_domain: ClockDomain = ClockDomain.WIDE
+    #: kept after writeback so consumers know where the value lives).  A
+    #: cluster index: ``ClockDomain`` members for the paper's pair, plain
+    #: ints for further helper clusters — compare by value, not identity.
+    producer_domain: int = ClockDomain.WIDE
     #: Width-table bit: True when the last written-back value was narrow.
     narrow: bool = True
     #: Whether the producer has written back (so ``narrow`` is an actual
@@ -75,7 +77,7 @@ class RenameTable:
         return self._entries.values()
 
     # ------------------------------------------------------------ rename flow
-    def allocate(self, reg: ArchReg, producer_uid: int, domain: ClockDomain,
+    def allocate(self, reg: ArchReg, producer_uid: int, domain: int,
                  predicted_narrow: bool) -> None:
         """Bind ``reg`` to a new in-flight producer at rename time."""
         entry = self._entries[reg]
@@ -90,7 +92,7 @@ class RenameTable:
         entry.written_back = False
 
     def writeback(self, reg: ArchReg, producer_uid: int, narrow: bool,
-                  domain: Optional[ClockDomain] = None) -> None:
+                  domain: Optional[int] = None) -> None:
         """Record that the producer of ``reg`` wrote back with actual width."""
         entry = self._entries[reg]
         if entry.producer_uid != producer_uid:
@@ -115,7 +117,7 @@ class RenameTable:
         entries = self._entries
         return [entries[reg].narrow for reg in regs]
 
-    def producer_domain(self, reg: ArchReg) -> ClockDomain:
+    def producer_domain(self, reg: ArchReg) -> int:
         return self._entries[reg].producer_domain
 
     def producer_uid(self, reg: ArchReg) -> Optional[int]:

@@ -29,7 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import MachineConfig, baseline_config, helper_cluster_config
 from repro.core.steering import make_policy
-from repro.sim.cache import ResultCache, result_key
+from repro.sim.cache import ResultCache, canonical_text, result_key
 from repro.sim.metrics import SimulationResult
 from repro.sim.simulator import simulate
 from repro.trace.profiles import BenchmarkProfile, get_profile
@@ -47,10 +47,14 @@ _trace_memo: Dict[Tuple[str, int, int, bool], Trace] = {}
 
 @dataclass(frozen=True)
 class SweepJob:
-    """One (benchmark, policy) simulation of a sweep.
+    """One (benchmark, policy, machine) simulation of a sweep.
 
     ``policy == "baseline"`` runs the monolithic baseline machine; every
-    other name is resolved through the policy ladder.
+    other name is resolved through the policy ladder.  ``config`` overrides
+    the engine's machine configuration for this job — that is how a
+    design-space exploration fans out over topologies: one job per
+    (topology, benchmark) with the topology carried in the job itself, so
+    workers and the cache key see exactly the machine the job simulates.
     """
 
     benchmark: str
@@ -58,6 +62,7 @@ class SweepJob:
     trace_uops: int
     seed: int
     use_slicing: bool = False
+    config: Optional[MachineConfig] = None
 
 
 def job_seed(sweep_seed: int, benchmark: str) -> int:
@@ -104,12 +109,18 @@ def trace_for_job(job: SweepJob, profile: Optional[BenchmarkProfile] = None) -> 
 
 def execute_job(job: SweepJob, config: MachineConfig,
                 profile: Optional[BenchmarkProfile] = None) -> SimulationResult:
-    """Run one job to completion (trace generation included)."""
+    """Run one job to completion (trace generation included).
+
+    The job's own ``config`` wins over the engine-supplied one; the baseline
+    policy always runs the monolithic baseline machine (the paper's
+    methodology normalises every topology to the same baseline).
+    """
     trace = trace_for_job(job, profile)
     if job.policy == "baseline":
         cfg = baseline_config()
         return simulate(trace, config=cfg, policy=make_policy("baseline"))
-    return simulate(trace, config=config, policy=make_policy(job.policy))
+    return simulate(trace, config=job.config or config,
+                    policy=make_policy(job.policy))
 
 
 def _pool_worker(task: bytes) -> bytes:
@@ -148,11 +159,20 @@ class SweepEngine:
 
     # ------------------------------------------------------------------ keys
     def key_for(self, job: SweepJob) -> str:
-        """Content-address of a job's result."""
-        config = baseline_config() if job.policy == "baseline" else self.config
+        """Content-address of a job's result.
+
+        The machine configuration contributes through its canonical
+        ``to_key_dict()`` (topology included), so any config field change —
+        not just the handful of fields a sweep happens to vary — changes the
+        key and can never serve a stale cached result.
+        """
+        if job.policy == "baseline":
+            config = baseline_config()
+        else:
+            config = job.config or self.config
         profile = self._profile_for(job.benchmark)
         return result_key(profile, job.trace_uops, job.seed, job.use_slicing,
-                          config, job.policy)
+                          canonical_text(config.to_key_dict()), job.policy)
 
     def register_profile(self, profile: BenchmarkProfile) -> None:
         """Make a (possibly unregistered) profile resolvable by name."""
@@ -210,7 +230,8 @@ class SweepEngine:
 
         # Adjacent jobs share a benchmark (the builders emit them grouped),
         # so contiguous chunks let each worker reuse its memoised trace.
-        tasks = [pickle.dumps((job, self.config, self._profile_for(job.benchmark)),
+        tasks = [pickle.dumps((job, job.config or self.config,
+                               self._profile_for(job.benchmark)),
                               protocol=pickle.HIGHEST_PROTOCOL)
                  for job in pending]
         workers = min(self.jobs, len(tasks))

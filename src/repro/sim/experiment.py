@@ -15,9 +15,15 @@ Serial and parallel paths are bit-identical (see DESIGN.md and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.config import MachineConfig, helper_cluster_config
+from repro.core.config import (
+    MachineConfig,
+    Topology,
+    helper_cluster_config,
+    helper_topology,
+    topology_config,
+)
 from repro.core.steering import POLICY_LADDER, make_policy
 from repro.sim.cache import ResultCache
 from repro.sim.engine import SweepEngine, SweepJob, job_seed, trace_for_job
@@ -25,6 +31,7 @@ from repro.sim.metrics import SimulationResult, speedup
 from repro.sim.simulator import simulate
 from repro.trace.profiles import SPEC_INT_2000, SPEC_INT_NAMES, BenchmarkProfile
 from repro.trace.trace import Trace
+from repro.trace.workloads import WorkloadApp, build_workload_suite
 
 #: Default trace length (uops) used by experiments.  The paper simulates
 #: 100M-instruction traces; the synthetic profiles converge much earlier, and
@@ -71,6 +78,123 @@ class PolicySweepResult:
 
     def speedup_series(self, policy: str) -> Dict[str, float]:
         return {b: self.results[b].speedup(policy) for b in self.benchmarks}
+
+
+@dataclass(frozen=True)
+class TopologyPoint:
+    """One machine shape of a design-space exploration."""
+
+    name: str
+    config: MachineConfig
+
+    @property
+    def topology(self) -> Topology:
+        return self.config.cluster_topology()
+
+    def describe(self) -> str:
+        """Compact cluster summary, e.g. ``32 + 2x8b@2x``."""
+        topology = self.topology
+        if not topology.helpers:
+            return f"{topology.host.datapath_width}b host only"
+        by_shape: Dict[Tuple[int, int], int] = {}
+        for spec in topology.helpers:
+            key = (spec.datapath_width, spec.clock_ratio)
+            by_shape[key] = by_shape.get(key, 0) + 1
+        parts = [f"{count}x{width}b@{ratio}x"
+                 for (width, ratio), count in sorted(by_shape.items())]
+        return f"{topology.host.datapath_width}b + " + " + ".join(parts)
+
+
+def build_topology_grid(widths: Sequence[int] = (4, 8, 16),
+                        ratios: Sequence[int] = (1, 2),
+                        helper_counts: Sequence[int] = (1, 2),
+                        predictor_entries: int = 256) -> List[TopologyPoint]:
+    """The narrow-width x clock-ratio x helper-count exploration grid.
+
+    The default grid is 3 x 2 x 2 = 12 machine shapes, with the paper's
+    design point (``w8x2h1``) among them.
+    """
+    points: List[TopologyPoint] = []
+    for width in widths:
+        for ratio in ratios:
+            for count in helper_counts:
+                name = f"w{width}x{ratio}h{count}"
+                config = topology_config(
+                    helper_topology(narrow_width=width, clock_ratio=ratio,
+                                    helpers=count),
+                    predictor_entries=predictor_entries)
+                points.append(TopologyPoint(name=name, config=config))
+    return points
+
+
+@dataclass
+class TopologySweepResult:
+    """Results of a topology-grid exploration under one steering policy."""
+
+    policy: str
+    benchmarks: List[str]
+    points: List[TopologyPoint]
+    #: benchmark -> monolithic baseline result (shared across all points)
+    baselines: Dict[str, SimulationResult] = field(default_factory=dict)
+    #: (point name, benchmark) -> result
+    results: Dict[Tuple[str, str], SimulationResult] = field(default_factory=dict)
+
+    def result(self, point: str, benchmark: str) -> SimulationResult:
+        return self.results[(point, benchmark)]
+
+    def speedup(self, point: str, benchmark: str) -> float:
+        return speedup(self.baselines[benchmark], self.results[(point, benchmark)])
+
+    def mean_speedup(self, point: str) -> float:
+        values = [self.speedup(point, b) for b in self.benchmarks]
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_helper_fraction(self, point: str) -> float:
+        values = [self.results[(point, b)].helper_fraction for b in self.benchmarks]
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_copy_fraction(self, point: str) -> float:
+        values = [self.results[(point, b)].copy_fraction for b in self.benchmarks]
+        return sum(values) / len(values) if values else 0.0
+
+    def best_point(self) -> TopologyPoint:
+        return max(self.points, key=lambda p: self.mean_speedup(p.name))
+
+
+@dataclass
+class WorkloadSweepResult:
+    """Results of the Table 2 workload suite under one steering policy."""
+
+    policy: str
+    apps: List[WorkloadApp]
+    #: app name -> monolithic baseline result
+    baselines: Dict[str, SimulationResult] = field(default_factory=dict)
+    #: app name -> policy result
+    by_app: Dict[str, SimulationResult] = field(default_factory=dict)
+
+    def speedup(self, app_name: str) -> float:
+        return speedup(self.baselines[app_name], self.by_app[app_name])
+
+    def speedups(self) -> Dict[str, float]:
+        return {app.name: self.speedup(app.name) for app in self.apps}
+
+    def category_speedups(self) -> Dict[str, List[float]]:
+        by_category: Dict[str, List[float]] = {}
+        for app in self.apps:
+            by_category.setdefault(app.category, []).append(self.speedup(app.name))
+        return by_category
+
+    def category_means(self) -> Dict[str, float]:
+        return {category: sum(values) / len(values)
+                for category, values in self.category_speedups().items()}
+
+    def mean_speedup(self) -> float:
+        values = [self.speedup(app.name) for app in self.apps]
+        return sum(values) / len(values) if values else 0.0
+
+    def s_curve(self) -> List[float]:
+        """Per-app performance sorted ascending, baseline = 1 (Figure 14)."""
+        return sorted(1.0 + self.speedup(app.name) for app in self.apps)
 
 
 class ExperimentRunner:
@@ -153,6 +277,80 @@ class ExperimentRunner:
                                      use_slicing=self.use_slicing,
                                      use_cache=self.use_cache)
 
+    # -------------------------------------------------------- design space
+    def run_topology_grid(self, points: Sequence[TopologyPoint],
+                          profiles: Iterable[BenchmarkProfile],
+                          policy: str = "ir") -> TopologySweepResult:
+        """Sweep machine shapes x benchmarks through the parallel engine.
+
+        One job per (topology point, benchmark) plus a shared monolithic
+        baseline per benchmark; every job carries its topology, so the pool
+        fans out over machine shapes exactly as it does over benchmarks, and
+        the result cache keys each point separately.
+        """
+        if policy == "baseline":
+            raise ValueError("the exploration policy must be a helper policy")
+        profiles = list(profiles)
+        jobs: List[SweepJob] = []
+        for profile in profiles:
+            self.engine.register_profile(profile)
+            seed_for_bench = job_seed(self.seed, profile.name)
+            jobs.append(SweepJob(profile.name, "baseline", self.trace_uops,
+                                 seed_for_bench, self.use_slicing))
+            for point in points:
+                jobs.append(SweepJob(profile.name, policy, self.trace_uops,
+                                     seed_for_bench, self.use_slicing,
+                                     config=point.config))
+        results = self.engine.run_jobs(jobs, use_cache=self.use_cache)
+
+        sweep = TopologySweepResult(policy=policy,
+                                    benchmarks=[p.name for p in profiles],
+                                    points=list(points))
+        for profile in profiles:
+            seed_for_bench = job_seed(self.seed, profile.name)
+            sweep.baselines[profile.name] = results[SweepJob(
+                profile.name, "baseline", self.trace_uops, seed_for_bench,
+                self.use_slicing)]
+            for point in points:
+                sweep.results[(point.name, profile.name)] = results[SweepJob(
+                    profile.name, policy, self.trace_uops, seed_for_bench,
+                    self.use_slicing, config=point.config)]
+        return sweep
+
+    # ----------------------------------------------------- workload suite
+    def run_workload_suite(self, policy: str = "ir_nodest",
+                           categories: Optional[Sequence[str]] = None,
+                           apps_per_category: Optional[int] = None,
+                           base_seed: Optional[int] = None) -> WorkloadSweepResult:
+        """Run the Table 2 suite (§3.8 / Figure 14) through the engine.
+
+        Each application is a (perturbed-profile, per-app seed) job pair —
+        baseline plus ``policy`` — fanned over the worker pool and served
+        from the result cache on re-runs, replacing the serial per-app loop
+        of the benchmark harness.
+        """
+        apps = build_workload_suite(
+            list(categories) if categories else None,
+            apps_per_category=apps_per_category,
+            base_seed=self.seed if base_seed is None else base_seed)
+        jobs: List[SweepJob] = []
+        for app in apps:
+            self.engine.register_profile(app.profile)
+            jobs.append(SweepJob(app.name, "baseline", self.trace_uops,
+                                 app.seed, self.use_slicing))
+            jobs.append(SweepJob(app.name, policy, self.trace_uops,
+                                 app.seed, self.use_slicing))
+        results = self.engine.run_jobs(jobs, use_cache=self.use_cache)
+
+        sweep = WorkloadSweepResult(policy=policy, apps=apps)
+        for app in apps:
+            sweep.baselines[app.name] = results[SweepJob(
+                app.name, "baseline", self.trace_uops, app.seed,
+                self.use_slicing)]
+            sweep.by_app[app.name] = results[SweepJob(
+                app.name, policy, self.trace_uops, app.seed, self.use_slicing)]
+        return sweep
+
 
 def run_spec_suite(policies: Sequence[str], trace_uops: int = DEFAULT_TRACE_UOPS,
                    seed: int = 2006, benchmarks: Optional[Sequence[str]] = None,
@@ -166,6 +364,25 @@ def run_spec_suite(policies: Sequence[str], trace_uops: int = DEFAULT_TRACE_UOPS
     names = list(benchmarks) if benchmarks else SPEC_INT_NAMES
     profiles = [SPEC_INT_2000[name] for name in names]
     return runner.run_suite(profiles, policies)
+
+
+def run_topology_exploration(widths: Sequence[int] = (4, 8, 16),
+                             ratios: Sequence[int] = (1, 2),
+                             helper_counts: Sequence[int] = (1, 2),
+                             policy: str = "ir",
+                             trace_uops: int = DEFAULT_TRACE_UOPS,
+                             seed: int = 2006,
+                             benchmarks: Optional[Sequence[str]] = None,
+                             jobs: int = 1, cache_dir: Optional[str] = None,
+                             use_cache: bool = True
+                             ) -> Tuple[TopologySweepResult, ExperimentRunner]:
+    """Design-space exploration: sweep a topology grid over SPEC benchmarks."""
+    runner = ExperimentRunner(trace_uops=trace_uops, seed=seed, jobs=jobs,
+                              cache_dir=cache_dir, use_cache=use_cache)
+    names = list(benchmarks) if benchmarks else SPEC_INT_NAMES
+    profiles = [SPEC_INT_2000[name] for name in names]
+    points = build_topology_grid(widths, ratios, helper_counts)
+    return runner.run_topology_grid(points, profiles, policy=policy), runner
 
 
 def run_policy_ladder(trace_uops: int = DEFAULT_TRACE_UOPS, seed: int = 2006,

@@ -8,7 +8,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-from repro.sim.experiment import PolicySweepResult
+from repro.sim.experiment import (
+    PolicySweepResult,
+    TopologySweepResult,
+    WorkloadSweepResult,
+)
 from repro.sim.metrics import SimulationResult
 
 
@@ -117,6 +121,88 @@ def sweep_to_csv(sweep: PolicySweepResult) -> str:
                 result.recoveries, result.slow_cycles,
             ])
     return to_csv(headers, rows)
+
+
+def format_topology_table(sweep: TopologySweepResult,
+                          title: Optional[str] = None) -> str:
+    """Sensitivity table of a design-space exploration (``explore`` command).
+
+    One row per machine shape with its mean speedup over the shared
+    monolithic baseline, helper occupancy and copy overhead; the best point
+    is marked so a grid scan reads off the winner directly.
+    """
+    best = sweep.best_point().name if sweep.points else None
+    headers = ["point", "clusters", "mean speedup %", "mean helper %",
+               "mean copies %", ""]
+    rows: List[List[object]] = []
+    for point in sweep.points:
+        rows.append([
+            point.name,
+            point.describe(),
+            sweep.mean_speedup(point.name) * 100.0,
+            sweep.mean_helper_fraction(point.name) * 100.0,
+            sweep.mean_copy_fraction(point.name) * 100.0,
+            "<-- best" if point.name == best else "",
+        ])
+    return format_table(
+        headers, rows,
+        title=title or (f"Design-space exploration ({sweep.policy}, "
+                        f"{len(sweep.points)} points x "
+                        f"{len(sweep.benchmarks)} benchmarks)"),
+        float_format="{:.2f}")
+
+
+def topology_sweep_to_csv(sweep: TopologySweepResult) -> str:
+    """All (point, benchmark) rows of a topology exploration as CSV."""
+    headers = ["point", "clusters", "benchmark", "speedup", "ipc",
+               "helper_fraction", "copy_fraction", "recoveries", "slow_cycles"]
+    rows: List[List[object]] = []
+    for point in sweep.points:
+        for benchmark in sweep.benchmarks:
+            result = sweep.result(point.name, benchmark)
+            rows.append([
+                point.name, point.describe(), benchmark,
+                sweep.speedup(point.name, benchmark), result.ipc,
+                result.helper_fraction, result.copy_fraction,
+                result.recoveries, result.slow_cycles,
+            ])
+    return to_csv(headers, rows)
+
+
+def format_workload_summary(sweep: WorkloadSweepResult,
+                            descriptions: Optional[Mapping[str, str]] = None,
+                            curve_points: int = 20) -> str:
+    """Figure 14: per-category mean speedups plus the per-app S-curve.
+
+    The S-curve is rendered as evenly spaced quantiles (plus both extremes)
+    so the summary stays readable for the full 409-app suite.
+    """
+    by_category = sweep.category_speedups()
+    rows: List[List[object]] = []
+    for category, gains in by_category.items():
+        description = (descriptions or {}).get(category, "")
+        rows.append([category, description, len(gains),
+                     sum(gains) / len(gains) * 100.0])
+    rows.append(["ALL", "suite average", len(sweep.apps),
+                 sweep.mean_speedup() * 100.0])
+    text = format_table(
+        ["category", "description", "#apps", "mean performance increase %"],
+        rows,
+        title=f"Figure 14 - workload-category performance ({sweep.policy})",
+        float_format="{:.2f}")
+
+    curve = sweep.s_curve()
+    if curve:
+        count = min(curve_points, len(curve))
+        indices = sorted({round(i * (len(curve) - 1) / max(1, count - 1))
+                          for i in range(count)})
+        curve_rows = [[index + 1, curve[index]] for index in indices]
+        text += "\n\n" + format_table(
+            ["application rank", "performance (baseline = 1)"], curve_rows,
+            title=(f"Figure 14 (bottom) - per-application S-curve "
+                   f"({len(curve)} apps)"),
+            float_format="{:.3f}")
+    return text
 
 
 def format_cache_stats(cache) -> str:

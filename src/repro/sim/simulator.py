@@ -1,25 +1,32 @@
 """The helper-cluster timing simulator.
 
 ``HelperClusterSimulator`` executes a trace on the clustered machine
-described by a :class:`~repro.core.config.MachineConfig` under a
+described by a :class:`~repro.core.config.MachineConfig` — one
+:class:`~repro.core.cluster.Backend` per cluster of its
+:class:`~repro.core.config.Topology` — under a
 :class:`~repro.core.steering.SteeringPolicy`, advancing time in *fast*
-(helper-cluster) cycles.  The wide backend, the frontend and the commit stage
-only act on fast cycles that fall on the wide clock (every ``clock_ratio``-th
-cycle), which is how the 2x clocking advantage of the helper backend (§2.2)
-is expressed.
+cycles (the least common multiple of the cluster clocks per host cycle).
+The host (wide) backend, the frontend and the commit stage only act on fast
+cycles that fall on the host clock, and every helper backend acts on
+multiples of its own period, which is how the clocking advantage of narrow
+helper backends (§2.2) is expressed.  The paper's machine is the two-cluster
+case; the simulator itself just iterates the cluster list.
 
 Per fast cycle the simulator performs, in order:
 
 1. **writeback** — completion events: wake consumers, update the width /
    carry / copy-prefetch predictors, detect fatal width mispredictions and
    trigger flushing recovery (§3.2);
-2. **issue** — per active backend, oldest-first select of ready scheduler
-   entries subject to issue width, functional-unit and DL0-port constraints;
+2. **issue** — per active backend (helpers first, host last), oldest-first
+   select of ready scheduler entries subject to issue width, functional-unit
+   and DL0-port constraints;
 3. **commit** — on wide cycles, in-order retirement of up to the commit
    width;
 4. **dispatch** — on wide cycles, fetch/decode/steer/rename of new trace uops
    (and re-dispatch of squashed ones), generation of inter-cluster copy uops,
    load replication (§3.4), copy prefetching (§3.6) and IR splitting (§3.7).
+   Policies steer wide-vs-helper; the simulator resolves narrow-steered work
+   to a concrete helper cluster (least-loaded capable one).
 
 Copy uops and IR split chunks are modelled as first-class scheduler entries:
 they occupy issue slots in the cluster they execute in, exactly the overhead
@@ -32,7 +39,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.core.cluster import Backend, BackendKind
+from repro.core.cluster import Backend
 from repro.core.config import MachineConfig, helper_cluster_config
 from repro.core.copy_engine import CopyEngine, CopyRequest
 from repro.core.imbalance import ImbalanceMonitor
@@ -64,6 +71,11 @@ from repro.trace.trace import Trace
 #: fast cycles per trace uop.
 _MAX_CYCLES_PER_UOP = 400
 
+#: The host (wide) cluster index.  Domains are cluster indices throughout the
+#: simulator; ``ClockDomain.WIDE``/``NARROW`` compare equal to 0/1, so the
+#: paper's two-cluster API interoperates.
+_WIDE = 0
+
 
 @dataclass(slots=True)
 class _DynUop:
@@ -72,7 +84,7 @@ class _DynUop:
     dyn_id: int
     kind: str                       # "trace" | "copy" | "chunk"
     seq: int
-    domain: ClockDomain
+    domain: int                     # cluster index (0 = wide host)
     opcode: Opcode
     uop: Optional[MicroOp] = None
     decision: Optional[SteerDecision] = None
@@ -101,29 +113,49 @@ class HelperClusterSimulator:
         self.trace = trace
         self.config = config or helper_cluster_config()
         self.policy = policy or BaselineSteering()
-        self.clocking = ClockingModel(ratio=self.config.clock_ratio)
+        self.topology = self.config.cluster_topology()
+        self.clocking = ClockingModel.from_ratios(
+            [spec.clock_ratio for spec in self.topology.clusters])
 
-        # Substrate structures.
+        # Substrate structures.  One backend per topology cluster; cluster 0
+        # is the host (wide) backend, everything after it a helper.
         self.frontend = Frontend(trace, fetch_width=self.config.fetch_width,
                                  trace_cache=TraceCache(self.config.trace_cache))
-        self.wide = Backend(BackendKind.WIDE, self.config, self.clocking)
-        self.narrow = Backend(BackendKind.NARROW, self.config, self.clocking)
+        self.clusters: List[Backend] = [
+            Backend(spec, self.config, self.clocking, index=i)
+            for i, spec in enumerate(self.topology.clusters)]
+        self.wide = self.clusters[0]
+        self.helpers: List[Backend] = self.clusters[1:]
+        # Two-cluster compat view: ``sim.narrow`` has always been a Backend,
+        # even on the monolithic baseline (where it is dormant).  The dormant
+        # backend gets its own two-domain clock so none of its methods can
+        # index past the host-only clocking model.
+        if self.helpers:
+            self.narrow = self.helpers[0]
+        else:
+            from repro.core.cluster import BackendKind
+            self.narrow = Backend(BackendKind.NARROW, self.config,
+                                  ClockingModel(ratio=self.clocking.ratio))
         self.rob = ReorderBuffer(size=self.config.rob_size,
                                  commit_width=self.config.commit_width)
         self.mob = MemoryOrderBuffer()
         self.memory = MemoryHierarchy(self.config.memory)
         self.rename = RenameTable()
         self.recovery = RecoveryManager(
-            flush_penalty_slow=self.config.helper.flush_penalty_slow,
-            clock_ratio=self.config.clock_ratio)
+            flush_penalty_slow=self.topology.flush_penalty_slow,
+            clock_ratio=self.clocking.ratio)
 
         # Core mechanisms.
         self.width_predictor = WidthPredictor(
             entries=self.config.predictor.table_entries,
             use_confidence=self.config.predictor.use_confidence,
             confidence_threshold=self.config.predictor.confidence_threshold)
-        self.copy_engine = CopyEngine()
-        self.imbalance = ImbalanceMonitor(queue_size=self.config.scheduler.queue_size)
+        self.copy_engine = CopyEngine(num_domains=len(self.clusters))
+        helper_capacity = (sum(spec.queue_size for spec in self.topology.helpers)
+                           or self.config.scheduler.queue_size)
+        self.imbalance = ImbalanceMonitor(
+            queue_size=helper_capacity,
+            wide_queue_size=self.topology.host.queue_size)
         self.splitter = InstructionSplitter(narrow_width=self.config.narrow_width)
         self.context = SteeringContext(
             config=self.config, width_predictor=self.width_predictor,
@@ -155,8 +187,12 @@ class HelperClusterSimulator:
         self._predict = self.width_predictor.predict
         self._activity = self.result.activity
         self._ratio = self.clocking.ratio
+        self._periods = self.clocking.periods
         self._dl0_hit_fast = (self.config.memory.dl0.hit_latency - 1) * self.clocking.ratio
-        self._helper_enabled = self.config.helper.enabled
+        self._helper_enabled = bool(self.helpers)
+        self._single_helper = len(self.helpers) == 1
+        self._copy_latency_fast = [self.clocking.slow_to_fast(spec.copy_latency_slow)
+                                   for spec in self.topology.clusters]
         self._uses_cp = getattr(self.policy, "uses_copy_prefetch", False)
         self._uses_lr = getattr(self.policy, "uses_load_replication", False)
 
@@ -204,20 +240,34 @@ class HelperClusterSimulator:
 
         Three cases, in order:
 
-        * the helper scheduler has ready work — it can issue on the very next
-          fast cycle, so time advances by one;
-        * event skip (long memory waits): nothing is ready in either cluster
-          and completions are pending — jump to the next completion, or the
-          next wide cycle if dispatch could make progress.  These skipped
-          cycles are not sampled, preserving the original accounting;
-        * idle hop: the helper scheduler has nothing ready, so no backend can
-          act strictly before the next wide cycle (or completion).  Hop
-          there, folding the skipped cycles' — provably frozen — occupancy
-          statistics in as one aggregate sample.
+        * a helper scheduler with ready work is active on the very next fast
+          cycle — time advances by one;
+        * event skip (long memory waits): nothing is ready in any cluster
+          active before the next event and completions are pending — jump to
+          the next completion, or the next wide cycle if dispatch could make
+          progress.  These skipped cycles are not sampled, preserving the
+          original accounting;
+        * idle hop: no helper scheduler has ready work due earlier, so no
+          backend can act strictly before the next wide cycle (or completion,
+          or ready helper's clock edge).  Hop there, folding the skipped
+          cycles' — provably frozen — occupancy statistics in as one
+          aggregate sample.
         """
-        if self._helper_enabled and self.narrow.issue_queue.ready_count():
-            return t + 1
         next_t = t + 1
+        # Earliest upcoming cycle at which a helper with ready work is active
+        # (period-1 helpers, the common case, bound it to ``next_t``).
+        helper_bound: Optional[int] = None
+        periods = self._periods
+        for backend in self.helpers:
+            if not backend.issue_queue.ready_count():
+                continue
+            index = backend.index
+            nxt = (next_t if periods[index] == 1
+                   else self.clocking.next_active_cycle(index, next_t))
+            if nxt == next_t:
+                return next_t
+            if helper_bound is None or nxt < helper_bound:
+                helper_bound = nxt
         completions = self._completions
         if self.wide.issue_queue.ready_count() == 0 and completions:
             next_event = min(completions)
@@ -227,16 +277,20 @@ class HelperClusterSimulator:
                              or self._pending_fetch)
                             and not self.rob.is_full())
             if can_dispatch:
-                next_wide = self.clocking.next_active_cycle(ClockDomain.WIDE, t + 1)
+                next_wide = self.clocking.next_active_cycle(_WIDE, t + 1)
                 next_event = min(next_event, next_wide)
+            if helper_bound is not None:
+                next_event = min(next_event, helper_bound)
             if next_event > next_t:
                 return next_event
             return next_t
-        target = self.clocking.next_active_cycle(ClockDomain.WIDE, next_t)
+        target = self.clocking.next_active_cycle(_WIDE, next_t)
         if completions:
             next_completion = min(completions)
             if next_completion < target:
                 target = next_completion
+        if helper_bound is not None and helper_bound < target:
+            target = helper_bound
         skipped = target - next_t
         if skipped > 0:
             # The machine may already be fully drained (the run loop is about
@@ -250,15 +304,18 @@ class HelperClusterSimulator:
     def _record_idle_cycles(self, cycles: int) -> None:
         """Fold ``cycles`` skipped no-op cycles into the sampling statistics.
 
-        During an idle hop neither queue changes and the helper queue has
-        nothing ready, so each skipped (always narrow-only) cycle would have
-        recorded the same occupancy terms and zero NREADY terms.
+        During an idle hop no queue changes and no active helper queue has
+        anything ready, so each skipped cycle would have recorded the same
+        occupancy terms and zero NREADY terms.
         """
         wide_iq = self.wide.issue_queue
-        narrow_iq = self.narrow.issue_queue
-        self.imbalance.record_idle_cycles(len(wide_iq), len(narrow_iq), cycles)
+        helper_occupancy = 0
+        for backend in self.helpers:
+            helper_occupancy += len(backend.issue_queue)
+        self.imbalance.record_idle_cycles(len(wide_iq), helper_occupancy, cycles)
         wide_iq.sample_occupancy(cycles)
-        narrow_iq.sample_occupancy(cycles)
+        for backend in self.helpers:
+            backend.issue_queue.sample_occupancy(cycles)
 
     # ======================================================================
     # writeback stage
@@ -314,15 +371,15 @@ class HelperClusterSimulator:
 
     def _complete_trace_uop(self, dyn: _DynUop, t: int) -> None:
         uop = dyn.uop
-        backend = self.narrow if dyn.domain is ClockDomain.NARROW else self.wide
+        backend = self.clusters[dyn.domain]
         backend.stats.completed += 1
 
         actual_narrow = uop.result_is_narrow(self._narrow_width)
 
         # Fatal width misprediction detection: only instructions steered to
-        # the narrow backend on a prediction can be fatally wrong (§3.2).
+        # a narrow backend on a prediction can be fatally wrong (§3.2).
         fatal = False
-        if dyn.domain is ClockDomain.NARROW and dyn.decision is not None:
+        if dyn.domain != _WIDE and dyn.decision is not None:
             if dyn.decision.predicted_narrow:
                 fatal = (not uop.all_sources_narrow(self._narrow_width)
                          or not actual_narrow)
@@ -334,7 +391,7 @@ class HelperClusterSimulator:
         if uop.has_dest and dyn.predicted_narrow is not None:
             if dyn.predicted_narrow == actual_narrow:
                 self._prediction.correct += 1
-            elif dyn.domain is ClockDomain.NARROW and dyn.predicted_narrow:
+            elif dyn.domain != _WIDE and dyn.predicted_narrow:
                 self._prediction.fatal += 1
             else:
                 self._prediction.non_fatal += 1
@@ -362,13 +419,14 @@ class HelperClusterSimulator:
                                       domain=dyn.domain)
             self._wake(dyn.value_uid, dyn.domain)
             if dyn.replicate_load and uop.is_load and actual_narrow:
-                # LR (§3.4): the narrow load value is written into both
-                # clusters' register files through the shared MOB.  A wide
-                # value cannot be replicated into the 8-bit file; that case is
+                # LR (§3.4): the narrow load value is written into every
+                # cluster's register file through the shared MOB.  A wide
+                # value cannot be replicated into a narrow file; that case is
                 # simply a missed opportunity.
-                other = self._other_domain(dyn.domain)
                 self.copy_engine.note_replicated(dyn.value_uid, t)
-                self._wake(dyn.value_uid, other)
+                for domain in range(len(self.clusters)):
+                    if domain != dyn.domain:
+                        self._wake(dyn.value_uid, domain)
         if dyn.in_rob:
             self.rob.mark_completed(uop.uid)
 
@@ -393,40 +451,47 @@ class HelperClusterSimulator:
 
     # --------------------------------------------------------------- recovery
     def _recover(self, trigger: _DynUop, t: int) -> None:
-        """Flushing recovery (§3.2): squash from the mispredicted uop onward."""
+        """Flushing recovery (§3.2): squash from the mispredicted uop onward.
+
+        The flush covers every helper cluster: younger work in a sibling
+        helper may depend (through copies) on values being squashed here, so
+        partial flushes could strand waiters.
+        """
         seq = trigger.seq
-        squashed_entries = self.narrow.issue_queue.flush_from(seq)
+        trigger_domain = trigger.domain
         squashed: List[_DynUop] = []
-        for entry in squashed_entries:
-            dyn = entry.payload
-            assert isinstance(dyn, _DynUop)
-            if dyn.kind == "copy":
-                request = dyn.copy_request
-                assert request is not None
-                # A copy whose source value is already resident in the
-                # producer cluster is still architecturally useful (its
-                # producer is older than the flush point and not being
-                # re-executed), so it survives the flush.  Only copies of
-                # values that are themselves being squashed are dropped;
-                # their wide-cluster consumers are woken by the re-executed
-                # producer instead.
-                if self.copy_engine.availability(request.value_uid,
-                                                 request.from_domain) is not None:
-                    self.narrow.issue_queue.insert(entry, force=True)
-                else:
-                    dyn.squashed = True
-                    self.copy_engine.cancel_copy(request)
-                continue
-            dyn.squashed = True
-            squashed.append(dyn)
-        # In-flight (issued, not yet completed) narrow-cluster work younger
+        for backend in self.helpers:
+            squashed_entries = backend.issue_queue.flush_from(seq)
+            for entry in squashed_entries:
+                dyn = entry.payload
+                assert isinstance(dyn, _DynUop)
+                if dyn.kind == "copy":
+                    request = dyn.copy_request
+                    assert request is not None
+                    # A copy whose source value is already resident in the
+                    # producer cluster is still architecturally useful (its
+                    # producer is older than the flush point and not being
+                    # re-executed), so it survives the flush.  Only copies of
+                    # values that are themselves being squashed are dropped;
+                    # their consumers elsewhere are woken by the re-executed
+                    # producer instead.
+                    if self.copy_engine.availability(request.value_uid,
+                                                     request.from_domain) is not None:
+                        backend.issue_queue.insert(entry, force=True)
+                    else:
+                        dyn.squashed = True
+                        self.copy_engine.cancel_copy(request)
+                    continue
+                dyn.squashed = True
+                squashed.append(dyn)
+        # In-flight (issued, not yet completed) helper-cluster work younger
         # than the trigger is squashed as well — including anything completing
         # later in this very cycle.
         in_flight_groups = list(self._completions.values())
         in_flight_groups.append(getattr(self, "_current_completing", []))
         for dyns in in_flight_groups:
             for dyn in dyns:
-                if (dyn.domain is ClockDomain.NARROW and dyn.seq >= seq
+                if (dyn.domain != _WIDE and dyn.seq >= seq
                         and not dyn.completed and not dyn.squashed
                         and dyn.kind != "copy"):
                     dyn.squashed = True
@@ -439,7 +504,8 @@ class HelperClusterSimulator:
         event = self.recovery.trigger(
             trigger_uid=trigger.value_uid if trigger.value_uid is not None else trigger.dyn_id,
             trigger_seq=seq, fast_cycle=t,
-            squashed_uids=[d.dyn_id for d in squashed])
+            squashed_uids=[d.dyn_id for d in squashed],
+            penalty_slow=self.topology.clusters[trigger_domain].flush_penalty_slow)
 
         # Collapse chunk squashes onto their parents so the parent re-executes
         # as a single wide instruction.
@@ -458,7 +524,7 @@ class HelperClusterSimulator:
         for dyn in redispatch:
             # The original record stays as the ROB payload; it now reflects
             # wide-cluster execution for commit-time accounting.
-            dyn.domain = ClockDomain.WIDE
+            dyn.domain = _WIDE
             fresh = self._clone_for_redispatch(dyn)
             self._redispatch.append(fresh)
         self.result.squashed_uops += len(redispatch)
@@ -471,7 +537,7 @@ class HelperClusterSimulator:
             dyn_id=self._dyn_counter,
             kind="trace",
             seq=dyn.seq,
-            domain=ClockDomain.WIDE,
+            domain=_WIDE,
             opcode=dyn.opcode,
             uop=dyn.uop,
             decision=SteerDecision(domain=ClockDomain.WIDE, reason="recovery"),
@@ -485,8 +551,12 @@ class HelperClusterSimulator:
     # issue stage
     # ======================================================================
     def _issue(self, t: int) -> None:
-        if self._helper_enabled and self.narrow.issue_queue.ready_count():
-            self._issue_backend(self.narrow, t)
+        periods = self._periods
+        for backend in self.helpers:
+            if backend.issue_queue.ready_count():
+                period = periods[backend.index]
+                if period == 1 or t % period == 0:
+                    self._issue_backend(backend, t)
         if t % self._ratio == 0 and self.wide.issue_queue.ready_count():
             self._issue_backend(self.wide, t)
 
@@ -546,7 +616,7 @@ class HelperClusterSimulator:
                 continue
             uop = dyn.uop
             result.committed_uops += 1
-            if dyn.domain is ClockDomain.NARROW or dyn.kind == "chunk" or (
+            if dyn.domain != _WIDE or dyn.kind == "chunk" or (
                     dyn.decision is not None and dyn.decision.split):
                 self._helper_committed += 1
             if dyn.decision is not None and dyn.decision.split:
@@ -628,7 +698,10 @@ class HelperClusterSimulator:
         if decision.split:
             return self._dispatch_split(fetched, decision, t)
 
-        backend = self._backend(decision.domain)
+        # Policies steer wide-vs-helper; the simulator resolves *which*
+        # helper cluster (least-loaded, lowest index on ties).
+        cluster = self._target_cluster(decision, uop)
+        backend = self.clusters[cluster]
         if backend.issue_queue.is_full():
             return None
 
@@ -636,7 +709,7 @@ class HelperClusterSimulator:
         produces_value = uop.has_dest or uop.writes_flags
         dyn = _DynUop(
             dyn_id=self._dyn_counter, kind="trace", seq=fetched.seq,
-            domain=decision.domain, opcode=uop.opcode, uop=uop,
+            domain=cluster, opcode=uop.opcode, uop=uop,
             decision=decision, value_uid=uop.uid if produces_value else None,
             predicted_narrow=predicted_narrow,
             replicate_load=decision.replicate_load and self._uses_lr,
@@ -649,7 +722,7 @@ class HelperClusterSimulator:
                       allocate_rob: bool = False, force: bool = False) -> bool:
         """Place a dynamic uop into its backend's scheduler, wiring dependences."""
         uop = dyn.uop
-        backend = self.narrow if dyn.domain is ClockDomain.NARROW else self.wide
+        backend = self.clusters[dyn.domain]
         if backend.issue_queue.is_full() and not force:
             return False
         if dyn.unit is None:
@@ -835,7 +908,7 @@ class HelperClusterSimulator:
             self._waiters.setdefault((value_uid, from_domain), []).append(dyn)
         entry = IssueQueueEntry(
             uid=dyn.dyn_id, seq=dyn.seq, remaining_sources=outstanding,
-            fu_latency=self.clocking.slow_to_fast(self.config.helper.copy_latency_slow),
+            fu_latency=self._copy_latency_fast[from_domain],
             is_memory=False, payload=dyn)
         backend.issue_queue.insert(entry, force=force)
         self._iq_entries[dyn.dyn_id] = entry
@@ -854,18 +927,24 @@ class HelperClusterSimulator:
         prediction = dyn.decision.prediction if dyn.decision is not None else None
         if prediction is None:
             prediction = self.width_predictor.predict(uop.pc)
-        target: Optional[ClockDomain] = None
-        if dyn.domain is ClockDomain.NARROW and prediction.will_copy:
-            target = ClockDomain.WIDE
-        elif (dyn.domain is ClockDomain.WIDE and prediction.narrow
+        target: Optional[int] = None
+        if dyn.domain != _WIDE and prediction.will_copy:
+            target = _WIDE
+        elif (dyn.domain == _WIDE and prediction.narrow
               and prediction.confident and prediction.will_copy):
-            target = ClockDomain.NARROW
+            # Prefetch toward the currently least-loaded helper (index 1 in
+            # the paper's machine).  With several helpers this is a guess —
+            # the consumer is steered independently at its own dispatch time
+            # and may land elsewhere, in which case the prefetch is wasted
+            # and a demand copy is generated anyway (normal prefetch
+            # speculation; the CP accuracy stats account for it).
+            target = self._select_helper_cluster()
         if target is None:
             return
         if (self.copy_engine.copy_in_flight(uop.uid, target)
                 or self.copy_engine.availability(uop.uid, target) is not None):
             return
-        if self._backend(dyn.domain).issue_queue.is_full():
+        if self.clusters[dyn.domain].issue_queue.is_full():
             return
         self._inject_copy(uop.uid, dyn.domain, target, t, prefetch=True)
 
@@ -881,14 +960,20 @@ class HelperClusterSimulator:
             decision = SteerDecision(domain=ClockDomain.WIDE, reason="split_rejected")
             self._dyn_counter += 1
             dyn = _DynUop(dyn_id=self._dyn_counter, kind="trace", seq=fetched.seq,
-                          domain=ClockDomain.WIDE, opcode=uop.opcode, uop=uop,
+                          domain=_WIDE, opcode=uop.opcode, uop=uop,
                           decision=decision,
                           value_uid=uop.uid if uop.has_dest else None)
             if not self._dispatch_dyn(dyn, t, allocate_rob=True):
                 return None
             return 1
 
-        narrow_queue = self.narrow.issue_queue
+        # The whole chunk chain lives in one helper cluster (the chunks are
+        # serially dependent, so spreading them would only add copies).
+        cluster = self._select_helper_cluster(uop.opcode)
+        if cluster is None:
+            return None
+        helper_backend = self.clusters[cluster]
+        narrow_queue = helper_backend.issue_queue
         # The chunks and the copy-back burst all occupy narrow-cluster
         # scheduler entries (copies execute in the producer's cluster).
         needed_narrow = plan.num_chunks + (1 if plan.copy_backs and uop.has_dest else 0)
@@ -901,7 +986,7 @@ class HelperClusterSimulator:
         produces_value = uop.has_dest or uop.writes_flags
         parent = _DynUop(
             dyn_id=self._dyn_counter, kind="trace", seq=fetched.seq,
-            domain=ClockDomain.NARROW, opcode=uop.opcode, uop=uop,
+            domain=cluster, opcode=uop.opcode, uop=uop,
             decision=decision, value_uid=uop.uid if produces_value else None)
         self.rob.allocate(uop.uid, fetched.seq, payload=parent)
         parent.in_rob = True
@@ -911,9 +996,9 @@ class HelperClusterSimulator:
             self.mob.allocate(uop.uid, fetched.seq, uop.is_store, uop.mem_addr,
                               uop.mem_size)
         if uop.has_dest:
-            self.rename.allocate(uop.dest, uop.uid, ClockDomain.NARROW, False)
+            self.rename.allocate(uop.dest, uop.uid, cluster, False)
         if uop.writes_flags:
-            self.rename.allocate(ArchReg.FLAGS, uop.uid, ClockDomain.NARROW, True)
+            self.rename.allocate(ArchReg.FLAGS, uop.uid, cluster, True)
 
         # Source dependences are attached to the least-significant chunk; the
         # remaining chunks chain on their predecessor (carry order, §3.7).
@@ -922,10 +1007,10 @@ class HelperClusterSimulator:
             self._dyn_counter += 1
             chunk_dyn = _DynUop(
                 dyn_id=self._dyn_counter, kind="chunk", seq=fetched.seq,
-                domain=ClockDomain.NARROW, opcode=chunk.opcode, uop=uop,
+                domain=cluster, opcode=chunk.opcode, uop=uop,
                 parent=parent, chunk_index=chunk.chunk_index,
                 is_last_chunk=(chunk.chunk_index == plan.num_chunks - 1),
-                unit=self.narrow.units.unit_for(chunk.opcode))
+                unit=helper_backend.units.unit_for(chunk.opcode))
             outstanding = 0
             if chunk.chunk_index == 0:
                 resolved = self._resolve_dependences(chunk_dyn, t)
@@ -937,11 +1022,11 @@ class HelperClusterSimulator:
                 self._waiters.setdefault(("chunk", previous.dyn_id), []).append(chunk_dyn)
             entry = IssueQueueEntry(
                 uid=chunk_dyn.dyn_id, seq=fetched.seq, remaining_sources=outstanding,
-                fu_latency=self.narrow.units.exec_latency(chunk.opcode),
+                fu_latency=helper_backend.units.exec_latency(chunk.opcode),
                 is_memory=False, payload=chunk_dyn)
             narrow_queue.insert(entry)
-            self.narrow.stats.dispatched += 1
-            self._account_dispatch(chunk_dyn, self.narrow)
+            helper_backend.stats.dispatched += 1
+            self._account_dispatch(chunk_dyn, helper_backend)
             previous = chunk_dyn
 
         # Copy-backs prefetch the reassembled 32-bit value to the wide cluster.
@@ -949,8 +1034,7 @@ class HelperClusterSimulator:
             for _ in range(1):
                 # Modelled as a single burst transfer of the four byte copies;
                 # the copy *count* reflects all four (§3.7 copy statistics).
-                self._inject_copy(uop.uid, ClockDomain.NARROW, ClockDomain.WIDE, t,
-                                  prefetch=True)
+                self._inject_copy(uop.uid, cluster, _WIDE, t, prefetch=True)
             self.result.copies += plan.copy_backs - 1
             self.result.activity.copies += plan.copy_backs - 1
 
@@ -972,7 +1056,7 @@ class HelperClusterSimulator:
     def _wake_dyn(self, dyn: _DynUop) -> None:
         if dyn.squashed:
             return
-        backend = self.narrow if dyn.domain is ClockDomain.NARROW else self.wide
+        backend = self.clusters[dyn.domain]
         backend.issue_queue.wakeup(dyn.dyn_id)
         # Chunk chains use a synthetic key; completing chunks wake successors.
 
@@ -989,19 +1073,30 @@ class HelperClusterSimulator:
     def _sample_imbalance(self, t: int) -> None:
         if not self._helper_enabled:
             return
-        wide_active = self.clocking.is_wide_cycle(t)
+        wide_active = t % self._ratio == 0
         wide_iq = self.wide.issue_queue
-        narrow_iq = self.narrow.issue_queue
+        periods = self._periods
+        helper_ready = 0
+        helper_free = 0
+        helper_occupancy = 0
+        for backend in self.helpers:
+            iq = backend.issue_queue
+            period = periods[backend.index]
+            if period == 1 or t % period == 0:
+                helper_ready += iq.ready_count()
+                helper_free += iq.issue_width
+            helper_occupancy += len(iq)
         self.imbalance.record_cycle(
             wide_ready_blocked=wide_iq.ready_count() if wide_active else 0,
-            narrow_ready_blocked=narrow_iq.ready_count(),
+            narrow_ready_blocked=helper_ready,
             wide_free_slots=wide_iq.issue_width if wide_active else 0,
-            narrow_free_slots=narrow_iq.issue_width,
+            narrow_free_slots=helper_free,
             wide_occupancy=len(wide_iq),
-            narrow_occupancy=len(narrow_iq),
+            narrow_occupancy=helper_occupancy,
         )
         wide_iq.sample_occupancy()
-        narrow_iq.sample_occupancy()
+        for backend in self.helpers:
+            backend.issue_queue.sample_occupancy()
 
     def _finalise(self, final_cycle: int) -> None:
         result = self.result
@@ -1014,7 +1109,11 @@ class HelperClusterSimulator:
         result.wide_to_narrow_imbalance = self.imbalance.wide_to_narrow_imbalance()
         result.narrow_to_wide_imbalance = self.imbalance.narrow_to_wide_imbalance()
         result.mean_wide_iq_occupancy = self.wide.issue_queue.mean_occupancy
-        result.mean_narrow_iq_occupancy = self.narrow.issue_queue.mean_occupancy
+        result.mean_narrow_iq_occupancy = sum(
+            backend.issue_queue.mean_occupancy for backend in self.helpers)
+        result.cluster_occupancy = {
+            backend.spec.name: backend.issue_queue.mean_occupancy
+            for backend in self.clusters}
         result.dl0_hit_rate = self.memory.stats.dl0_hit_rate
 
         activity = result.activity
@@ -1025,7 +1124,7 @@ class HelperClusterSimulator:
         activity.dl0_accesses = self.memory.dl0.stats.accesses
         activity.ul1_accesses = self.memory.ul1.stats.accesses
         activity.memory_accesses = self.memory.stats.memory_accesses
-        activity.helper_present = self.config.helper.enabled
+        activity.helper_present = self._helper_enabled
         activity.narrow_width = self.config.narrow_width
         activity.predictor_accesses += (self.width_predictor.stats.updates
                                         + self.width_predictor.carry_stats.updates
@@ -1034,12 +1133,35 @@ class HelperClusterSimulator:
     # ======================================================================
     # helpers
     # ======================================================================
-    def _backend(self, domain: ClockDomain) -> Backend:
-        return self.narrow if domain is ClockDomain.NARROW else self.wide
+    def _backend(self, domain: int) -> Backend:
+        return self.clusters[domain]
 
-    @staticmethod
-    def _other_domain(domain: ClockDomain) -> ClockDomain:
-        return ClockDomain.WIDE if domain is ClockDomain.NARROW else ClockDomain.NARROW
+    def _target_cluster(self, decision: SteerDecision, uop: MicroOp) -> int:
+        """Resolve a policy's wide/helper decision to a concrete cluster."""
+        if decision.domain == _WIDE:
+            return _WIDE
+        cluster = self._select_helper_cluster(uop.opcode)
+        return _WIDE if cluster is None else cluster
+
+    def _select_helper_cluster(self, opcode: Optional[Opcode] = None) -> Optional[int]:
+        """Pick the helper cluster for narrow-steered work.
+
+        The single-helper machine of the paper trivially returns cluster 1;
+        with several helpers the least-loaded capable one wins (lowest index
+        on ties), which is what spreads narrow work across helper backends.
+        """
+        if self._single_helper:
+            return 1
+        best: Optional[int] = None
+        best_free = -1
+        for backend in self.helpers:
+            if opcode is not None and not backend.units.supports(opcode):
+                continue
+            free = backend.issue_queue.free_slots
+            if free > best_free:
+                best = backend.index
+                best_free = free
+        return best
 
 
 def simulate(trace: Trace, config: Optional[MachineConfig] = None,

@@ -153,3 +153,46 @@ class TestCLI:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             cli_main(["bogus"])
+
+    def test_explore_small_grid(self, capsys):
+        assert cli_main(["explore", "--benchmarks", "gzip", "--uops", "1000",
+                         "--widths", "8", "--ratios", "1", "2",
+                         "--helpers", "1", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Design-space exploration" in out
+        assert "w8x1h1" in out and "w8x2h1" in out and "best" in out
+
+    def test_sweep_rejects_mismatched_suite_flags(self, capsys):
+        assert cli_main(["sweep", "--suite", "table2",
+                         "--benchmarks", "gcc"]) == 2
+        assert cli_main(["sweep", "--categories", "kernels"]) == 2
+
+    def test_sweep_table2_suite(self, capsys):
+        assert cli_main(["sweep", "--suite", "table2", "--uops", "800",
+                         "--apps-per-category", "1", "--jobs", "2",
+                         "--categories", "kernels", "office"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 14" in out
+        assert "kernels" in out and "office" in out and "S-curve" in out
+
+
+class TestWorkloadSuiteEngine:
+    def test_suite_runs_through_engine_and_cache(self, tmp_path):
+        from repro.sim.experiment import ExperimentRunner
+
+        runner = ExperimentRunner(trace_uops=800, seed=2006, jobs=1,
+                                  cache_dir=str(tmp_path / "cache"))
+        sweep = runner.run_workload_suite(policy="n888",
+                                          categories=["kernels"],
+                                          apps_per_category=2)
+        assert len(sweep.apps) == 2
+        assert set(sweep.category_means()) == {"kernels"}
+        assert len(sweep.s_curve()) == 2
+        # Re-run: every (baseline, policy) pair served from the cache.
+        rerun = ExperimentRunner(trace_uops=800, seed=2006, jobs=1,
+                                 cache_dir=str(tmp_path / "cache"))
+        rerun_sweep = rerun.run_workload_suite(policy="n888",
+                                               categories=["kernels"],
+                                               apps_per_category=2)
+        assert rerun.cache.hits == 4 and rerun.cache.misses == 0
+        assert rerun_sweep.speedups() == sweep.speedups()
