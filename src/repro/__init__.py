@@ -35,7 +35,14 @@ from repro.core.config import (  # noqa: F401
     baseline_config,
     helper_cluster_config,
 )
-from repro.core.steering import POLICY_LADDER, make_policy  # noqa: F401
+from repro.core.steering import (  # noqa: F401
+    POLICY_LADDER,
+    PolicyRegistry,
+    PolicySpec,
+    make_policy,
+    policy_registry,
+    policy_spec,
+)
 from repro.sim.baseline import baseline_pair, simulate_baseline  # noqa: F401
 from repro.sim.metrics import SimulationResult, speedup  # noqa: F401
 from repro.sim.simulator import HelperClusterSimulator, simulate  # noqa: F401

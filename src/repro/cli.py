@@ -7,7 +7,14 @@ Subcommands
 ``sweep``      Run a benchmarks x policies sweep (``--suite table2`` runs the
                412-app workload suite and regenerates the Figure 14 tables).
 ``explore``    Design-space exploration: sweep a topology grid (narrow width
-               x clock ratio x helper count) and print a sensitivity table.
+               x clock ratio x helper count, plus ``--mixed`` asymmetric
+               helper mixes such as ``8@2+16@1``) and print a sensitivity
+               table.
+
+``--policy`` / ``--policies`` choices come from the policy registry
+(:data:`repro.core.steering.policy_registry`), so registered policies —
+including the width-aware ``ir_wa`` / ``n888_wa`` variants — are runnable
+from every subcommand without touching this module.
 ``analyze``    Run the Figure 1 / 11 / 13 trace characterisation analyses.
 ``table1``     Print the baseline machine parameters (Table 1).
 ``workloads``  List the Table 2 workload suite categories.
@@ -29,11 +36,12 @@ from repro.analysis.carry import analyze_carry
 from repro.analysis.distance import producer_consumer_distance
 from repro.analysis.narrowness import analyze_narrowness
 from repro.core.config import TABLE_1_PARAMETERS, helper_cluster_config
-from repro.core.steering import POLICY_LADDER
+from repro.core.steering import policy_registry
 from repro.sim.baseline import baseline_pair
 from repro.sim.experiment import (
     ExperimentRunner,
     build_topology_grid,
+    mixed_topology_point,
     run_spec_suite,
 )
 from repro.sim.reporting import (
@@ -61,15 +69,39 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                         help="bypass cache reads (entries are still refreshed)")
 
 
+def _parse_mixed_shapes(text: str) -> List[tuple]:
+    """Parse an asymmetric helper mix spec like ``8@2+16@1``.
+
+    Each ``+``-separated part is one helper as ``width@ratio`` (``@ratio``
+    optional, defaulting to 1).
+    """
+    shapes: List[tuple] = []
+    for part in text.split("+"):
+        width_text, _, ratio_text = part.strip().partition("@")
+        try:
+            shapes.append((int(width_text), int(ratio_text) if ratio_text else 1))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad helper mix {text!r}: each part must be width@ratio, "
+                f"e.g. 8@2+16@1")
+    return shapes
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-helper-cluster",
         description="Helper-cluster (data-width aware steering) reproduction")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # --policy choices come from the policy registry, so registering a
+    # PolicySpec makes it runnable from every subcommand without touching
+    # this module.
+    all_policies = policy_registry.names()
+    helper_policies = policy_registry.helper_names()
+
     run = sub.add_parser("run", help="simulate one benchmark under one policy")
     run.add_argument("--benchmark", default="gcc", choices=SPEC_INT_NAMES)
-    run.add_argument("--policy", default="ir", choices=list(POLICY_LADDER))
+    run.add_argument("--policy", default="ir", choices=all_policies)
     run.add_argument("--uops", type=int, default=20_000)
     run.add_argument("--seed", type=int, default=2006)
 
@@ -78,7 +110,7 @@ def _build_parser() -> argparse.ArgumentParser:
     ladder.add_argument("--uops", type=int, default=15_000)
     ladder.add_argument("--seed", type=int, default=2006)
     ladder.add_argument("--policies", nargs="*", default=None,
-                        choices=[p for p in POLICY_LADDER if p != "baseline"])
+                        choices=helper_policies)
     _add_engine_flags(ladder)
 
     sweep = sub.add_parser("sweep", help="run a benchmarks x policies sweep")
@@ -87,7 +119,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "workload suite of §3.8 / Figure 14")
     sweep.add_argument("--benchmarks", nargs="*", default=None, choices=SPEC_INT_NAMES)
     sweep.add_argument("--policies", nargs="*", default=None,
-                       choices=[p for p in POLICY_LADDER if p != "baseline"])
+                       choices=helper_policies)
     sweep.add_argument("--categories", nargs="*", default=None,
                        choices=list(WORKLOAD_CATEGORIES),
                        help="table2 only: restrict to these categories")
@@ -109,10 +141,17 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="helper clock ratios")
     explore.add_argument("--helpers", nargs="*", type=int, default=[1, 2],
                          help="helper cluster counts")
+    explore.add_argument("--mixed", action="append", default=None,
+                         type=_parse_mixed_shapes, metavar="W@R+W@R",
+                         help="add an asymmetric helper-mix point, e.g. "
+                              "8@2+16@1 (repeatable)")
+    explore.add_argument("--data-width", type=int, default=None, metavar="BITS",
+                         help="override the benchmarks' narrow-data band "
+                              "width (e.g. 16 for halfword-heavy workloads)")
     explore.add_argument("--benchmarks", nargs="*", default=None,
                          choices=SPEC_INT_NAMES)
     explore.add_argument("--policy", default="ir",
-                         choices=[p for p in POLICY_LADDER if p != "baseline"])
+                         choices=helper_policies)
     explore.add_argument("--uops", type=int, default=15_000)
     explore.add_argument("--seed", type=int, default=2006)
     explore.add_argument("--csv", default=None, metavar="PATH",
@@ -162,7 +201,7 @@ def _run_engine_sweep(args: argparse.Namespace, policies: List[str]):
 
 
 def _cmd_ladder(args: argparse.Namespace) -> int:
-    policies = args.policies or [p for p in POLICY_LADDER if p != "baseline"]
+    policies = args.policies or policy_registry.ladder_names(include_baseline=False)
     sweep, _ = _run_engine_sweep(args, policies)
     print(format_ladder_summary(sweep, title="Cumulative steering-policy ladder"))
     print()
@@ -183,7 +222,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("--categories / --apps-per-category require --suite table2",
               file=sys.stderr)
         return 2
-    policies = args.policies or [p for p in POLICY_LADDER if p != "baseline"]
+    policies = args.policies or policy_registry.ladder_names(include_baseline=False)
     sweep, runner = _run_engine_sweep(args, policies)
     print(format_ladder_summary(sweep, title="Sweep summary"))
     csv_text = sweep_to_csv(sweep)
@@ -231,8 +270,13 @@ def _cmd_explore(args: argparse.Namespace) -> int:
                               jobs=args.jobs, cache_dir=args.cache_dir,
                               use_cache=not args.no_cache)
     points = build_topology_grid(args.widths, args.ratios, args.helpers)
+    for shapes in args.mixed or []:
+        points.append(mixed_topology_point(shapes))
     names = args.benchmarks or list(SPEC_INT_NAMES)
     profiles = [get_profile(name) for name in names]
+    if args.data_width is not None:
+        profiles = [profile.scaled(data_width=args.data_width)
+                    for profile in profiles]
     sweep = runner.run_topology_grid(points, profiles, policy=args.policy)
     print(format_topology_table(sweep))
     if args.csv:

@@ -15,7 +15,12 @@ paper on top of the pipeline/memory substrates:
   reduction (§3.7).
 * :mod:`repro.core.imbalance` — the NREADY workload-imbalance metric.
 * :mod:`repro.core.steering` — the data-width aware steering policies
-  (8-8-8, BR, LR, CR, CP, IR and the IR no-destination fine tuning).
+  (8-8-8, BR, LR, CR, CP, IR and the IR no-destination fine tuning), the
+  serializable :class:`~repro.core.steering.PolicySpec` records and the
+  policy registry that :func:`~repro.core.steering.make_policy` builds from.
+* :mod:`repro.core.selection` — cluster selectors resolving steering intent
+  (concrete targets or declarative width/FP/memory requirements) to a
+  topology cluster.
 """
 
 from repro.core.config import (
@@ -25,6 +30,17 @@ from repro.core.config import (
     SchedulerConfig,
     baseline_config,
     helper_cluster_config,
+    helper_topology,
+    mixed_helper_topology,
+    monolithic_topology,
+    topology_config,
+)
+from repro.core.selection import (
+    ClusterRequirement,
+    ClusterSelector,
+    LeastLoadedSelector,
+    WidthAwareSelector,
+    make_selector,
 )
 from repro.core.predictors import (
     WidthPredictor,
@@ -46,7 +62,11 @@ from repro.core.steering import (
     DataWidthSteering,
     Scheme,
     POLICY_LADDER,
+    PolicyRegistry,
+    PolicySpec,
     make_policy,
+    policy_registry,
+    policy_spec,
 )
 
 __all__ = [
@@ -56,6 +76,15 @@ __all__ = [
     "SchedulerConfig",
     "baseline_config",
     "helper_cluster_config",
+    "helper_topology",
+    "mixed_helper_topology",
+    "monolithic_topology",
+    "topology_config",
+    "ClusterRequirement",
+    "ClusterSelector",
+    "LeastLoadedSelector",
+    "WidthAwareSelector",
+    "make_selector",
     "WidthPredictor",
     "WidthPrediction",
     "ConfidenceCounter",
@@ -79,5 +108,9 @@ __all__ = [
     "DataWidthSteering",
     "Scheme",
     "POLICY_LADDER",
+    "PolicyRegistry",
+    "PolicySpec",
     "make_policy",
+    "policy_registry",
+    "policy_spec",
 ]

@@ -20,8 +20,9 @@ working unchanged on top of topologies.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.isa.values import MACHINE_WIDTH, NARROW_WIDTH
 from repro.memory.cache import CacheConfig
@@ -314,6 +315,11 @@ class MachineConfig:
             it clears any explicit topology so the result is re-derived from
             the updated two-cluster fields.
         """
+        warnings.warn(
+            "MachineConfig.with_helper() and the HelperClusterConfig shim are "
+            "deprecated; describe the machine with a Topology "
+            "(MachineConfig.with_topology / helper_topology)",
+            DeprecationWarning, stacklevel=2)
         return replace(self, helper=replace(self.helper, **overrides),
                        topology=None)
 
@@ -409,6 +415,44 @@ def helper_topology(narrow_width: int = NARROW_WIDTH, clock_ratio: int = 2,
         copy_latency_slow=copy_latency_slow,
         flush_penalty_slow=flush_penalty_slow) for name in names]
     return Topology(tuple([host] + specs))
+
+
+def mixed_helper_topology(helper_shapes: Sequence[Tuple[int, int]],
+                          scheduler: Optional[SchedulerConfig] = None,
+                          has_fp: bool = False,
+                          copy_latency_slow: int = 2,
+                          flush_penalty_slow: int = 5) -> Topology:
+    """A wide host plus an asymmetric mix of helper backends.
+
+    ``helper_shapes`` is a sequence of ``(datapath_width, clock_ratio)``
+    pairs, one per helper, so the ROADMAP's 8-bit@2x + 16-bit@1x machine is
+    ``mixed_helper_topology([(8, 2), (16, 1)])``.  Helpers are named
+    ``n<width>x<ratio>`` (with an index suffix on repeats).
+    """
+    if not helper_shapes:
+        raise ValueError("at least one helper shape is required")
+    scheduler = scheduler or SchedulerConfig()
+    host = ClusterSpec(
+        name="wide", datapath_width=MACHINE_WIDTH, clock_ratio=1,
+        issue_width=scheduler.issue_width, queue_size=scheduler.queue_size,
+        memory_ports=scheduler.memory_ports, has_fp=True,
+        copy_latency_slow=copy_latency_slow,
+        flush_penalty_slow=flush_penalty_slow)
+    specs = [host]
+    seen: Dict[str, int] = {}
+    for width, ratio in helper_shapes:
+        name = f"n{width}x{ratio}"
+        count = seen.get(name, 0)
+        seen[name] = count + 1
+        if count:
+            name = f"{name}_{count}"
+        specs.append(ClusterSpec(
+            name=name, datapath_width=width, clock_ratio=ratio,
+            issue_width=scheduler.issue_width, queue_size=scheduler.queue_size,
+            memory_ports=scheduler.memory_ports, has_fp=has_fp,
+            copy_latency_slow=copy_latency_slow,
+            flush_penalty_slow=flush_penalty_slow))
+    return Topology(tuple(specs))
 
 
 def topology_config(topology: Topology, predictor_entries: int = 256,

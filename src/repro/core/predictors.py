@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.isa.values import NARROW_WIDTH
+
 
 @dataclass
 class PredictorStats:
@@ -76,12 +78,16 @@ class WidthPrediction:
     carry_safe: bool = False
     #: copy-prefetch bit (CP): last occurrence incurred an inter-cluster copy
     will_copy: bool = False
+    #: last observed result width in bits (two's complement), tracked when a
+    #: width-aware cluster selector asks for it; ``None`` when untracked
+    width_bits: Optional[int] = None
 
 
 class _Entry:
     """One tagless table entry holding all per-PC prediction state."""
 
-    __slots__ = ("narrow", "confidence", "carry_safe", "carry_confidence", "will_copy")
+    __slots__ = ("narrow", "confidence", "carry_safe", "carry_confidence",
+                 "will_copy", "width_bits")
 
     def __init__(self) -> None:
         # Predict narrow by default: unseen instructions are the common case
@@ -92,6 +98,9 @@ class _Entry:
         self.carry_safe = False
         self.carry_confidence = ConfidenceCounter()
         self.will_copy = False
+        # Width-in-bits companion of the ``narrow`` bit, consumed by the
+        # width-aware selector to pick the tightest-fitting helper cluster.
+        self.width_bits = NARROW_WIDTH
 
 
 class WidthPredictor:
@@ -139,13 +148,23 @@ class WidthPredictor:
             carry_safe=entry.carry_safe and entry.carry_confidence.is_confident(
                 self.carry_confidence_threshold),
             will_copy=entry.will_copy,
+            width_bits=entry.width_bits,
         )
 
     # ----------------------------------------------------------------- update
-    def update(self, pc: int, actual_narrow: bool) -> None:
-        """Writeback-time update with the actual result width."""
+    def update(self, pc: int, actual_narrow: bool,
+               width_bits: Optional[int] = None) -> None:
+        """Writeback-time update with the actual result width.
+
+        ``width_bits`` — the result's two's-complement width — is recorded
+        alongside the width-class bit when a width-aware selector tracks it;
+        it never influences the ``narrow``/confidence state, so the default
+        machines are untouched by the extra channel.
+        """
         entry = self.entry_for(pc)
         self.stats.updates += 1
+        if width_bits is not None:
+            entry.width_bits = width_bits
         if entry.narrow == actual_narrow:
             self.stats.correct += 1
             entry.confidence.increment()

@@ -7,26 +7,45 @@ prediction turns out fatally wrong), whether a load's result should be
 replicated in both clusters (LR), and whether the uop should be split into
 narrow chunks (IR).
 
+Decision flow (policy → requirement → selector → cluster): a policy returns
+a :class:`SteerDecision` that expresses *intent* — wide vs. helper, plus
+optionally a concrete ``target_cluster`` or a declarative
+:class:`~repro.core.selection.ClusterRequirement` — and the shared,
+policy-visible :class:`~repro.core.selection.ClusterSelector` resolves it to
+a concrete cluster of the topology.  The default least-loaded selector
+reproduces the paper's behaviour bit-identically; the width-aware selector
+routes uops by predicted value width on asymmetric helper mixes.
+
 Policies are expressed as a set of :class:`Scheme` flags so the paper's
 cumulative ladder (8-8-8 → +BR → +LR → +CR → +CP → +IR → IR-nodest) maps
 directly onto configuration, and ablations can toggle any single scheme.
+Policies are *described* by a serializable :class:`PolicySpec` (name, scheme
+set, selector, knobs) held in a :class:`PolicyRegistry`; :func:`make_policy`
+builds runnable policies from specs, registered names, or ad-hoc ``"+"``
+scheme combos, and ``PolicySpec.to_key_dict()`` is what reaches the result
+cache key so policies differing only in selector or knobs never alias.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum, auto
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import MachineConfig
 from repro.core.copy_engine import CopyEngine
 from repro.core.imbalance import ImbalanceMonitor
 from repro.core.predictors import WidthPredictor, WidthPrediction
+from repro.core.selection import (
+    ClusterRequirement,
+    ClusterSelector,
+    make_selector,
+)
 from repro.core.splitting import InstructionSplitter
 from repro.isa.opcodes import OpClass, Opcode
 from repro.isa.registers import ArchReg
 from repro.isa.uop import MicroOp
-from repro.isa.values import is_narrow, truncate
+from repro.isa.values import is_narrow, truncate, value_width
 from repro.pipeline.clocking import ClockDomain
 from repro.pipeline.frontend import FetchedUop
 from repro.pipeline.rename import RenameTable
@@ -62,10 +81,23 @@ POLICY_LADDER: Dict[str, frozenset] = {
 
 @dataclass(slots=True)
 class SteerDecision:
-    """Outcome of steering one uop."""
+    """Outcome of steering one uop.
+
+    ``domain`` expresses the wide-vs-helper intent (kept for the paper's
+    two-cluster API).  A helper-bound decision may additionally carry a
+    concrete ``target_cluster`` (an index into the topology) or a
+    declarative ``requirement`` that the machine's
+    :class:`~repro.core.selection.ClusterSelector` resolves; with neither,
+    the selector places the uop on capability and load alone.
+    """
 
     domain: ClockDomain
     reason: str = "default_wide"
+    #: concrete topology cluster index the policy demands, or ``None`` to
+    #: let the selector choose
+    target_cluster: Optional[int] = None
+    #: declarative placement needs (min datapath width, FP, memory port)
+    requirement: Optional[ClusterRequirement] = None
     #: the uop was steered narrow based on a width prediction (8-8-8); a
     #: wrong prediction is fatal and triggers flushing recovery
     predicted_narrow: bool = False
@@ -97,11 +129,16 @@ class SteeringContext:
     imbalance: ImbalanceMonitor
     copy_engine: CopyEngine
     splitter: InstructionSplitter
+    #: the machine's shared cluster selector; ``None`` (unit tests, direct
+    #: construction) behaves like the default least-loaded selector
+    selector: Optional[ClusterSelector] = None
 
     def __post_init__(self) -> None:
         self._topology_of: Optional[MachineConfig] = None
         self._num_helpers = 0
         self._helper_fp_available = False
+        self._steering_width = 0
+        self._width_steering = False
 
     def _sync_topology(self) -> None:
         # Topology facts hoisted out of the per-uop steer loop; recomputed
@@ -111,6 +148,13 @@ class SteeringContext:
             self._topology_of = self.config
             self._num_helpers = topology.num_helpers
             self._helper_fp_available = any(spec.has_fp for spec in topology.helpers)
+            selector = self.selector
+            if selector is not None:
+                self._steering_width = selector.steering_width(self.config, topology)
+                self._width_steering = selector.wants_width_bits
+            else:
+                self._steering_width = self.config.narrow_width
+                self._width_steering = False
 
     @property
     def num_helpers(self) -> int:
@@ -121,6 +165,19 @@ class SteeringContext:
     def helper_fp_available(self) -> bool:
         self._sync_topology()
         return self._helper_fp_available
+
+    @property
+    def steering_width(self) -> int:
+        """Width horizon (bits) the selector wants values classified at."""
+        self._sync_topology()
+        return self._steering_width
+
+    @property
+    def width_steering(self) -> bool:
+        """Whether decisions should carry width requirements (and the
+        simulator track value widths in bits) for the selector's benefit."""
+        self._sync_topology()
+        return self._width_steering
 
 
 @dataclass
@@ -149,6 +206,9 @@ class SteeringPolicy:
 
     def __init__(self) -> None:
         self.stats = SteeringStats()
+        #: the cluster selector this policy wants the machine to use;
+        #: ``None`` means the simulator's default (least-loaded)
+        self.selector: Optional[ClusterSelector] = None
 
     def steer(self, fetched: FetchedUop, ctx: SteeringContext) -> SteerDecision:
         raise NotImplementedError
@@ -173,6 +233,8 @@ class SteeringPolicy:
 
     def reset(self) -> None:
         self.stats = SteeringStats()
+        if self.selector is not None:
+            self.selector.reset()
 
 
 class BaselineSteering(SteeringPolicy):
@@ -188,9 +250,11 @@ class DataWidthSteering(SteeringPolicy):
     """The paper's data-width aware steering with a configurable scheme set."""
 
     def __init__(self, schemes: frozenset | set = POLICY_LADDER["ir"],
-                 name: Optional[str] = None) -> None:
+                 name: Optional[str] = None,
+                 selector: Optional[ClusterSelector] = None) -> None:
         super().__init__()
         self.schemes = frozenset(schemes)
+        self.selector = selector
         self.name = name or "+".join(sorted(s.name for s in self.schemes)) or "wide_only"
         # Scheme membership tested once here instead of per steered uop.
         self._has_n888 = Scheme.N888 in self.schemes
@@ -209,12 +273,39 @@ class DataWidthSteering(SteeringPolicy):
         if uop.imm is None:
             return True
         memo = uop.__dict__.get("_imm_narrow_memo")
-        width = ctx.config.narrow_width
+        width = ctx.steering_width
         if memo is not None and memo[0] == width:
             return memo[1]
         result = is_narrow(truncate(uop.imm), width)
         uop._imm_narrow_memo = (width, result)
         return result
+
+    def _width_requirement(self, uop: MicroOp, ctx: SteeringContext,
+                           prediction: Optional[WidthPrediction]
+                           ) -> Optional[ClusterRequirement]:
+        """Placement needs of a width-predicted narrow steer.
+
+        Only built when the machine's selector routes by width (the default
+        least-loaded selector places on capability and load alone, so the
+        hot path pays nothing for requirements it would ignore).
+        """
+        if not ctx.width_steering:
+            return None
+        bits = 1
+        rename = ctx.rename
+        for reg in uop.srcs:
+            width = rename.source_width_bits(reg)
+            if width > bits:
+                bits = width
+        if uop.imm is not None:
+            width = value_width(truncate(uop.imm))
+            if width > bits:
+                bits = width
+        if (uop.has_dest and prediction is not None
+                and prediction.width_bits is not None
+                and prediction.width_bits > bits):
+            bits = prediction.width_bits
+        return ClusterRequirement(min_width=bits, needs_memory_port=uop.is_memory)
 
     def _helper_supports(self, uop: MicroOp, ctx: SteeringContext) -> bool:
         """Whether some helper backend can execute the uop.
@@ -281,7 +372,9 @@ class DataWidthSteering(SteeringPolicy):
             if result_ok and not rebalance_to_wide:
                 return self._account(SteerDecision(
                     domain=ClockDomain.NARROW, reason="n888",
-                    predicted_narrow=True, replicate_load=replicate), prediction)
+                    predicted_narrow=True, replicate_load=replicate,
+                    requirement=self._width_requirement(uop, ctx, prediction)),
+                    prediction)
 
         # --- CR: one narrow and one wide source, wide result, carry predicted
         # not to propagate past the low byte (§3.5).
@@ -301,9 +394,17 @@ class DataWidthSteering(SteeringPolicy):
             if (len(wide_sources) == 1 and narrow_operand_ok
                     and (result_predicted_wide or addresses_memory)
                     and prediction.carry_safe):
+                # CR work touches only the low narrow_width bits (the wide
+                # source's upper bits are reused), so any helper at least
+                # that wide qualifies regardless of the operand's full width.
+                cr_requirement = (ClusterRequirement(
+                    min_width=ctx.config.narrow_width,
+                    needs_memory_port=uop.is_memory)
+                    if ctx.width_steering else None)
                 return self._account(SteerDecision(
                     domain=ClockDomain.NARROW, reason="cr_no_carry",
-                    via_cr=True, replicate_load=replicate), prediction)
+                    via_cr=True, replicate_load=replicate,
+                    requirement=cr_requirement), prediction)
 
         # --- IR: split wide instructions into narrow chunks while the helper
         # cluster is underutilised (§3.7).
@@ -334,10 +435,171 @@ class DataWidthSteering(SteeringPolicy):
         return Scheme.LR in self.schemes
 
 
-def make_policy(name: str) -> SteeringPolicy:
-    """Construct a policy from the ladder by name (see :data:`POLICY_LADDER`)."""
-    if name not in POLICY_LADDER:
-        raise KeyError(f"unknown policy {name!r}; known: {', '.join(POLICY_LADDER)}")
-    if name == "baseline":
-        return BaselineSteering()
-    return DataWidthSteering(POLICY_LADDER[name], name=name)
+# ---------------------------------------------------------------------------
+# Policy specs and the registry
+# ---------------------------------------------------------------------------
+#: Scheme tokens accepted in ad-hoc ``"+"`` combos (e.g. ``"n888+cr"``).
+SCHEME_TOKENS: Dict[str, Scheme] = {s.name.lower(): s for s in Scheme}
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Serializable description of a steering policy.
+
+    A spec is everything :func:`make_policy` needs to build a runnable
+    policy — name, scheme set, cluster-selector name and selector knobs —
+    and everything the result cache needs to key its results:
+    :meth:`to_key_dict` is folded into the
+    :class:`~repro.sim.cache.ResultCache` key, so two policies differing
+    only in selector or knobs can never alias a cache entry.
+    """
+
+    name: str
+    schemes: frozenset = frozenset()
+    selector: str = "least_loaded"
+    #: selector constructor knobs, stored as a sorted item tuple so the
+    #: spec stays hashable; pass a mapping, it is normalised here
+    knobs: Tuple[Tuple[str, object], ...] = ()
+    #: member of the paper's cumulative ladder (presentation flag only;
+    #: deliberately *not* part of the cache key)
+    in_ladder: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("policy name must be non-empty")
+        object.__setattr__(self, "schemes",
+                           frozenset(Scheme(s) for s in self.schemes))
+        if not isinstance(self.knobs, tuple):
+            object.__setattr__(self, "knobs",
+                               tuple(sorted(dict(self.knobs).items())))
+
+    # ------------------------------------------------------------- caching
+    def to_key_dict(self) -> dict:
+        """Canonical, JSON-serialisable form (the cache-key contract).
+
+        Covers every field that can change simulation behaviour: the name,
+        the sorted scheme set, the selector and its knobs.
+        """
+        return {
+            "name": self.name,
+            "schemes": sorted(s.name for s in self.schemes),
+            "selector": self.selector,
+            "knobs": {key: value for key, value in self.knobs},
+        }
+
+    # -------------------------------------------------------------- build
+    def build(self) -> SteeringPolicy:
+        """Construct the runnable policy this spec describes."""
+        selector = make_selector(self.selector, **dict(self.knobs))
+        if not self.schemes:
+            policy: SteeringPolicy = BaselineSteering()
+            policy.name = self.name
+        else:
+            policy = DataWidthSteering(self.schemes, name=self.name,
+                                       selector=selector)
+        policy.selector = selector
+        return policy
+
+
+class PolicyRegistry:
+    """Name -> :class:`PolicySpec` registry.
+
+    The registry is what the CLI, the experiment layer and the sweep engine
+    consult instead of the hard-coded ladder dict: registering a spec makes
+    the policy runnable everywhere (``--policy`` choices included) without
+    touching any of those layers.
+    """
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, PolicySpec] = {}
+
+    # ---------------------------------------------------------- mutation
+    def register(self, spec: PolicySpec, replace: bool = False) -> PolicySpec:
+        """Add a spec; re-registering a name requires ``replace=True``."""
+        if not replace and spec.name in self._specs:
+            raise ValueError(f"policy {spec.name!r} is already registered "
+                             "(pass replace=True to override)")
+        self._specs[spec.name] = spec
+        return spec
+
+    # ------------------------------------------------------------ lookup
+    def get(self, name: str) -> PolicySpec:
+        spec = self._specs.get(name)
+        if spec is None:
+            raise KeyError(self.unknown_policy_message(name))
+        return spec
+
+    def names(self) -> List[str]:
+        """All registered policy names, in registration order."""
+        return list(self._specs)
+
+    def helper_names(self) -> List[str]:
+        """Registered policies that steer to helpers (non-empty scheme set)."""
+        return [name for name, spec in self._specs.items() if spec.schemes]
+
+    def ladder_names(self, include_baseline: bool = True) -> List[str]:
+        """The paper's cumulative ladder, in presentation order."""
+        return [name for name, spec in self._specs.items()
+                if spec.in_ladder and (include_baseline or spec.schemes)]
+
+    def unknown_policy_message(self, name: str) -> str:
+        return (f"unknown policy {name!r}; known policies: "
+                f"{', '.join(self._specs)}; known schemes (combine with '+'): "
+                f"{', '.join(SCHEME_TOKENS)}")
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+#: The default registry: the paper's cumulative ladder plus the width-aware
+#: variants used by asymmetric-topology exploration.
+policy_registry = PolicyRegistry()
+for _name, _schemes in POLICY_LADDER.items():
+    policy_registry.register(PolicySpec(name=_name, schemes=_schemes,
+                                        in_ladder=True))
+policy_registry.register(PolicySpec(name="n888_wa",
+                                    schemes=POLICY_LADDER["n888"],
+                                    selector="width_aware"))
+policy_registry.register(PolicySpec(name="ir_wa",
+                                    schemes=POLICY_LADDER["ir"],
+                                    selector="width_aware"))
+del _name, _schemes
+
+
+def parse_scheme_combo(name: str) -> Optional[frozenset]:
+    """Parse an ad-hoc ``"+"``-separated scheme combo, ``None`` if invalid."""
+    tokens = [token.strip().lower() for token in name.split("+")]
+    if not tokens or any(token not in SCHEME_TOKENS for token in tokens):
+        return None
+    return frozenset(SCHEME_TOKENS[token] for token in tokens)
+
+
+def policy_spec(name: Union[str, PolicySpec],
+                registry: Optional[PolicyRegistry] = None) -> PolicySpec:
+    """Resolve a policy reference to its :class:`PolicySpec`.
+
+    Accepts a spec (returned as-is), a registered name, or an ad-hoc scheme
+    combo such as ``"n888+cr"``.  Anything else raises a ``KeyError`` whose
+    message lists both the registered policy names and the known schemes.
+    """
+    if isinstance(name, PolicySpec):
+        return name
+    registry = registry if registry is not None else policy_registry
+    if name in registry:
+        return registry.get(name)
+    schemes = parse_scheme_combo(name)
+    if schemes is None:
+        raise KeyError(registry.unknown_policy_message(name))
+    return PolicySpec(name=name, schemes=schemes)
+
+
+def make_policy(name: Union[str, PolicySpec],
+                registry: Optional[PolicyRegistry] = None) -> SteeringPolicy:
+    """Construct a policy from a spec, a registered name, or a scheme combo."""
+    return policy_spec(name, registry=registry).build()

@@ -18,7 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.isa.opcodes import OpClass, Opcode, OpcodeInfo, opcode_info
 from repro.isa.registers import ArchReg
-from repro.isa.values import NARROW_WIDTH, is_narrow, truncate
+from repro.isa.values import NARROW_WIDTH, is_narrow, truncate, value_width
 
 
 @dataclass
@@ -168,6 +168,18 @@ class MicroOp:
             result = is_narrow(self.result_value, narrow_width)
         self._rin_memo = (narrow_width, result)
         return result
+
+    def result_width_bits(self) -> int:
+        """Two's-complement width of the result value in bits, memoised.
+
+        Uops with no result count as 1 bit (they fit any datapath), matching
+        :meth:`result_is_narrow`'s no-result convention.
+        """
+        bits = self.__dict__.get("_rwb_memo")
+        if bits is None:
+            bits = 1 if self.result_value is None else value_width(self.result_value)
+            self._rwb_memo = bits
+        return bits
 
     # ------------------------------------------------------- CR oracles (§3.5)
     def _cr_values(self) -> List[int]:

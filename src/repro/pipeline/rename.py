@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
 from repro.isa.registers import ArchReg
+from repro.isa.values import MACHINE_WIDTH, NARROW_WIDTH
 from repro.pipeline.clocking import ClockDomain
 
 
@@ -43,6 +44,11 @@ class RenameEntry:
     producer_domain: int = ClockDomain.WIDE
     #: Width-table bit: True when the last written-back value was narrow.
     narrow: bool = True
+    #: Width of the value in bits (two's complement).  Tracked precisely
+    #: (from actual written-back values / width-bits predictions) when the
+    #: machine's cluster selector routes by width; otherwise it mirrors the
+    #: ``narrow`` bit's class boundary.
+    width_bits: int = NARROW_WIDTH
     #: Whether the producer has written back (so ``narrow`` is an actual
     #: width rather than a prediction).
     written_back: bool = True
@@ -54,6 +60,7 @@ class RenameEntry:
         self.producer_uid = None
         self.producer_domain = ClockDomain.WIDE
         self.narrow = True
+        self.width_bits = NARROW_WIDTH
         self.written_back = True
         self.upper_bits_reg = None
 
@@ -78,7 +85,8 @@ class RenameTable:
 
     # ------------------------------------------------------------ rename flow
     def allocate(self, reg: ArchReg, producer_uid: int, domain: int,
-                 predicted_narrow: bool) -> None:
+                 predicted_narrow: bool,
+                 width_bits: Optional[int] = None) -> None:
         """Bind ``reg`` to a new in-flight producer at rename time."""
         entry = self._entries[reg]
         # If the previous binding carried a CR link, renaming the destination
@@ -89,10 +97,14 @@ class RenameTable:
         entry.producer_uid = producer_uid
         entry.producer_domain = domain
         entry.narrow = predicted_narrow
+        entry.width_bits = (width_bits if width_bits is not None
+                            else (NARROW_WIDTH if predicted_narrow
+                                  else MACHINE_WIDTH))
         entry.written_back = False
 
     def writeback(self, reg: ArchReg, producer_uid: int, narrow: bool,
-                  domain: Optional[int] = None) -> None:
+                  domain: Optional[int] = None,
+                  width_bits: Optional[int] = None) -> None:
         """Record that the producer of ``reg`` wrote back with actual width."""
         entry = self._entries[reg]
         if entry.producer_uid != producer_uid:
@@ -101,6 +113,8 @@ class RenameTable:
             return
         entry.written_back = True
         entry.narrow = narrow
+        entry.width_bits = (width_bits if width_bits is not None
+                            else (NARROW_WIDTH if narrow else MACHINE_WIDTH))
         if domain is not None:
             entry.producer_domain = domain
 
@@ -116,6 +130,10 @@ class RenameTable:
         """Bulk :meth:`source_is_narrow` over a register sequence."""
         entries = self._entries
         return [entries[reg].narrow for reg in regs]
+
+    def source_width_bits(self, reg: ArchReg) -> int:
+        """Expected width of a source value in bits (width-aware steering)."""
+        return self._entries[reg].width_bits
 
     def producer_domain(self, reg: ArchReg) -> int:
         return self._entries[reg].producer_domain

@@ -9,6 +9,7 @@ consistently everywhere (examples, experiments, benchmarks).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Tuple
 
 from repro.core.config import MachineConfig, baseline_config
@@ -22,7 +23,10 @@ def simulate_baseline(trace: Trace, config: Optional[MachineConfig] = None) -> S
     """Run the trace on the monolithic baseline (helper cluster disabled)."""
     config = config or baseline_config()
     if config.helper.enabled:
-        config = config.with_helper(enabled=False)
+        # Equivalent of the deprecated with_helper(enabled=False) shim,
+        # spelled out so the library never warns from its own internals.
+        config = replace(config, helper=replace(config.helper, enabled=False),
+                         topology=None)
     return simulate(trace, config=config, policy=BaselineSteering())
 
 

@@ -4,8 +4,11 @@ A sweep over (benchmark, policy, config) jobs is embarrassingly repetitive:
 CI reruns the same headline ladder on every push, and interactive work
 re-simulates everything after touching one policy.  The cache keys each
 :class:`~repro.sim.metrics.SimulationResult` by a stable hash of everything
-that determines it — trace profile, trace length, seed, machine config,
-policy name and a code-version tag — so repeated sweeps are near-free while
+that determines it — trace profile, trace length, seed, machine config
+(through ``MachineConfig.to_key_dict()``), the policy (through
+``PolicySpec.to_key_dict()``: name, scheme set, cluster selector and
+selector knobs, so policies differing only in selector or knobs never alias
+an entry) and a code-version tag — so repeated sweeps are near-free while
 any change to the inputs (or to simulator semantics, via the version tag)
 misses cleanly.
 

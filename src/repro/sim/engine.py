@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import MachineConfig, baseline_config, helper_cluster_config
-from repro.core.steering import make_policy
+from repro.core.steering import make_policy, policy_spec
 from repro.sim.cache import ResultCache, canonical_text, result_key
 from repro.sim.metrics import SimulationResult
 from repro.sim.simulator import simulate
@@ -50,7 +50,9 @@ class SweepJob:
     """One (benchmark, policy, machine) simulation of a sweep.
 
     ``policy == "baseline"`` runs the monolithic baseline machine; every
-    other name is resolved through the policy ladder.  ``config`` overrides
+    other name is resolved through the policy registry (registered
+    :class:`~repro.core.steering.PolicySpec` names or ad-hoc ``"+"`` scheme
+    combos such as ``"n888+cr"``).  ``config`` overrides
     the engine's machine configuration for this job — that is how a
     design-space exploration fans out over topologies: one job per
     (topology, benchmark) with the topology carried in the job itself, so
@@ -108,25 +110,33 @@ def trace_for_job(job: SweepJob, profile: Optional[BenchmarkProfile] = None) -> 
 
 
 def execute_job(job: SweepJob, config: MachineConfig,
-                profile: Optional[BenchmarkProfile] = None) -> SimulationResult:
+                profile: Optional[BenchmarkProfile] = None,
+                spec=None) -> SimulationResult:
     """Run one job to completion (trace generation included).
 
     The job's own ``config`` wins over the engine-supplied one; the baseline
     policy always runs the monolithic baseline machine (the paper's
-    methodology normalises every topology to the same baseline).
+    methodology normalises every topology to the same baseline).  ``spec``
+    is the job's resolved :class:`~repro.core.steering.PolicySpec`; when
+    omitted, the name is resolved against this process's registry.
     """
     trace = trace_for_job(job, profile)
+    policy = make_policy(spec if spec is not None else job.policy)
     if job.policy == "baseline":
-        cfg = baseline_config()
-        return simulate(trace, config=cfg, policy=make_policy("baseline"))
-    return simulate(trace, config=job.config or config,
-                    policy=make_policy(job.policy))
+        return simulate(trace, config=baseline_config(), policy=policy)
+    return simulate(trace, config=job.config or config, policy=policy)
 
 
 def _pool_worker(task: bytes) -> bytes:
-    """Pool entry point; pickled tuples keep the Pool API version-stable."""
-    job, config, profile = pickle.loads(task)
-    result = execute_job(job, config, profile)
+    """Pool entry point; pickled tuples keep the Pool API version-stable.
+
+    The parent resolves each job's policy name to its PolicySpec and ships
+    the spec in the task, so policies registered at runtime in the parent
+    stay runnable even under spawn/forkserver start methods, where the
+    child's freshly-imported registry only holds the built-in specs.
+    """
+    job, config, profile, spec = pickle.loads(task)
+    result = execute_job(job, config, profile, spec=spec)
     return pickle.dumps((job, result), protocol=pickle.HIGHEST_PROTOCOL)
 
 
@@ -164,7 +174,10 @@ class SweepEngine:
         The machine configuration contributes through its canonical
         ``to_key_dict()`` (topology included), so any config field change —
         not just the handful of fields a sweep happens to vary — changes the
-        key and can never serve a stale cached result.
+        key and can never serve a stale cached result.  The policy likewise
+        contributes through ``PolicySpec.to_key_dict()`` (name, scheme set,
+        cluster selector and selector knobs), so two registered policies
+        that differ only in selector or knobs can never alias an entry.
         """
         if job.policy == "baseline":
             config = baseline_config()
@@ -172,7 +185,8 @@ class SweepEngine:
             config = job.config or self.config
         profile = self._profile_for(job.benchmark)
         return result_key(profile, job.trace_uops, job.seed, job.use_slicing,
-                          canonical_text(config.to_key_dict()), job.policy)
+                          canonical_text(config.to_key_dict()),
+                          canonical_text(policy_spec(job.policy).to_key_dict()))
 
     def register_profile(self, profile: BenchmarkProfile) -> None:
         """Make a (possibly unregistered) profile resolvable by name."""
@@ -231,7 +245,8 @@ class SweepEngine:
         # Adjacent jobs share a benchmark (the builders emit them grouped),
         # so contiguous chunks let each worker reuse its memoised trace.
         tasks = [pickle.dumps((job, job.config or self.config,
-                               self._profile_for(job.benchmark)),
+                               self._profile_for(job.benchmark),
+                               policy_spec(job.policy)),
                               protocol=pickle.HIGHEST_PROTOCOL)
                  for job in pending]
         workers = min(self.jobs, len(tasks))

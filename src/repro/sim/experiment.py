@@ -22,9 +22,10 @@ from repro.core.config import (
     Topology,
     helper_cluster_config,
     helper_topology,
+    mixed_helper_topology,
     topology_config,
 )
-from repro.core.steering import POLICY_LADDER, make_policy
+from repro.core.steering import make_policy, policy_registry
 from repro.sim.cache import ResultCache
 from repro.sim.engine import SweepEngine, SweepJob, job_seed, trace_for_job
 from repro.sim.metrics import SimulationResult, speedup
@@ -125,6 +126,21 @@ def build_topology_grid(widths: Sequence[int] = (4, 8, 16),
                     predictor_entries=predictor_entries)
                 points.append(TopologyPoint(name=name, config=config))
     return points
+
+
+def mixed_topology_point(helper_shapes: Sequence[Tuple[int, int]],
+                         predictor_entries: int = 256) -> TopologyPoint:
+    """An asymmetric exploration point: one helper per (width, ratio) pair.
+
+    ``mixed_topology_point([(8, 2), (16, 1)])`` is the ROADMAP's
+    8-bit@2x + 16-bit@1x machine, named ``mix_8x2_16x1``; it slots into
+    :meth:`ExperimentRunner.run_topology_grid` next to the uniform grid
+    points (the CLI's ``explore --mixed``).
+    """
+    name = "mix_" + "_".join(f"{width}x{ratio}" for width, ratio in helper_shapes)
+    config = topology_config(mixed_helper_topology(helper_shapes),
+                             predictor_entries=predictor_entries)
+    return TopologyPoint(name=name, config=config)
 
 
 @dataclass
@@ -390,7 +406,7 @@ def run_policy_ladder(trace_uops: int = DEFAULT_TRACE_UOPS, seed: int = 2006,
                       cache_dir: Optional[str] = None,
                       use_cache: bool = True) -> PolicySweepResult:
     """Run the full cumulative policy ladder of the paper over SPEC Int 2000."""
-    policies = [name for name in POLICY_LADDER if name != "baseline"]
+    policies = policy_registry.ladder_names(include_baseline=False)
     return run_spec_suite(policies, trace_uops=trace_uops, seed=seed,
                           benchmarks=benchmarks, jobs=jobs,
                           cache_dir=cache_dir, use_cache=use_cache)

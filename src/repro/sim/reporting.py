@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
+from repro.core.steering import policy_spec
 from repro.sim.experiment import (
     PolicySweepResult,
     TopologySweepResult,
@@ -144,9 +145,13 @@ def format_topology_table(sweep: TopologySweepResult,
             sweep.mean_copy_fraction(point.name) * 100.0,
             "<-- best" if point.name == best else "",
         ])
+    try:
+        policy_label = f"{sweep.policy}/{policy_spec(sweep.policy).selector}"
+    except KeyError:
+        policy_label = sweep.policy
     return format_table(
         headers, rows,
-        title=title or (f"Design-space exploration ({sweep.policy}, "
+        title=title or (f"Design-space exploration ({policy_label}, "
                         f"{len(sweep.points)} points x "
                         f"{len(sweep.benchmarks)} benchmarks)"),
         float_format="{:.2f}")

@@ -25,8 +25,11 @@ Per fast cycle the simulator performs, in order:
 4. **dispatch** — on wide cycles, fetch/decode/steer/rename of new trace uops
    (and re-dispatch of squashed ones), generation of inter-cluster copy uops,
    load replication (§3.4), copy prefetching (§3.6) and IR splitting (§3.7).
-   Policies steer wide-vs-helper; the simulator resolves narrow-steered work
-   to a concrete helper cluster (least-loaded capable one).
+   Policies express intent (wide vs. helper, plus an optional concrete
+   target or declarative width/FP/memory requirement); the policy's shared
+   :class:`~repro.core.selection.ClusterSelector` resolves that intent to a
+   concrete cluster (the default selector is the original least-loaded
+   capable resolution, bit-identically).
 
 Copy uops and IR split chunks are modelled as first-class scheduler entries:
 they occupy issue slots in the cluster they execute in, exactly the overhead
@@ -44,6 +47,7 @@ from repro.core.config import MachineConfig, helper_cluster_config
 from repro.core.copy_engine import CopyEngine, CopyRequest
 from repro.core.imbalance import ImbalanceMonitor
 from repro.core.predictors import WidthPredictor
+from repro.core.selection import ClusterSelector, LeastLoadedSelector
 from repro.core.splitting import InstructionSplitter, SplitPlan
 from repro.core.steering import (
     BaselineSteering,
@@ -136,6 +140,11 @@ class HelperClusterSimulator:
             from repro.core.cluster import BackendKind
             self.narrow = Backend(BackendKind.NARROW, self.config,
                                   ClockingModel(ratio=self.clocking.ratio))
+        # Cluster-targeted steering: the policy's selector (or the default
+        # least-loaded one) resolves steering decisions to concrete clusters.
+        selector: Optional[ClusterSelector] = getattr(self.policy, "selector", None)
+        self.selector = selector if selector is not None else LeastLoadedSelector()
+        self.selector.bind(self.topology, self.clusters)
         self.rob = ReorderBuffer(size=self.config.rob_size,
                                  commit_width=self.config.commit_width)
         self.mob = MemoryOrderBuffer()
@@ -160,7 +169,8 @@ class HelperClusterSimulator:
         self.context = SteeringContext(
             config=self.config, width_predictor=self.width_predictor,
             rename=self.rename, imbalance=self.imbalance,
-            copy_engine=self.copy_engine, splitter=self.splitter)
+            copy_engine=self.copy_engine, splitter=self.splitter,
+            selector=self.selector)
 
         # Dynamic state.
         self._dyn_counter = 0
@@ -190,7 +200,14 @@ class HelperClusterSimulator:
         self._periods = self.clocking.periods
         self._dl0_hit_fast = (self.config.memory.dl0.hit_latency - 1) * self.clocking.ratio
         self._helper_enabled = bool(self.helpers)
-        self._single_helper = len(self.helpers) == 1
+        # Width horizon the selector wants values classified at (equals
+        # config.narrow_width for the default selector, so the paper's
+        # machines are untouched), plus per-cluster datapath widths for the
+        # fatal-misprediction check against the executing cluster.
+        self._steer_width = self.selector.steering_width(self.config, self.topology)
+        self._track_width = self.selector.wants_width_bits
+        self._cluster_widths = [spec.datapath_width
+                                for spec in self.topology.clusters]
         self._copy_latency_fast = [self.clocking.slow_to_fast(spec.copy_latency_slow)
                                    for spec in self.topology.clusters]
         self._uses_cp = getattr(self.policy, "uses_copy_prefetch", False)
@@ -374,15 +391,20 @@ class HelperClusterSimulator:
         backend = self.clusters[dyn.domain]
         backend.stats.completed += 1
 
-        actual_narrow = uop.result_is_narrow(self._narrow_width)
+        actual_narrow = uop.result_is_narrow(self._steer_width)
 
         # Fatal width misprediction detection: only instructions steered to
-        # a narrow backend on a prediction can be fatally wrong (§3.2).
+        # a narrow backend on a prediction can be fatally wrong (§3.2).  The
+        # check is against the *executing* cluster's datapath width — on the
+        # paper's machine every helper is narrow_width bits wide so this is
+        # the original check; on asymmetric mixes a 12-bit value completing
+        # on a 16-bit helper is correct, not a misprediction.
         fatal = False
         if dyn.domain != _WIDE and dyn.decision is not None:
             if dyn.decision.predicted_narrow:
-                fatal = (not uop.all_sources_narrow(self._narrow_width)
-                         or not actual_narrow)
+                width = self._cluster_widths[dyn.domain]
+                fatal = (not uop.all_sources_narrow(width)
+                         or not uop.result_is_narrow(width))
             elif dyn.decision.via_cr:
                 fatal = uop.cr_carry_crosses(self._narrow_width)
 
@@ -398,7 +420,9 @@ class HelperClusterSimulator:
 
         # Predictor training happens at writeback regardless of cluster.
         if uop.has_dest:
-            self.width_predictor.update(uop.pc, actual_narrow)
+            self.width_predictor.update(
+                uop.pc, actual_narrow,
+                width_bits=uop.result_width_bits() if self._track_width else None)
         if uop.info.cr_eligible:
             self.width_predictor.update_carry(
                 uop.pc, uop.cr_operated_narrow(self._narrow_width))
@@ -412,20 +436,26 @@ class HelperClusterSimulator:
         if dyn.value_uid is not None:
             self.copy_engine.note_produced(dyn.value_uid, dyn.domain, t)
             if uop.has_dest:
-                self.rename.writeback(uop.dest, dyn.value_uid, narrow=actual_narrow,
-                                      domain=dyn.domain)
+                self.rename.writeback(
+                    uop.dest, dyn.value_uid, narrow=actual_narrow,
+                    domain=dyn.domain,
+                    width_bits=(uop.result_width_bits()
+                                if self._track_width else None))
             if uop.writes_flags:
                 self.rename.writeback(ArchReg.FLAGS, dyn.value_uid, narrow=True,
                                       domain=dyn.domain)
             self._wake(dyn.value_uid, dyn.domain)
             if dyn.replicate_load and uop.is_load and actual_narrow:
                 # LR (§3.4): the narrow load value is written into every
-                # cluster's register file through the shared MOB.  A wide
-                # value cannot be replicated into a narrow file; that case is
-                # simply a missed opportunity.
+                # cluster's register file through the shared MOB.  A value
+                # too wide for a cluster's register file cannot be replicated
+                # there; that case is simply a missed opportunity (on the
+                # paper's machine every helper is narrow_width bits wide, so
+                # the per-cluster fit check degenerates to the old gate).
                 self.copy_engine.note_replicated(dyn.value_uid, t)
+                widths = self._cluster_widths
                 for domain in range(len(self.clusters)):
-                    if domain != dyn.domain:
+                    if domain != dyn.domain and uop.result_is_narrow(widths[domain]):
                         self._wake(dyn.value_uid, domain)
         if dyn.in_rob:
             self.rob.mark_completed(uop.uid)
@@ -745,7 +775,14 @@ class HelperClusterSimulator:
             if uop.has_dest:
                 predicted_narrow = (dyn.predicted_narrow
                                     if dyn.predicted_narrow is not None else True)
-                self.rename.allocate(uop.dest, uop.uid, dyn.domain, predicted_narrow)
+                width_bits = None
+                if self._track_width:
+                    prediction = (dyn.decision.prediction
+                                  if dyn.decision is not None else None)
+                    if prediction is not None:
+                        width_bits = prediction.width_bits
+                self.rename.allocate(uop.dest, uop.uid, dyn.domain,
+                                     predicted_narrow, width_bits=width_bits)
                 if dyn.decision is not None and dyn.decision.via_cr and uop.srcs:
                     wide_sources = [r for i, r in enumerate(uop.srcs)
                                     if i < len(uop.src_values)
@@ -1137,31 +1174,19 @@ class HelperClusterSimulator:
         return self.clusters[domain]
 
     def _target_cluster(self, decision: SteerDecision, uop: MicroOp) -> int:
-        """Resolve a policy's wide/helper decision to a concrete cluster."""
-        if decision.domain == _WIDE:
-            return _WIDE
-        cluster = self._select_helper_cluster(uop.opcode)
-        return _WIDE if cluster is None else cluster
+        """Resolve a steering decision to a concrete cluster.
+
+        Placement is entirely the shared selector's job: an explicit target
+        wins, a declarative requirement constrains the candidates, and with
+        neither the selector places on capability and load (the default
+        selector is the original least-loaded-capable rule, bit-identically).
+        """
+        return self.selector.resolve(decision, uop.opcode)
 
     def _select_helper_cluster(self, opcode: Optional[Opcode] = None) -> Optional[int]:
-        """Pick the helper cluster for narrow-steered work.
-
-        The single-helper machine of the paper trivially returns cluster 1;
-        with several helpers the least-loaded capable one wins (lowest index
-        on ties), which is what spreads narrow work across helper backends.
-        """
-        if self._single_helper:
-            return 1
-        best: Optional[int] = None
-        best_free = -1
-        for backend in self.helpers:
-            if opcode is not None and not backend.units.supports(opcode):
-                continue
-            free = backend.issue_queue.free_slots
-            if free > best_free:
-                best = backend.index
-                best_free = free
-        return best
+        """Pick a helper cluster for requirement-less work (prefetch targets,
+        IR chunk chains) through the shared selector."""
+        return self.selector.select(opcode=opcode)
 
 
 def simulate(trace: Trace, config: Optional[MachineConfig] = None,

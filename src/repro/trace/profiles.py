@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping
 
+from repro.isa.values import MACHINE_WIDTH, NARROW_WIDTH
+
 
 @dataclass(frozen=True)
 class InstructionMix:
@@ -111,6 +113,11 @@ class BenchmarkProfile:
     width_locality:
         Probability that a static instruction produces a result of the same
         width class as its previous dynamic instance; knob for Figure 5.
+    data_width:
+        Width in bits of the benchmark's "narrow" data band (8 for the
+        SPEC profiles, matching the paper).  Halfword-heavy workloads
+        (``data_width=16``) exercise asymmetric helper mixes: their data
+        values mostly need 9-16 bits, which only a >= 16-bit helper fits.
     static_loops:
         Number of distinct loop nests in the synthetic static program (code
         footprint; interacts with the 256-entry predictor capacity).
@@ -130,10 +137,14 @@ class BenchmarkProfile:
     byte_load_fraction: float = 0.15
     pointer_arith_fraction: float = 0.25
     width_locality: float = 0.94
+    data_width: int = NARROW_WIDTH
     static_loops: int = 24
     category: str = "specint"
 
     def __post_init__(self) -> None:
+        if not 0 < self.data_width < MACHINE_WIDTH:
+            raise ValueError(
+                f"data_width must be in (0, {MACHINE_WIDTH}), got {self.data_width}")
         for attr in (
             "narrow_data_fraction",
             "narrow_consumer_locality",

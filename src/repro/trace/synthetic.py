@@ -406,5 +406,13 @@ class SyntheticTraceGenerator:
 
 def generate_trace(profile: BenchmarkProfile, num_uops: int, seed: int = 0,
                    name: Optional[str] = None) -> Trace:
-    """Convenience wrapper: build a generator and produce one trace."""
-    return SyntheticTraceGenerator(profile, seed=seed).generate(num_uops, name=name)
+    """Convenience wrapper: build a generator and produce one trace.
+
+    The width of the profile's "narrow" data band follows
+    ``profile.data_width`` (8 bits for the SPEC profiles, so existing traces
+    are bit-identical; 16 produces halfword-heavy workloads for asymmetric
+    helper-mix exploration).
+    """
+    return SyntheticTraceGenerator(
+        profile, seed=seed,
+        narrow_width=profile.data_width).generate(num_uops, name=name)

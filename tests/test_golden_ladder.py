@@ -40,7 +40,10 @@ HEADLINE_MEAN_SPEEDUPS = {
 }
 
 #: Live mini-ladder pins: 2500-uop traces, seed 2006.  Full precision — the
-#: simulator is deterministic, so any drift is a semantic change.
+#: simulator is deterministic, so any drift is a semantic change.  All four
+#: policies are built through the policy registry (``PolicySpec.build``), so
+#: these pins also guard the registry path: a registry-built ladder policy
+#: must resolve helpers exactly as the pre-registry simulator did.
 MINI_LADDER_SPEEDUPS = {
     "n888": {
         "gcc": 0.022912994712, "bzip2": 0.01707369786, "parser": 0.052312087127,
@@ -50,6 +53,9 @@ MINI_LADDER_SPEEDUPS = {
     },
     "ir": {
         "gcc": 0.044673539519, "bzip2": 0.098762549615, "parser": 0.095335439509,
+    },
+    "ir_nodest": {
+        "gcc": 0.044331752004, "bzip2": 0.101333957407, "parser": 0.093709408053,
     },
 }
 
@@ -79,6 +85,25 @@ class TestMiniLadderGolden:
                                   benchmarks=["gcc", "bzip2", "parser"], jobs=2)
         for policy in MINI_LADDER_SPEEDUPS:
             assert parallel.speedup_series(policy) == mini_sweep.speedup_series(policy)
+
+
+class TestRegistryBuiltPolicies:
+    """The registry-built final policy hits its golden pin (CI guard)."""
+
+    def test_registry_built_ir_nodest_matches_pin(self):
+        from repro.core.selection import LeastLoadedSelector
+        from repro.core.steering import make_policy, policy_registry
+
+        assert "ir_nodest" in policy_registry
+        policy = make_policy("ir_nodest")
+        assert isinstance(policy.selector, LeastLoadedSelector)
+
+        sweep = run_spec_suite(["ir_nodest"], trace_uops=2500, seed=2006,
+                               benchmarks=["gcc"])
+        value = sweep.speedup_series("ir_nodest")["gcc"]
+        expected = MINI_LADDER_SPEEDUPS["ir_nodest"]["gcc"]
+        assert value == pytest.approx(expected, rel=1e-9), (
+            f"registry-built ir_nodest drifted: {value:.12f} != {expected:.12f}")
 
 
 class TestHeadlineArtefactGolden:

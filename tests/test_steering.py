@@ -70,6 +70,28 @@ class TestPolicyLadder:
         with pytest.raises(KeyError):
             make_policy("bogus")
 
+    def test_make_policy_unknown_lists_policies_and_schemes(self):
+        with pytest.raises(KeyError) as excinfo:
+            make_policy("bogus")
+        message = str(excinfo.value)
+        for name in POLICY_LADDER:
+            assert name in message
+        for scheme in Scheme:
+            assert scheme.name.lower() in message
+
+    def test_make_policy_ad_hoc_scheme_combo(self):
+        policy = make_policy("n888+cr")
+        assert isinstance(policy, DataWidthSteering)
+        assert policy.schemes == frozenset({Scheme.N888, Scheme.CR})
+        assert policy.name == "n888+cr"
+
+    def test_ladder_policies_resolve_through_registry(self):
+        from repro.core.steering import policy_registry
+
+        assert policy_registry.ladder_names() == list(POLICY_LADDER)
+        for name, schemes in POLICY_LADDER.items():
+            assert policy_registry.get(name).schemes == schemes
+
 
 class TestBaselineSteering:
     def test_everything_goes_wide(self, ctx):

@@ -115,9 +115,21 @@ class TestTopologyConstruction:
     def test_with_helper_rederives_topology(self):
         config = topology_config(helper_topology(helpers=2))
         assert config.cluster_topology().num_helpers == 2
-        shimmed = config.with_helper(narrow_width=16)
+        with pytest.warns(DeprecationWarning):
+            shimmed = config.with_helper(narrow_width=16)
         assert shimmed.cluster_topology().num_helpers == 1
         assert shimmed.narrow_width == 16
+
+    def test_mixed_helper_topology_shapes_and_names(self):
+        from repro.core.config import mixed_helper_topology
+
+        topology = mixed_helper_topology([(8, 2), (16, 1), (8, 2)])
+        assert [spec.name for spec in topology.helpers] == [
+            "n8x2", "n16x1", "n8x2_1"]
+        assert topology.narrow_width == 8
+        assert topology.max_clock_ratio == 2
+        with pytest.raises(ValueError):
+            mixed_helper_topology([])
 
 
 # ---------------------------------------------------------------------------
