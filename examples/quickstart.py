@@ -19,6 +19,7 @@ import sys
 from repro import helper_cluster_config
 from repro.core.steering import POLICY_LADDER, make_policy
 from repro.sim.baseline import baseline_pair
+from repro.sim.metrics import ed2_improvement
 from repro.sim.reporting import format_table
 from repro.trace.profiles import SPEC_INT_NAMES, get_profile
 from repro.trace.synthetic import generate_trace
@@ -56,6 +57,8 @@ def main() -> int:
         ["width prediction accuracy", f"{helper.prediction.accuracy * 100:.1f}%"],
         ["fatal mispredictions", f"{helper.prediction.fatal_rate * 100:.2f}%"],
         ["flushing recoveries", helper.recoveries],
+        ["energy vs baseline", f"{helper.energy / base.energy * 100:.1f}%"],
+        ["ED2 improvement", f"{ed2_improvement(base, helper) * 100:+.1f}%"],
     ]
     print()
     print(format_table(["metric", "value"], rows,

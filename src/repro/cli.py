@@ -9,7 +9,11 @@ Subcommands
 ``explore``    Design-space exploration: sweep a topology grid (narrow width
                x clock ratio x helper count, plus ``--mixed`` asymmetric
                helper mixes such as ``8@2+16@1``) and print a sensitivity
-               table.
+               table with per-cluster energy and ED²-vs-baseline columns.
+``energy``     Reproduce the paper's energy-delay² comparison (the +5.1%
+               ED² claim for IR) through the parallel engine: per-benchmark
+               energy / delay ratios against the monolithic baseline plus
+               the per-cluster energy split.
 
 ``--policy`` / ``--policies`` choices come from the policy registry
 (:data:`repro.core.steering.policy_registry`), so registered policies —
@@ -19,11 +23,13 @@ from every subcommand without touching this module.
 ``table1``     Print the baseline machine parameters (Table 1).
 ``workloads``  List the Table 2 workload suite categories.
 
-``ladder``, ``sweep`` and ``explore`` accept the parallel-engine flags:
-``--jobs N`` fans the jobs over N worker processes (0 = one per CPU),
+``ladder``, ``sweep``, ``explore`` and ``energy`` accept the parallel-engine
+flags: ``--jobs N`` fans the jobs over N worker processes (0 = one per CPU),
 ``--cache-dir DIR`` enables the content-addressed on-disk result cache, and
 ``--no-cache`` bypasses cache reads while still refreshing stored entries.
-Results are bit-identical across serial, parallel and cached runs.
+Results are bit-identical across serial, parallel and cached runs, and every
+result carries its per-cluster energy figures (sourced from the cache on
+re-runs).
 """
 
 from __future__ import annotations
@@ -46,12 +52,14 @@ from repro.sim.experiment import (
 )
 from repro.sim.reporting import (
     format_cache_stats,
+    format_energy_table,
     format_ladder_summary,
     format_policy_table,
     format_table,
     format_topology_table,
     format_workload_summary,
     sweep_to_csv,
+    to_csv,
     topology_sweep_to_csv,
 )
 from repro.trace.profiles import SPEC_INT_NAMES, get_profile
@@ -157,6 +165,19 @@ def _build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--csv", default=None, metavar="PATH",
                          help="also write the per-point rows as CSV")
     _add_engine_flags(explore)
+
+    energy = sub.add_parser(
+        "energy", help="energy-delay² comparison vs the monolithic baseline")
+    energy.add_argument("--benchmarks", nargs="*", default=None,
+                        choices=SPEC_INT_NAMES)
+    energy.add_argument("--policy", default="ir", choices=helper_policies,
+                        help="helper configuration to compare (the paper's "
+                             "+5.1%% ED2 claim is for ir)")
+    energy.add_argument("--uops", type=int, default=15_000)
+    energy.add_argument("--seed", type=int, default=2006)
+    energy.add_argument("--csv", default=None, metavar="PATH",
+                        help="also write the per-benchmark rows as CSV")
+    _add_engine_flags(energy)
 
     analyze = sub.add_parser("analyze", help="run the trace characterisation analyses")
     analyze.add_argument("--benchmark", default="gcc", choices=SPEC_INT_NAMES)
@@ -289,6 +310,28 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_energy(args: argparse.Namespace) -> int:
+    """Reproduce the paper's ED² comparison through the parallel engine."""
+    sweep, runner = _run_engine_sweep(args, [args.policy])
+    print(format_energy_table(sweep, args.policy))
+    gain = sweep.mean_ed2_improvement(args.policy) * 100.0
+    print(f"\nmean ED2 improvement over baseline: {gain:+.2f}% "
+          f"(the paper reports +5.1% for its IR design point)")
+    if args.csv:
+        rows = [[b, sweep.results[b].by_policy[args.policy].energy,
+                 sweep.results[b].baseline.energy,
+                 sweep.results[b].ed2_improvement(args.policy)]
+                for b in sweep.benchmarks]
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(to_csv(["benchmark", "energy", "baseline_energy",
+                                 "ed2_gain"], rows) + "\n")
+        print(f"\nwrote {args.csv}")
+    if runner.cache is not None:
+        print()
+        print(format_cache_stats(runner.cache))
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     profile = get_profile(args.benchmark)
     trace = generate_trace(profile, args.uops, seed=args.seed)
@@ -330,6 +373,7 @@ _COMMANDS = {
     "ladder": _cmd_ladder,
     "sweep": _cmd_sweep,
     "explore": _cmd_explore,
+    "energy": _cmd_energy,
     "analyze": _cmd_analyze,
     "table1": _cmd_table1,
     "workloads": _cmd_workloads,

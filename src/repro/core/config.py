@@ -115,6 +115,15 @@ class ClusterSpec:
         """Number of chunks a full-width value splits into on this datapath (§3.7)."""
         return max(1, MACHINE_WIDTH // self.datapath_width)
 
+    @property
+    def width_fraction(self) -> float:
+        """Datapath width as a fraction of the machine width.
+
+        The linear area/capacitance scaling factor the power model applies
+        to this cluster's per-access energies (§2.1).
+        """
+        return self.datapath_width / MACHINE_WIDTH
+
     def to_key_dict(self) -> dict:
         """Canonical, JSON-serialisable form (cache keys, reports)."""
         return asdict(self)

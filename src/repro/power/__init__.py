@@ -3,21 +3,40 @@
 The paper compares energy-delay² of the most aggressive helper-cluster
 configuration against the monolithic baseline using an in-house Wattch-style
 power simulator extended with the helper cluster's 8-bit datapath, clock
-network and width predictors (§3.1, §3.7).  This subpackage provides the
-equivalent: per-structure per-access energies that scale with datapath width,
-plus static/clock power per cycle, and the energy / energy-delay /
-energy-delay² accounting used by the ED² benchmark.
+network and width predictors (§3.1).  This subpackage provides the
+equivalent, generalised to arbitrary cluster topologies: per-cluster
+per-access energies derived from each cluster's spec (datapath width,
+scheduler resources, FU mix), clock/static power per cluster cycle, and the
+energy / energy-delay / energy-delay² accounting behind the ``repro.cli
+energy`` subcommand and the ED² columns of every sweep table.
 """
 
-from repro.power.wattch import PowerModel, PowerConfig, ActivityCounts, PowerBreakdown
-from repro.power.energy import EnergyReport, energy_delay_squared, compare_ed2
+from repro.power.wattch import (
+    ActivityCounts,
+    ClusterActivity,
+    ClusterCoefficients,
+    PowerBreakdown,
+    PowerConfig,
+    PowerModel,
+)
+from repro.power.energy import (
+    EnergyReport,
+    compare_ed2,
+    energy_delay_squared,
+    report_from_activity,
+    report_from_result,
+)
 
 __all__ = [
     "PowerModel",
     "PowerConfig",
     "ActivityCounts",
+    "ClusterActivity",
+    "ClusterCoefficients",
     "PowerBreakdown",
     "EnergyReport",
     "energy_delay_squared",
     "compare_ed2",
+    "report_from_activity",
+    "report_from_result",
 ]

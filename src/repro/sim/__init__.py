@@ -1,6 +1,11 @@
 """Simulation drivers: the top-level cycle simulator, metrics and experiments."""
 
-from repro.sim.metrics import SimulationResult, PredictionBreakdown, speedup
+from repro.sim.metrics import (
+    SimulationResult,
+    PredictionBreakdown,
+    ed2_improvement,
+    speedup,
+)
 from repro.sim.simulator import HelperClusterSimulator, simulate
 from repro.sim.baseline import simulate_baseline, baseline_pair
 from repro.sim.experiment import (
@@ -16,6 +21,7 @@ __all__ = [
     "SimulationResult",
     "PredictionBreakdown",
     "speedup",
+    "ed2_improvement",
     "HelperClusterSimulator",
     "simulate",
     "simulate_baseline",

@@ -14,12 +14,14 @@ from typing import Optional, Tuple
 
 from repro.core.config import MachineConfig, baseline_config
 from repro.core.steering import BaselineSteering, SteeringPolicy, make_policy
+from repro.power.wattch import PowerConfig
 from repro.sim.metrics import SimulationResult, speedup
 from repro.sim.simulator import simulate
 from repro.trace.trace import Trace
 
 
-def simulate_baseline(trace: Trace, config: Optional[MachineConfig] = None) -> SimulationResult:
+def simulate_baseline(trace: Trace, config: Optional[MachineConfig] = None,
+                      power: Optional[PowerConfig] = None) -> SimulationResult:
     """Run the trace on the monolithic baseline (helper cluster disabled)."""
     config = config or baseline_config()
     if config.helper.enabled:
@@ -27,12 +29,13 @@ def simulate_baseline(trace: Trace, config: Optional[MachineConfig] = None) -> S
         # spelled out so the library never warns from its own internals.
         config = replace(config, helper=replace(config.helper, enabled=False),
                          topology=None)
-    return simulate(trace, config=config, policy=BaselineSteering())
+    return simulate(trace, config=config, policy=BaselineSteering(), power=power)
 
 
 def baseline_pair(trace: Trace, policy: SteeringPolicy | str,
                   helper_config: Optional[MachineConfig] = None,
                   baseline: Optional[SimulationResult] = None,
+                  power: Optional[PowerConfig] = None,
                   ) -> Tuple[SimulationResult, SimulationResult, float]:
     """Run (baseline, helper-cluster) over one trace and return the speedup.
 
@@ -48,6 +51,9 @@ def baseline_pair(trace: Trace, policy: SteeringPolicy | str,
     baseline:
         A previously computed baseline result for this trace, to avoid
         re-simulating it when sweeping many policies.
+    power:
+        Energy coefficients applied to *both* runs, so energy/ED²
+        comparisons between the pair are always under one model.
 
     Returns
     -------
@@ -59,6 +65,7 @@ def baseline_pair(trace: Trace, policy: SteeringPolicy | str,
 
     helper_config = helper_config or helper_cluster_config()
     if baseline is None:
-        baseline = simulate_baseline(trace)
-    helper_result = simulate(trace, config=helper_config, policy=policy)
+        baseline = simulate_baseline(trace, power=power)
+    helper_result = simulate(trace, config=helper_config, policy=policy,
+                             power=power)
     return baseline, helper_result, speedup(baseline, helper_result)

@@ -8,7 +8,9 @@ that determines it — trace profile, trace length, seed, machine config
 (through ``MachineConfig.to_key_dict()``), the policy (through
 ``PolicySpec.to_key_dict()``: name, scheme set, cluster selector and
 selector knobs, so policies differing only in selector or knobs never alias
-an entry) and a code-version tag — so repeated sweeps are near-free while
+an entry), the energy coefficients (through ``PowerConfig.to_key_dict()``:
+results carry their per-cluster energy figures, so a tweaked power model
+must miss) and a code-version tag — so repeated sweeps are near-free while
 any change to the inputs (or to simulator semantics, via the version tag)
 misses cleanly.
 

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import MachineConfig, baseline_config, helper_cluster_config
 from repro.core.steering import make_policy, policy_spec
+from repro.power.wattch import PowerConfig
 from repro.sim.cache import ResultCache, canonical_text, result_key
 from repro.sim.metrics import SimulationResult
 from repro.sim.simulator import simulate
@@ -57,6 +58,9 @@ class SweepJob:
     design-space exploration fans out over topologies: one job per
     (topology, benchmark) with the topology carried in the job itself, so
     workers and the cache key see exactly the machine the job simulates.
+    ``power`` likewise overrides the engine's energy-coefficient
+    configuration for this job (baseline jobs included — ED² comparisons
+    need baseline energies under the same coefficients).
     """
 
     benchmark: str
@@ -65,6 +69,7 @@ class SweepJob:
     seed: int
     use_slicing: bool = False
     config: Optional[MachineConfig] = None
+    power: Optional[PowerConfig] = None
 
 
 def job_seed(sweep_seed: int, benchmark: str) -> int:
@@ -111,7 +116,7 @@ def trace_for_job(job: SweepJob, profile: Optional[BenchmarkProfile] = None) -> 
 
 def execute_job(job: SweepJob, config: MachineConfig,
                 profile: Optional[BenchmarkProfile] = None,
-                spec=None) -> SimulationResult:
+                spec=None, power: Optional[PowerConfig] = None) -> SimulationResult:
     """Run one job to completion (trace generation included).
 
     The job's own ``config`` wins over the engine-supplied one; the baseline
@@ -119,12 +124,16 @@ def execute_job(job: SweepJob, config: MachineConfig,
     methodology normalises every topology to the same baseline).  ``spec``
     is the job's resolved :class:`~repro.core.steering.PolicySpec`; when
     omitted, the name is resolved against this process's registry.
+    ``power`` supplies the energy coefficients (job-carried config wins).
     """
     trace = trace_for_job(job, profile)
     policy = make_policy(spec if spec is not None else job.policy)
+    power = job.power or power
     if job.policy == "baseline":
-        return simulate(trace, config=baseline_config(), policy=policy)
-    return simulate(trace, config=job.config or config, policy=policy)
+        return simulate(trace, config=baseline_config(), policy=policy,
+                        power=power)
+    return simulate(trace, config=job.config or config, policy=policy,
+                    power=power)
 
 
 def _pool_worker(task: bytes) -> bytes:
@@ -135,8 +144,8 @@ def _pool_worker(task: bytes) -> bytes:
     stay runnable even under spawn/forkserver start methods, where the
     child's freshly-imported registry only holds the built-in specs.
     """
-    job, config, profile, spec = pickle.loads(task)
-    result = execute_job(job, config, profile, spec=spec)
+    job, config, profile, spec, power = pickle.loads(task)
+    result = execute_job(job, config, profile, spec=spec, power=power)
     return pickle.dumps((job, result), protocol=pickle.HIGHEST_PROTOCOL)
 
 
@@ -158,13 +167,19 @@ class SweepEngine:
     cache:
         Optional :class:`ResultCache` consulted before and filled after
         every job.
+    power:
+        Energy-coefficient configuration applied to every job (including
+        baselines); jobs may carry their own override.  Defaults to the
+        standard :class:`~repro.power.wattch.PowerConfig`.
     """
 
     def __init__(self, config: Optional[MachineConfig] = None, jobs: int = 1,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 power: Optional[PowerConfig] = None) -> None:
         self.config = config or helper_cluster_config()
         self.jobs = default_jobs() if jobs == 0 else max(1, jobs)
         self.cache = cache
+        self.power = power or PowerConfig()
         self._profiles: Dict[str, BenchmarkProfile] = {}
 
     # ------------------------------------------------------------------ keys
@@ -178,15 +193,20 @@ class SweepEngine:
         contributes through ``PolicySpec.to_key_dict()`` (name, scheme set,
         cluster selector and selector knobs), so two registered policies
         that differ only in selector or knobs can never alias an entry.
+        The power configuration contributes through
+        ``PowerConfig.to_key_dict()``: results carry their energy figures,
+        so changed coefficients must change the key too.
         """
         if job.policy == "baseline":
             config = baseline_config()
         else:
             config = job.config or self.config
         profile = self._profile_for(job.benchmark)
+        power = job.power or self.power
         return result_key(profile, job.trace_uops, job.seed, job.use_slicing,
                           canonical_text(config.to_key_dict()),
-                          canonical_text(policy_spec(job.policy).to_key_dict()))
+                          canonical_text(policy_spec(job.policy).to_key_dict()),
+                          canonical_text(power.to_key_dict()))
 
     def register_profile(self, profile: BenchmarkProfile) -> None:
         """Make a (possibly unregistered) profile resolvable by name."""
@@ -229,7 +249,8 @@ class SweepEngine:
             computed = self._run_parallel(pending)
         else:
             computed = {job: execute_job(job, self.config,
-                                         self._profile_for(job.benchmark))
+                                         self._profile_for(job.benchmark),
+                                         power=self.power)
                         for job in pending}
 
         for job, result in computed.items():
@@ -246,7 +267,8 @@ class SweepEngine:
         # so contiguous chunks let each worker reuse its memoised trace.
         tasks = [pickle.dumps((job, job.config or self.config,
                                self._profile_for(job.benchmark),
-                               policy_spec(job.policy)),
+                               policy_spec(job.policy),
+                               job.power or self.power),
                               protocol=pickle.HIGHEST_PROTOCOL)
                  for job in pending]
         workers = min(self.jobs, len(tasks))

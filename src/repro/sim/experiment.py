@@ -26,9 +26,10 @@ from repro.core.config import (
     topology_config,
 )
 from repro.core.steering import make_policy, policy_registry
+from repro.power.wattch import PowerConfig
 from repro.sim.cache import ResultCache
 from repro.sim.engine import SweepEngine, SweepJob, job_seed, trace_for_job
-from repro.sim.metrics import SimulationResult, speedup
+from repro.sim.metrics import SimulationResult, ed2_improvement, speedup
 from repro.sim.simulator import simulate
 from repro.trace.profiles import SPEC_INT_2000, SPEC_INT_NAMES, BenchmarkProfile
 from repro.trace.trace import Trace
@@ -38,6 +39,19 @@ from repro.trace.workloads import WorkloadApp, build_workload_suite
 #: 100M-instruction traces; the synthetic profiles converge much earlier, and
 #: the pure-Python simulator needs CI-scale runtimes (see DESIGN.md).
 DEFAULT_TRACE_UOPS = 30_000
+
+
+def _safe_ed2_improvement(baseline: SimulationResult,
+                          candidate: SimulationResult) -> float:
+    """ED² improvement, or 0.0 when either run lacks energy figures.
+
+    A candidate simulated with energy accounting disabled has ``ed2 == 0``;
+    reporting that as a +100% gain would be nonsense, so both sides must
+    carry energy for a comparison to mean anything.
+    """
+    if baseline.ed2 <= 0 or not candidate.has_energy:
+        return 0.0
+    return ed2_improvement(baseline, candidate)
 
 
 @dataclass
@@ -53,6 +67,10 @@ class BenchmarkResult:
 
     def speedups(self) -> Dict[str, float]:
         return {name: self.speedup(name) for name in self.by_policy}
+
+    def ed2_improvement(self, policy: str) -> float:
+        """Relative ED² gain of a policy over the monolithic baseline."""
+        return _safe_ed2_improvement(self.baseline, self.by_policy[policy])
 
 
 @dataclass
@@ -79,6 +97,14 @@ class PolicySweepResult:
 
     def speedup_series(self, policy: str) -> Dict[str, float]:
         return {b: self.results[b].speedup(policy) for b in self.benchmarks}
+
+    def mean_ed2_improvement(self, policy: str) -> float:
+        values = [self.results[b].ed2_improvement(policy) for b in self.benchmarks]
+        return sum(values) / len(values) if values else 0.0
+
+    def ed2_series(self, policy: str) -> Dict[str, float]:
+        return {b: self.results[b].ed2_improvement(policy)
+                for b in self.benchmarks}
 
 
 @dataclass(frozen=True)
@@ -173,8 +199,25 @@ class TopologySweepResult:
         values = [self.results[(point, b)].copy_fraction for b in self.benchmarks]
         return sum(values) / len(values) if values else 0.0
 
+    def ed2_improvement(self, point: str, benchmark: str) -> float:
+        """ED² gain of one grid point over the shared monolithic baseline."""
+        return _safe_ed2_improvement(self.baselines[benchmark],
+                                     self.results[(point, benchmark)])
+
+    def mean_ed2_improvement(self, point: str) -> float:
+        values = [self.ed2_improvement(point, b) for b in self.benchmarks]
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_energy(self, point: str) -> float:
+        values = [self.results[(point, b)].energy for b in self.benchmarks]
+        return sum(values) / len(values) if values else 0.0
+
     def best_point(self) -> TopologyPoint:
         return max(self.points, key=lambda p: self.mean_speedup(p.name))
+
+    def best_ed2_point(self) -> TopologyPoint:
+        """The grid point with the best mean ED² gain (the paper's metric)."""
+        return max(self.points, key=lambda p: self.mean_ed2_improvement(p.name))
 
 
 @dataclass
@@ -193,6 +236,14 @@ class WorkloadSweepResult:
 
     def speedups(self) -> Dict[str, float]:
         return {app.name: self.speedup(app.name) for app in self.apps}
+
+    def ed2_improvement(self, app_name: str) -> float:
+        return _safe_ed2_improvement(self.baselines[app_name],
+                                     self.by_app[app_name])
+
+    def mean_ed2_improvement(self) -> float:
+        values = [self.ed2_improvement(app.name) for app in self.apps]
+        return sum(values) / len(values) if values else 0.0
 
     def category_speedups(self) -> Dict[str, List[float]]:
         by_category: Dict[str, List[float]] = {}
@@ -225,13 +276,17 @@ class ExperimentRunner:
     use_cache:
         When False, an existing ``cache_dir`` is bypassed on reads (results
         are still recomputed and stored), the CLI's ``--no-cache``.
+    power:
+        Energy-coefficient configuration for every run (baselines included);
+        ``PowerConfig(enabled=False)`` turns energy accounting off.
     """
 
     def __init__(self, trace_uops: int = DEFAULT_TRACE_UOPS, seed: int = 2006,
                  config: Optional[MachineConfig] = None,
                  use_slicing: bool = False, jobs: int = 1,
                  cache_dir: Optional[str] = None,
-                 use_cache: bool = True) -> None:
+                 use_cache: bool = True,
+                 power: Optional[PowerConfig] = None) -> None:
         if trace_uops <= 0:
             raise ValueError("trace_uops must be positive")
         self.trace_uops = trace_uops
@@ -239,9 +294,10 @@ class ExperimentRunner:
         self.config = config or helper_cluster_config()
         self.use_slicing = use_slicing
         self.use_cache = use_cache
+        self.power = power or PowerConfig()
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.engine = SweepEngine(config=self.config, jobs=jobs,
-                                  cache=self.cache)
+                                  cache=self.cache, power=self.power)
         self._baselines: Dict[str, SimulationResult] = {}
 
     # ------------------------------------------------------------------ jobs
@@ -274,7 +330,7 @@ class ExperimentRunner:
             # One-off config override: run directly, outside the engine's
             # (config-keyed) cache.
             return simulate(self.trace_for(profile), config=config,
-                            policy=make_policy(policy_name))
+                            policy=make_policy(policy_name), power=self.power)
         job = self._job(profile, policy_name)
         return self.engine.run_jobs([job], use_cache=self.use_cache)[job]
 

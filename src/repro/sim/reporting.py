@@ -55,17 +55,53 @@ def format_series(series: Mapping[str, float], title: Optional[str] = None,
                         float_format="{:.2f}" if percent else "{:.4f}")
 
 
+def cluster_energy_text(result: SimulationResult) -> str:
+    """Compact per-cluster energy summary of one run, e.g.
+    ``wide:1.5e+05 narrow:2.1e+04 shared:9.8e+04`` (``-`` when energy
+    accounting was disabled)."""
+    if not result.power:
+        return "-"
+    parts = [f"{name}:{breakdown.total:.3g}"
+             for name, breakdown in result.power.items()]
+    if result.shared_power is not None:
+        parts.append(f"shared:{result.shared_power.total:.3g}")
+    return " ".join(parts)
+
+
+def mean_cluster_energy_text(results: Sequence[SimulationResult]) -> str:
+    """Compact per-cluster energy summary averaged over several runs."""
+    totals: Dict[str, float] = {}
+    shared = 0.0
+    with_energy = 0
+    for result in results:
+        if not result.power:
+            continue
+        with_energy += 1
+        for name, breakdown in result.power.items():
+            totals[name] = totals.get(name, 0.0) + breakdown.total
+        if result.shared_power is not None:
+            shared += result.shared_power.total
+    if not with_energy:
+        return "-"
+    parts = [f"{name}:{value / with_energy:.3g}" for name, value in totals.items()]
+    parts.append(f"shared:{shared / with_energy:.3g}")
+    return " ".join(parts)
+
+
 def results_to_rows(sweep: PolicySweepResult, policy: str) -> List[List[object]]:
     """Rows of per-benchmark metrics for one policy (Figures 6-9, 12)."""
     rows: List[List[object]] = []
     for benchmark in sweep.benchmarks:
-        result = sweep.results[benchmark].by_policy[policy]
+        bench = sweep.results[benchmark]
+        result = bench.by_policy[policy]
         rows.append([
             benchmark,
-            sweep.results[benchmark].speedup(policy) * 100.0,
+            bench.speedup(policy) * 100.0,
             result.helper_fraction * 100.0,
             result.copy_fraction * 100.0,
             result.prediction.accuracy * 100.0,
+            bench.ed2_improvement(policy) * 100.0,
+            cluster_energy_text(result),
         ])
     rows.append([
         "AVG",
@@ -74,6 +110,9 @@ def results_to_rows(sweep: PolicySweepResult, policy: str) -> List[List[object]]
         sweep.mean_copy_fraction(policy) * 100.0,
         sum(sweep.results[b].by_policy[policy].prediction.accuracy
             for b in sweep.benchmarks) / max(1, len(sweep.benchmarks)) * 100.0,
+        sweep.mean_ed2_improvement(policy) * 100.0,
+        mean_cluster_energy_text([sweep.results[b].by_policy[policy]
+                                  for b in sweep.benchmarks]),
     ])
     return rows
 
@@ -81,22 +120,37 @@ def results_to_rows(sweep: PolicySweepResult, policy: str) -> List[List[object]]
 def format_policy_table(sweep: PolicySweepResult, policy: str,
                         title: Optional[str] = None) -> str:
     """A per-benchmark table for one policy."""
-    headers = ["benchmark", "speedup %", "helper %", "copies %", "pred acc %"]
+    headers = ["benchmark", "speedup %", "helper %", "copies %", "pred acc %",
+               "ED2 gain %", "energy by cluster"]
     return format_table(headers, results_to_rows(sweep, policy),
                         title=title or f"policy: {policy}",
                         float_format="{:.2f}")
 
 
+def _sweep_selector(sweep: PolicySweepResult, policy: str) -> str:
+    """The selector name a policy's runs steered under (self-description)."""
+    for benchmark in sweep.benchmarks:
+        selector = sweep.results[benchmark].by_policy[policy].selector
+        if selector:
+            return selector
+    return "-"
+
+
 def format_ladder_summary(sweep: PolicySweepResult, title: str = "Policy ladder") -> str:
-    """Mean speedup / helper-fraction / copy-fraction per policy (the headline)."""
-    headers = ["policy", "mean speedup %", "mean helper %", "mean copies %"]
+    """Mean speedup / helper / copies / ED² gain per policy (the headline)."""
+    headers = ["policy", "selector", "mean speedup %", "mean helper %",
+               "mean copies %", "mean ED2 gain %", "energy by cluster"]
     rows = []
     for policy in sweep.policies:
         rows.append([
             policy,
+            _sweep_selector(sweep, policy),
             sweep.mean_speedup(policy) * 100.0,
             sweep.mean_helper_fraction(policy) * 100.0,
             sweep.mean_copy_fraction(policy) * 100.0,
+            sweep.mean_ed2_improvement(policy) * 100.0,
+            mean_cluster_energy_text([sweep.results[b].by_policy[policy]
+                                      for b in sweep.benchmarks]),
         ])
     return format_table(headers, rows, title=title, float_format="{:.2f}")
 
@@ -104,22 +158,26 @@ def format_ladder_summary(sweep: PolicySweepResult, title: str = "Policy ladder"
 def sweep_to_csv(sweep: PolicySweepResult) -> str:
     """All (benchmark, policy) rows of a sweep as CSV (the ``sweep`` command).
 
-    One row per benchmark per policy with the headline per-run metrics, plus
-    the speedup against the shared baseline.
+    One row per benchmark per policy with the headline per-run metrics, the
+    speedup against the shared baseline, and the energy / ED² columns of the
+    per-cluster power model.
     """
-    headers = ["benchmark", "policy", "speedup", "ipc", "helper_fraction",
-               "copy_fraction", "prediction_accuracy", "fatal_rate",
-               "recoveries", "slow_cycles"]
+    headers = ["benchmark", "policy", "selector", "speedup", "ipc",
+               "helper_fraction", "copy_fraction", "prediction_accuracy",
+               "fatal_rate", "recoveries", "slow_cycles", "energy", "ed2",
+               "ed2_gain"]
     rows: List[List[object]] = []
     for benchmark in sweep.benchmarks:
         bench = sweep.results[benchmark]
         for policy in sweep.policies:
             result = bench.by_policy[policy]
             rows.append([
-                benchmark, policy, bench.speedup(policy), result.ipc,
+                benchmark, policy, result.selector or "-",
+                bench.speedup(policy), result.ipc,
                 result.helper_fraction, result.copy_fraction,
                 result.prediction.accuracy, result.prediction.fatal_rate,
                 result.recoveries, result.slow_cycles,
+                result.energy, result.ed2, bench.ed2_improvement(policy),
             ])
     return to_csv(headers, rows)
 
@@ -128,22 +186,35 @@ def format_topology_table(sweep: TopologySweepResult,
                           title: Optional[str] = None) -> str:
     """Sensitivity table of a design-space exploration (``explore`` command).
 
-    One row per machine shape with its mean speedup over the shared
-    monolithic baseline, helper occupancy and copy overhead; the best point
-    is marked so a grid scan reads off the winner directly.
+    One row per machine shape with its mean speedup and ED² gain over the
+    shared monolithic baseline, helper occupancy, copy overhead and the
+    mean per-cluster energy split; the best point by each criterion is
+    marked so a grid scan reads off the winner directly.
     """
     best = sweep.best_point().name if sweep.points else None
+    best_ed2 = (sweep.best_ed2_point().name
+                if sweep.points and any(
+                    sweep.mean_energy(p.name) > 0 for p in sweep.points)
+                else None)
     headers = ["point", "clusters", "mean speedup %", "mean helper %",
-               "mean copies %", ""]
+               "mean copies %", "mean ED2 gain %", "energy by cluster", ""]
     rows: List[List[object]] = []
     for point in sweep.points:
+        markers = []
+        if point.name == best:
+            markers.append("<-- best speedup")
+        if best_ed2 is not None and point.name == best_ed2:
+            markers.append("<-- best ED2")
         rows.append([
             point.name,
             point.describe(),
             sweep.mean_speedup(point.name) * 100.0,
             sweep.mean_helper_fraction(point.name) * 100.0,
             sweep.mean_copy_fraction(point.name) * 100.0,
-            "<-- best" if point.name == best else "",
+            sweep.mean_ed2_improvement(point.name) * 100.0,
+            mean_cluster_energy_text([sweep.result(point.name, b)
+                                      for b in sweep.benchmarks]),
+            " ".join(markers),
         ])
     try:
         policy_label = f"{sweep.policy}/{policy_spec(sweep.policy).selector}"
@@ -160,7 +231,8 @@ def format_topology_table(sweep: TopologySweepResult,
 def topology_sweep_to_csv(sweep: TopologySweepResult) -> str:
     """All (point, benchmark) rows of a topology exploration as CSV."""
     headers = ["point", "clusters", "benchmark", "speedup", "ipc",
-               "helper_fraction", "copy_fraction", "recoveries", "slow_cycles"]
+               "helper_fraction", "copy_fraction", "recoveries", "slow_cycles",
+               "energy", "ed2", "ed2_gain", "cluster_energy"]
     rows: List[List[object]] = []
     for point in sweep.points:
         for benchmark in sweep.benchmarks:
@@ -170,8 +242,52 @@ def topology_sweep_to_csv(sweep: TopologySweepResult) -> str:
                 sweep.speedup(point.name, benchmark), result.ipc,
                 result.helper_fraction, result.copy_fraction,
                 result.recoveries, result.slow_cycles,
+                result.energy, result.ed2,
+                sweep.ed2_improvement(point.name, benchmark),
+                cluster_energy_text(result).replace(" ", ";"),
             ])
     return to_csv(headers, rows)
+
+
+def format_energy_table(sweep: PolicySweepResult, policy: str,
+                        title: Optional[str] = None) -> str:
+    """The paper's energy comparison (``energy`` command): per-benchmark
+    energy / delay ratios and the ED² improvement of ``policy`` over the
+    monolithic baseline (the paper reports +5.1% for IR)."""
+    rows: List[List[object]] = []
+    energy_ratios: List[float] = []
+    delay_ratios: List[float] = []
+    for benchmark in sweep.benchmarks:
+        bench = sweep.results[benchmark]
+        base, candidate = bench.baseline, bench.by_policy[policy]
+        energy_ratio = candidate.energy / base.energy if base.energy else 0.0
+        delay_ratio = (candidate.slow_cycles / base.slow_cycles
+                       if base.slow_cycles else 0.0)
+        energy_ratios.append(energy_ratio)
+        delay_ratios.append(delay_ratio)
+        rows.append([
+            benchmark, energy_ratio, delay_ratio,
+            bench.ed2_improvement(policy) * 100.0,
+            cluster_energy_text(candidate),
+        ])
+    count = max(1, len(sweep.benchmarks))
+    rows.append([
+        "AVG", sum(energy_ratios) / count, sum(delay_ratios) / count,
+        sweep.mean_ed2_improvement(policy) * 100.0,
+        mean_cluster_energy_text([sweep.results[b].by_policy[policy]
+                                  for b in sweep.benchmarks]),
+    ])
+    try:
+        policy_label = f"{policy}/{policy_spec(policy).selector}"
+    except KeyError:
+        policy_label = policy
+    return format_table(
+        ["benchmark", "energy ratio", "delay ratio", "ED2 gain %",
+         "energy by cluster"],
+        rows,
+        title=title or (f"Energy-delay² comparison ({policy_label} vs "
+                        "monolithic baseline)"),
+        float_format="{:.3f}")
 
 
 def format_workload_summary(sweep: WorkloadSweepResult,

@@ -68,6 +68,7 @@ from repro.pipeline.recovery import RecoveryManager
 from repro.pipeline.rename import RenameTable
 from repro.pipeline.rob import ReorderBuffer
 from repro.pipeline.scheduler import IssueQueue, IssueQueueEntry
+from repro.power.wattch import ClusterActivity, PowerConfig, PowerModel
 from repro.sim.metrics import PredictionBreakdown, SimulationResult
 from repro.trace.trace import Trace
 
@@ -113,10 +114,12 @@ class HelperClusterSimulator:
     """Trace-driven timing simulator of the helper-cluster machine."""
 
     def __init__(self, trace: Trace, config: Optional[MachineConfig] = None,
-                 policy: Optional[SteeringPolicy] = None) -> None:
+                 policy: Optional[SteeringPolicy] = None,
+                 power: Optional[PowerConfig] = None) -> None:
         self.trace = trace
         self.config = config or helper_cluster_config()
         self.policy = policy or BaselineSteering()
+        self.power_config = power or PowerConfig()
         self.topology = self.config.cluster_topology()
         self.clocking = ClockingModel.from_ratios(
             [spec.clock_ratio for spec in self.topology.clusters])
@@ -186,8 +189,15 @@ class HelperClusterSimulator:
         self._prefetched_values: set = set()
         self._narrow_width = self.config.narrow_width
 
-        # Result accumulation.
-        self.result = SimulationResult(benchmark=trace.name, policy=self.policy.name)
+        # Result accumulation.  One activity record per cluster (keyed by
+        # spec name in the result; indexed by cluster in the hot path) feeds
+        # the per-cluster power model.
+        self.result = SimulationResult(benchmark=trace.name, policy=self.policy.name,
+                                       selector=self.selector.name)
+        self._cluster_acts: List[ClusterActivity] = [
+            ClusterActivity(name=spec.name, datapath_width=spec.datapath_width,
+                            clock_ratio=spec.clock_ratio)
+            for spec in self.topology.clusters]
         self._prediction = PredictionBreakdown()
         self._helper_committed = 0
         self._split_committed = 0
@@ -807,29 +817,19 @@ class HelperClusterSimulator:
         return True
 
     def _account_dispatch(self, dyn: _DynUop, backend: Backend) -> None:
-        activity = self._activity
-        if backend.is_narrow:
-            activity.narrow_scheduler_ops += 1
-            activity.narrow_regfile_accesses += 3
-        else:
-            activity.wide_scheduler_ops += 1
-            activity.wide_regfile_accesses += 3
+        cluster = self._cluster_acts[backend.index]
+        cluster.scheduler_ops += 1
+        cluster.regfile_accesses += 3
         unit = dyn.unit
         if unit is None:
             unit = backend.units.unit_for(dyn.opcode)
         if unit in (FunctionalUnit.IALU, FunctionalUnit.BRU, FunctionalUnit.COPY,
                     FunctionalUnit.IMUL, FunctionalUnit.IDIV):
-            if backend.is_narrow:
-                activity.narrow_alu_ops += 1
-            else:
-                activity.wide_alu_ops += 1
+            cluster.alu_ops += 1
         elif unit is FunctionalUnit.AGU:
-            if backend.is_narrow:
-                activity.narrow_agu_ops += 1
-            else:
-                activity.wide_agu_ops += 1
+            cluster.agu_ops += 1
         elif unit is FunctionalUnit.FPU:
-            activity.fpu_ops += 1
+            cluster.fpu_ops += 1
 
     # -------------------------------------------------------- dependences
     def _resolve_dependences(self, dyn: _DynUop, t: int,
@@ -1167,6 +1167,38 @@ class HelperClusterSimulator:
                                         + self.width_predictor.carry_stats.updates
                                         + self.width_predictor.copy_stats.updates)
 
+        # Per-cluster activity: each cluster's own clock ticks once per
+        # ``period`` fast cycles, so a 2x helper burns twice the host's
+        # clock cycles over the same run.
+        periods = self._periods
+        for backend in self.clusters:
+            cluster = self._cluster_acts[backend.index]
+            cluster.cycles = final_cycle // periods[backend.index]
+        result.cluster_activity = {cluster.name: cluster
+                                   for cluster in self._cluster_acts}
+
+        # Legacy aggregate view: host = wide, all helpers summed = narrow.
+        host = self._cluster_acts[0]
+        activity.wide_alu_ops = host.alu_ops
+        activity.wide_agu_ops = host.agu_ops
+        activity.wide_regfile_accesses = host.regfile_accesses
+        activity.wide_scheduler_ops = host.scheduler_ops
+        activity.fpu_ops = sum(c.fpu_ops for c in self._cluster_acts)
+        activity.narrow_alu_ops = sum(c.alu_ops for c in self._cluster_acts[1:])
+        activity.narrow_agu_ops = sum(c.agu_ops for c in self._cluster_acts[1:])
+        activity.narrow_regfile_accesses = sum(
+            c.regfile_accesses for c in self._cluster_acts[1:])
+        activity.narrow_scheduler_ops = sum(
+            c.scheduler_ops for c in self._cluster_acts[1:])
+
+        # Energy: evaluate the per-cluster power model so every result (and
+        # every cached result) carries its breakdowns and ED² for free.
+        if self.power_config.enabled:
+            model = PowerModel(self.power_config)
+            result.power = model.evaluate_topology(self.topology,
+                                                   result.cluster_activity)
+            result.shared_power = model.evaluate_shared(activity)
+
     # ======================================================================
     # helpers
     # ======================================================================
@@ -1190,6 +1222,8 @@ class HelperClusterSimulator:
 
 
 def simulate(trace: Trace, config: Optional[MachineConfig] = None,
-             policy: Optional[SteeringPolicy] = None) -> SimulationResult:
+             policy: Optional[SteeringPolicy] = None,
+             power: Optional[PowerConfig] = None) -> SimulationResult:
     """Convenience wrapper: build a simulator, run it, return the result."""
-    return HelperClusterSimulator(trace, config=config, policy=policy).run()
+    return HelperClusterSimulator(trace, config=config, policy=policy,
+                                  power=power).run()

@@ -29,6 +29,28 @@ def small_sweep():
                           benchmarks=["gcc", "gzip"])
 
 
+class TestEd2Guards:
+    def _result(self, energy):
+        from repro.power.wattch import PowerBreakdown
+        from repro.sim.metrics import SimulationResult
+
+        power = {"wide": PowerBreakdown({"clock": energy})} if energy else {}
+        return SimulationResult(benchmark="b", policy="p", slow_cycles=1000.0,
+                                power=power)
+
+    def test_energyless_candidate_reports_zero_not_full_gain(self):
+        """A candidate run with energy accounting disabled must not read as
+        a fake +100% ED² gain against an energy-carrying baseline."""
+        bench = BenchmarkResult(benchmark="b", baseline=self._result(100.0),
+                                by_policy={"p": self._result(0.0)})
+        assert bench.ed2_improvement("p") == 0.0
+
+    def test_energyless_baseline_reports_zero(self):
+        bench = BenchmarkResult(benchmark="b", baseline=self._result(0.0),
+                                by_policy={"p": self._result(100.0)})
+        assert bench.ed2_improvement("p") == 0.0
+
+
 class TestExperimentRunner:
     def test_default_trace_length_positive(self):
         assert DEFAULT_TRACE_UOPS > 0

@@ -108,13 +108,18 @@ class TestRegistryBuiltPolicies:
 
 class TestHeadlineArtefactGolden:
     def _parse_summary(self) -> dict:
-        """Mean-speedup column of the artefact's summary table."""
+        """Mean-speedup column of the artefact's summary table.
+
+        Row shape: policy, selector, mean speedup %, mean helper %,
+        mean copies %, mean ED2 gain %, energy by cluster.
+        """
         text = HEADLINE_RESULTS.read_text(encoding="utf-8")
         means = {}
         for line in text.splitlines():
-            match = re.match(r"^(\w+)\s+(-?\d+\.\d+)\s+\d+\.\d+\s+\d+\.\d+\s*$", line)
+            match = re.match(r"^(\w+)\s+(\w+)\s+(-?\d+\.\d+)\s+\d+\.\d+"
+                             r"\s+\d+\.\d+\s+(-?\d+\.\d+)\s+\S+", line)
             if match and match.group(1) in HEADLINE_MEAN_SPEEDUPS:
-                means[match.group(1)] = float(match.group(2))
+                means[match.group(1)] = float(match.group(3))
         return means
 
     def test_artefact_exists(self):

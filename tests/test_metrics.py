@@ -2,8 +2,13 @@
 
 import pytest
 
-from repro.power.wattch import ActivityCounts
-from repro.sim.metrics import PredictionBreakdown, SimulationResult, speedup
+from repro.power.wattch import ActivityCounts, PowerBreakdown
+from repro.sim.metrics import (
+    PredictionBreakdown,
+    SimulationResult,
+    ed2_improvement,
+    speedup,
+)
 
 
 def result(**overrides) -> SimulationResult:
@@ -58,6 +63,47 @@ class TestSimulationResult:
 
     def test_default_activity_attached(self):
         assert isinstance(result().activity, ActivityCounts)
+
+    def test_energy_defaults_to_zero_without_power(self):
+        r = result()
+        assert not r.has_energy
+        assert r.energy == 0.0
+        assert r.ed == 0.0 and r.ed2 == 0.0
+
+    def test_energy_sums_clusters_and_shared(self):
+        r = result(power={"wide": PowerBreakdown({"clock": 100.0}),
+                          "narrow": PowerBreakdown({"clock": 20.0})},
+                   shared_power=PowerBreakdown({"frontend": 30.0}))
+        assert r.has_energy
+        assert r.energy == pytest.approx(150.0)
+        assert r.ed == pytest.approx(150.0 * 2000.0)
+        assert r.ed2 == pytest.approx(150.0 * 2000.0 ** 2)
+        assert r.cluster_energy("narrow") == pytest.approx(20.0)
+
+    def test_summary_includes_energy_and_selector(self):
+        summary = result(selector="width_aware").summary()
+        assert summary["selector"] == "width_aware"
+        assert set(summary) >= {"energy", "ed2"}
+
+
+class TestEd2Improvement:
+    def _with_energy(self, energy, cycles):
+        return result(power={"wide": PowerBreakdown({"clock": energy})},
+                      slow_cycles=cycles)
+
+    def test_positive_when_candidate_more_efficient(self):
+        base = self._with_energy(100.0, 1000.0)
+        candidate = self._with_energy(105.0, 900.0)
+        assert ed2_improvement(base, candidate) > 0
+
+    def test_matches_definition(self):
+        base = self._with_energy(100.0, 1000.0)
+        candidate = self._with_energy(50.0, 1000.0)
+        assert ed2_improvement(base, candidate) == pytest.approx(0.5)
+
+    def test_rejects_energyless_baseline(self):
+        with pytest.raises(ValueError):
+            ed2_improvement(result(), result())
 
 
 class TestSpeedup:

@@ -313,12 +313,17 @@ class TestLeastLoadedSelector:
 # ---------------------------------------------------------------------------
 class TestWidthAwareSteering:
     def test_width_aware_degenerates_on_paper_machine(self, tiny_trace):
-        """ir_wa == ir bit-identically on the single-helper design point."""
+        """ir_wa == ir bit-identically on the single-helper design point.
+
+        Only the self-describing labels (policy name, recorded selector) may
+        differ; every timing, steering and energy metric must be identical.
+        """
         r_ir = simulate(tiny_trace, config=helper_cluster_config(),
                         policy=make_policy("ir"))
         r_wa = simulate(tiny_trace, config=helper_cluster_config(),
                         policy=make_policy("ir_wa"))
-        assert replace(r_wa, policy="ir") == r_ir
+        assert r_wa.selector == "width_aware" and r_ir.selector == "least_loaded"
+        assert replace(r_wa, policy="ir", selector=r_ir.selector) == r_ir
 
     @pytest.fixture(scope="class")
     def halfword_trace(self):

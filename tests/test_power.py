@@ -3,8 +3,13 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.config import (
+    ClusterSpec,
+    mixed_helper_topology,
+    monolithic_topology,
+)
 from repro.power.energy import EnergyReport, compare_ed2, energy_delay_squared, report_from_activity
-from repro.power.wattch import ActivityCounts, PowerConfig, PowerModel
+from repro.power.wattch import ActivityCounts, ClusterActivity, PowerConfig, PowerModel
 
 
 def activity(**overrides) -> ActivityCounts:
@@ -59,6 +64,149 @@ class TestPowerModel:
     def test_total_nonnegative(self, alu_ops):
         breakdown = PowerModel().evaluate(activity(wide_alu_ops=alu_ops))
         assert breakdown.total >= 0
+
+
+def cluster_activity(name="c", width=32, ratio=1, **overrides) -> ClusterActivity:
+    base = ClusterActivity(name=name, datapath_width=width, clock_ratio=ratio,
+                           cycles=1000, alu_ops=400, agu_ops=150, fpu_ops=0,
+                           regfile_accesses=1800, scheduler_ops=600)
+    for key, value in overrides.items():
+        setattr(base, key, value)
+    return base
+
+
+class TestPerClusterScaling:
+    """Per-cluster coefficient derivation from ClusterSpec (§2.1 scaling).
+
+    The paper's argument: narrow-structure access energy scales linearly
+    with datapath width, and a faster-clocked helper burns proportionally
+    more clock energy.  Pinned here per cluster, including the asymmetric
+    ``8@2+16@1`` mix of the ROADMAP.
+    """
+
+    #: the mixed machine's helpers: (cluster name, width, clock ratio)
+    MIXED_HELPERS = [("n8x2", 8, 2), ("n16x1", 16, 1)]
+
+    @pytest.fixture(scope="class")
+    def mixed(self):
+        return mixed_helper_topology([(8, 2), (16, 1)])
+
+    @pytest.mark.parametrize("name,width,ratio", MIXED_HELPERS)
+    def test_access_energy_scales_linearly_with_width(self, mixed, name,
+                                                      width, ratio):
+        """A w-bit cluster's regfile/ALU access energy is w/32 of the wide
+        cluster's, per access, on the mixed topology."""
+        model = PowerModel()
+        host = mixed.host
+        spec = next(s for s in mixed.helpers if s.name == name)
+        counts = dict(cycles=0, alu_ops=1000, agu_ops=500, regfile_accesses=3000)
+        wide = model.evaluate_cluster(
+            host, cluster_activity(name="wide", **counts), is_host=True)
+        narrow = model.evaluate_cluster(
+            spec, cluster_activity(name=name, width=width, ratio=ratio,
+                                   **counts))
+        scale = width / 32
+        assert narrow.per_structure["regfile"] == pytest.approx(
+            scale * wide.per_structure["regfile"])
+        assert narrow.per_structure["execute"] == pytest.approx(
+            scale * wide.per_structure["execute"])
+        assert narrow.per_structure["scheduler"] == pytest.approx(
+            scale * wide.per_structure["scheduler"])
+
+    def test_eight_bit_regfile_is_quarter_of_wide(self, mixed):
+        """The paper design point's 8/32 factor, spelled out."""
+        model = PowerModel()
+        spec = next(s for s in mixed.helpers if s.name == "n8x2")
+        act = cluster_activity(name="n8x2", width=8, ratio=2,
+                               cycles=0, regfile_accesses=1)
+        act.alu_ops = act.agu_ops = act.scheduler_ops = 0
+        wide_act = cluster_activity(name="wide", cycles=0, regfile_accesses=1)
+        wide_act.alu_ops = wide_act.agu_ops = wide_act.scheduler_ops = 0
+        narrow = model.evaluate_cluster(spec, act)
+        wide = model.evaluate_cluster(mixed.host, wide_act, is_host=True)
+        assert narrow.total == pytest.approx(wide.total * 8 / 32)
+
+    @pytest.mark.parametrize("name,width,ratio", MIXED_HELPERS)
+    def test_clock_energy_scales_with_clock_ratio(self, mixed, name, width,
+                                                  ratio):
+        """Over a fixed host-cycle window a ratio-r helper clocks r times as
+        often, so its clock-network energy scales with ``clock_ratio``."""
+        model = PowerModel()
+        spec = next(s for s in mixed.helpers if s.name == name)
+        host_cycles = 500
+        act = cluster_activity(name=name, width=width, ratio=ratio,
+                               cycles=host_cycles * ratio,
+                               alu_ops=0, agu_ops=0, regfile_accesses=0,
+                               scheduler_ops=0)
+        reference = cluster_activity(name=name, width=width, ratio=1,
+                                     cycles=host_cycles, alu_ops=0, agu_ops=0,
+                                     regfile_accesses=0, scheduler_ops=0)
+        clocked = model.evaluate_cluster(spec, act)
+        unclocked = model.evaluate_cluster(spec, reference)
+        assert clocked.per_structure["clock"] == pytest.approx(
+            ratio * unclocked.per_structure["clock"])
+
+    def test_helper_clock_coefficient_matches_legacy_at_ref_width(self):
+        """At the 8-bit reference width the derived helper clock coefficient
+        is exactly the legacy ``narrow_clock_per_cycle``."""
+        cfg = PowerConfig()
+        model = PowerModel(cfg)
+        spec = ClusterSpec(name="h", datapath_width=8, clock_ratio=2)
+        co = model.coefficients_for(spec, is_host=False)
+        assert co.clock_per_cycle == cfg.narrow_clock_per_cycle
+        sixteen = ClusterSpec(name="h16", datapath_width=16, clock_ratio=1)
+        assert model.coefficients_for(sixteen, False).clock_per_cycle == \
+            pytest.approx(2 * cfg.narrow_clock_per_cycle)
+
+    def test_scheduler_energy_scales_with_queue_size(self):
+        model = PowerModel()
+        small = ClusterSpec(name="s", datapath_width=8, clock_ratio=2,
+                            queue_size=16)
+        big = ClusterSpec(name="b", datapath_width=8, clock_ratio=2,
+                          queue_size=32)
+        act = cluster_activity(name="x", width=8, ratio=2)
+        assert model.evaluate_cluster(small, act).per_structure["scheduler"] \
+            == pytest.approx(
+                0.5 * model.evaluate_cluster(big, act).per_structure["scheduler"])
+
+    def test_fp_capable_helper_pays_fp_clock_adder(self):
+        cfg = PowerConfig()
+        model = PowerModel(cfg)
+        plain = ClusterSpec(name="p", datapath_width=16, clock_ratio=1)
+        fp = ClusterSpec(name="f", datapath_width=16, clock_ratio=1, has_fp=True)
+        assert model.coefficients_for(fp, False).clock_per_cycle == \
+            pytest.approx(model.coefficients_for(plain, False).clock_per_cycle
+                          + cfg.fp_clock_per_cycle)
+
+    def test_evaluate_topology_covers_every_cluster(self, mixed):
+        model = PowerModel()
+        acts = {spec.name: cluster_activity(name=spec.name,
+                                            width=spec.datapath_width,
+                                            ratio=spec.clock_ratio)
+                for spec in mixed.clusters}
+        breakdowns = model.evaluate_topology(mixed, acts)
+        assert set(breakdowns) == {"wide", "n8x2", "n16x1"}
+        assert all(b.total > 0 for b in breakdowns.values())
+
+    def test_monolithic_topology_single_breakdown(self):
+        model = PowerModel()
+        topo = monolithic_topology()
+        breakdowns = model.evaluate_topology(
+            topo, {"wide": cluster_activity(name="wide")})
+        assert set(breakdowns) == {"wide"}
+
+
+class TestPowerConfigKeyDict:
+    def test_round_trips_canonical_json(self):
+        from repro.sim.cache import canonical_text
+        import json
+
+        key = PowerConfig().to_key_dict()
+        assert json.loads(canonical_text(key)) == key
+
+    def test_disabled_flag_part_of_key(self):
+        assert PowerConfig(enabled=False).to_key_dict() != \
+            PowerConfig().to_key_dict()
 
 
 class TestEnergyDelay:

@@ -99,6 +99,45 @@ class TestHelperRun:
         assert activity.dl0_accesses > 0
         assert activity.helper_present
 
+    def test_cluster_activity_per_cluster(self, tiny_trace):
+        result = simulate(tiny_trace, config=helper_cluster_config(),
+                          policy=make_policy("n888"))
+        assert set(result.cluster_activity) == {"wide", "narrow"}
+        wide = result.cluster_activity["wide"]
+        narrow = result.cluster_activity["narrow"]
+        # The aggregate view is exactly the per-cluster counts folded down.
+        activity = result.activity
+        assert activity.wide_alu_ops == wide.alu_ops
+        assert activity.narrow_alu_ops == narrow.alu_ops
+        assert activity.wide_scheduler_ops == wide.scheduler_ops
+        assert activity.narrow_regfile_accesses == narrow.regfile_accesses
+        # A 2x helper clocks twice per host cycle over the same run.
+        assert wide.cycles == activity.wide_cycles
+        assert narrow.cycles == activity.fast_cycles
+        assert narrow.clock_ratio == 2 and narrow.datapath_width == 8
+
+    def test_energy_attached_by_default(self, tiny_trace):
+        result = simulate(tiny_trace, config=helper_cluster_config(),
+                          policy=make_policy("n888"))
+        assert result.has_energy
+        assert set(result.power) == {"wide", "narrow"}
+        assert result.energy > 0 and result.ed2 > 0
+        assert result.shared_power.per_structure["frontend"] > 0
+        assert result.selector == "least_loaded"
+
+    def test_energy_accounting_can_be_disabled(self, tiny_trace):
+        from repro.power.wattch import PowerConfig
+
+        off = simulate(tiny_trace, config=helper_cluster_config(),
+                       policy=make_policy("n888"),
+                       power=PowerConfig(enabled=False))
+        on = simulate(tiny_trace, config=helper_cluster_config(),
+                      policy=make_policy("n888"))
+        assert not off.has_energy and off.energy == 0.0
+        # Disabling energy never changes timing.
+        assert off.slow_cycles == on.slow_cycles
+        assert off.committed_uops == on.committed_uops
+
     def test_imbalance_rates_bounded(self, tiny_trace):
         result = simulate(tiny_trace, config=helper_cluster_config(),
                           policy=make_policy("n888_br_lr_cr"))
