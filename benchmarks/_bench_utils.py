@@ -10,7 +10,10 @@ from typing import List, Sequence
 LADDER = ["n888", "n888_br", "n888_br_lr", "n888_br_lr_cr", "n888_br_lr_cr_cp",
           "ir", "ir_nodest"]
 
-BENCH_UOPS = int(os.environ.get("REPRO_BENCH_UOPS", "5000"))
+#: Default raised from 5000 once the event-wheel core + trace store landed
+#: (PR 5): the same CI budget now buys 1.6x the trace length, tightening
+#: the figure statistics toward the paper's 100M-uop traces.
+BENCH_UOPS = int(os.environ.get("REPRO_BENCH_UOPS", "8000"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2006"))
 APPS_PER_CATEGORY = int(os.environ.get("REPRO_BENCH_APPS_PER_CATEGORY", "4"))
 #: Sweep-engine worker processes (1 = serial, 0 = one per CPU).

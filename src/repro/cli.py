@@ -51,7 +51,7 @@ from repro.sim.experiment import (
     run_spec_suite,
 )
 from repro.sim.reporting import (
-    format_cache_stats,
+    cache_stats_line,
     format_energy_table,
     format_ladder_summary,
     format_policy_table,
@@ -223,12 +223,14 @@ def _run_engine_sweep(args: argparse.Namespace, policies: List[str]):
 
 def _cmd_ladder(args: argparse.Namespace) -> int:
     policies = args.policies or policy_registry.ladder_names(include_baseline=False)
-    sweep, _ = _run_engine_sweep(args, policies)
+    sweep, runner = _run_engine_sweep(args, policies)
     print(format_ladder_summary(sweep, title="Cumulative steering-policy ladder"))
     print()
     for policy in policies:
         print(format_policy_table(sweep, policy))
         print()
+    if runner.cache is not None:
+        print(cache_stats_line(runner.cache, runner.engine.trace_store))
     return 0
 
 
@@ -253,7 +255,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"\nwrote {args.csv}")
     if runner.cache is not None:
         print()
-        print(format_cache_stats(runner.cache))
+        print(cache_stats_line(runner.cache, runner.engine.trace_store))
     return 0
 
 
@@ -282,7 +284,7 @@ def _cmd_sweep_table2(args: argparse.Namespace) -> int:
         print(f"\nwrote {args.csv}")
     if runner.cache is not None:
         print()
-        print(format_cache_stats(runner.cache))
+        print(cache_stats_line(runner.cache, runner.engine.trace_store))
     return 0
 
 
@@ -306,7 +308,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         print(f"\nwrote {args.csv}")
     if runner.cache is not None:
         print()
-        print(format_cache_stats(runner.cache))
+        print(cache_stats_line(runner.cache, runner.engine.trace_store))
     return 0
 
 
@@ -328,7 +330,7 @@ def _cmd_energy(args: argparse.Namespace) -> int:
         print(f"\nwrote {args.csv}")
     if runner.cache is not None:
         print()
-        print(format_cache_stats(runner.cache))
+        print(cache_stats_line(runner.cache, runner.engine.trace_store))
     return 0
 
 

@@ -272,29 +272,24 @@ class MachineConfig:
 
     # ------------------------------------------------------------- topology
     def cluster_topology(self) -> Topology:
-        """The machine's topology, deriving one from the shim when unset."""
+        """The machine's topology, deriving one from the shim when unset.
+
+        The derivation *is* :func:`helper_topology` — one construction path
+        for canned topologies and the deprecated two-cluster shim alike, so
+        the shim cannot drift from the topology API (the degeneracy pins in
+        ``tests/test_topology.py`` hold by construction).
+        """
         if self.topology is not None:
             return self.topology
-        host = ClusterSpec(
-            name="wide", datapath_width=MACHINE_WIDTH, clock_ratio=1,
-            issue_width=self.scheduler.issue_width,
-            queue_size=self.scheduler.queue_size,
-            memory_ports=self.scheduler.memory_ports,
-            has_fp=True,
-            copy_latency_slow=self.helper.copy_latency_slow,
-            flush_penalty_slow=self.helper.flush_penalty_slow)
-        if not self.helper.enabled:
-            return Topology((host,))
-        narrow = ClusterSpec(
-            name="narrow", datapath_width=self.helper.narrow_width,
-            clock_ratio=self.helper.clock_ratio,
-            issue_width=self.scheduler.issue_width,
-            queue_size=self.scheduler.queue_size,
-            memory_ports=self.scheduler.memory_ports,
-            has_fp=self.helper.has_fp,
-            copy_latency_slow=self.helper.copy_latency_slow,
-            flush_penalty_slow=self.helper.flush_penalty_slow)
-        return Topology((host, narrow))
+        helper = self.helper
+        return helper_topology(
+            narrow_width=helper.narrow_width,
+            clock_ratio=helper.clock_ratio,
+            helpers=1 if helper.enabled else 0,
+            scheduler=self.scheduler,
+            has_fp=helper.has_fp,
+            copy_latency_slow=helper.copy_latency_slow,
+            flush_penalty_slow=helper.flush_penalty_slow)
 
     # ------------------------------------------------------------- derived
     @property

@@ -78,6 +78,12 @@ class CopyEngine:
         self._availability: Dict[int, Dict[ClockDomain, int]] = {}
         #: value_uid -> domain of a copy already in flight toward that domain
         self._pending: Dict[int, set] = {}
+        #: Public live views for the simulator's per-dependence fast path
+        #: (one dict probe instead of a method call per source operand).
+        #: They alias the internal maps for the engine's lifetime — mutate
+        #: only through the engine's methods.
+        self.availability_map = self._availability
+        self.pending_map = self._pending
         self.stats = CopyStats()
 
     # --------------------------------------------------------------- tracking

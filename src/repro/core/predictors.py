@@ -87,7 +87,7 @@ class _Entry:
     """One tagless table entry holding all per-PC prediction state."""
 
     __slots__ = ("narrow", "confidence", "carry_safe", "carry_confidence",
-                 "will_copy", "width_bits")
+                 "will_copy", "width_bits", "_pred")
 
     def __init__(self) -> None:
         # Predict narrow by default: unseen instructions are the common case
@@ -98,6 +98,10 @@ class _Entry:
         self.carry_safe = False
         self.carry_confidence = ConfidenceCounter()
         self.will_copy = False
+        #: memoised :class:`WidthPrediction` snapshot; predictions are
+        #: immutable, so repeated lookups between updates share one object.
+        #: Any update to the entry invalidates it.
+        self._pred: Optional["WidthPrediction"] = None
         # Width-in-bits companion of the ``narrow`` bit, consumed by the
         # width-aware selector to pick the tightest-fitting helper cluster.
         self.width_bits = NARROW_WIDTH
@@ -123,6 +127,7 @@ class WidthPredictor:
         # CR mispredictions are expensive (flushing recovery), so the carry
         # bit is gated by a stricter (saturated) confidence requirement.
         self.carry_confidence_threshold = carry_confidence_threshold
+        self._mask = entries - 1
         self._table: List[_Entry] = [_Entry() for _ in range(entries)]
         self.stats = PredictorStats()
         self.carry_stats = PredictorStats()
@@ -130,26 +135,36 @@ class WidthPredictor:
 
     # ------------------------------------------------------------------ index
     def _index(self, pc: int) -> int:
-        return (pc >> 2) & (self.entries - 1)
+        return (pc >> 2) & self._mask
 
     def entry_for(self, pc: int) -> _Entry:
-        return self._table[self._index(pc)]
+        return self._table[(pc >> 2) & self._mask]
 
     # ---------------------------------------------------------------- predict
     def predict(self, pc: int) -> WidthPrediction:
-        """Predict the result width of the instruction at ``pc``."""
-        entry = self.entry_for(pc)
+        """Predict the result width of the instruction at ``pc``.
+
+        Predictions are immutable snapshots of the entry's state, so the
+        entry memoises one and reuses it until the next update invalidates
+        it — repeated lookups at a stable PC cost one dict probe, and the
+        returned object is exactly what a fresh construction would hold.
+        """
+        entry = self._table[(pc >> 2) & self._mask]
         self.stats.lookups += 1
-        confident = (not self.use_confidence) or entry.confidence.is_confident(
-            self.confidence_threshold)
-        return WidthPrediction(
-            narrow=entry.narrow,
-            confident=confident,
-            carry_safe=entry.carry_safe and entry.carry_confidence.is_confident(
-                self.carry_confidence_threshold),
-            will_copy=entry.will_copy,
-            width_bits=entry.width_bits,
-        )
+        prediction = entry._pred
+        if prediction is None:
+            confident = (not self.use_confidence
+                         or entry.confidence.value >= self.confidence_threshold)
+            prediction = WidthPrediction(
+                narrow=entry.narrow,
+                confident=confident,
+                carry_safe=(entry.carry_safe and entry.carry_confidence.value
+                            >= self.carry_confidence_threshold),
+                will_copy=entry.will_copy,
+                width_bits=entry.width_bits,
+            )
+            entry._pred = prediction
+        return prediction
 
     # ----------------------------------------------------------------- update
     def update(self, pc: int, actual_narrow: bool,
@@ -161,7 +176,8 @@ class WidthPredictor:
         it never influences the ``narrow``/confidence state, so the default
         machines are untouched by the extra channel.
         """
-        entry = self.entry_for(pc)
+        entry = self._table[(pc >> 2) & self._mask]
+        entry._pred = None
         self.stats.updates += 1
         if width_bits is not None:
             entry.width_bits = width_bits
@@ -175,7 +191,8 @@ class WidthPredictor:
 
     def update_carry(self, pc: int, operated_narrow: bool) -> None:
         """Writeback-time update of the CR bit (§3.5)."""
-        entry = self.entry_for(pc)
+        entry = self._table[(pc >> 2) & self._mask]
+        entry._pred = None
         self.carry_stats.updates += 1
         if entry.carry_safe == operated_narrow:
             self.carry_stats.correct += 1
@@ -187,7 +204,8 @@ class WidthPredictor:
 
     def update_copy(self, pc: int, incurred_copy: bool) -> None:
         """Writeback-time update of the CP bit (§3.6)."""
-        entry = self.entry_for(pc)
+        entry = self._table[(pc >> 2) & self._mask]
+        entry._pred = None
         self.copy_stats.updates += 1
         if entry.will_copy == incurred_copy:
             self.copy_stats.correct += 1

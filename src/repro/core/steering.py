@@ -243,7 +243,10 @@ class BaselineSteering(SteeringPolicy):
     name = "baseline"
 
     def steer(self, fetched: FetchedUop, ctx: SteeringContext) -> SteerDecision:
-        return self._account(SteerDecision(domain=ClockDomain.WIDE, reason="baseline"))
+        stats = self.stats
+        stats.steered += 1
+        stats.to_wide += 1
+        return SteerDecision(domain=ClockDomain.WIDE, reason="baseline")
 
 
 class DataWidthSteering(SteeringPolicy):
@@ -263,6 +266,43 @@ class DataWidthSteering(SteeringPolicy):
         self._has_cr = Scheme.CR in self.schemes
         self._has_ir = Scheme.IR in self.schemes
         self._has_ir_nodest = Scheme.IR_NODEST in self.schemes
+        # Per-context facts hoisted out of the per-uop steer path; rebound
+        # whenever the context — or any of its cached components — changes
+        # identity (see :meth:`_ctx_stale`).
+        self._ctx: Optional[SteeringContext] = None
+        self._ctx_config: Optional[MachineConfig] = None
+        self._ctx_rename: Optional[RenameTable] = None
+        self._ctx_predictor: Optional[WidthPredictor] = None
+        self._imbalance: Optional[ImbalanceMonitor] = None
+
+    # ---------------------------------------------------------------- binding
+    def _ctx_stale(self, ctx: SteeringContext) -> bool:
+        """Must the per-context bindings be refreshed for this steer?
+
+        ``SteeringContext`` is a plain mutable dataclass and callers do swap
+        its fields between runs, so the guard covers every component the
+        fast path caches — not just the context object itself.
+        """
+        return (ctx is not self._ctx
+                or ctx.config is not self._ctx_config
+                or ctx.rename is not self._ctx_rename
+                or ctx.width_predictor is not self._ctx_predictor
+                or ctx.imbalance is not self._imbalance)
+
+    def _bind_ctx(self, ctx: SteeringContext) -> None:
+        """Hoist per-machine facts consulted on every steer into attributes."""
+        self._ctx = ctx
+        self._ctx_config = ctx.config
+        self._ctx_rename = ctx.rename
+        self._ctx_predictor = ctx.width_predictor
+        self._ctx_active = bool(ctx.num_helpers) and bool(self.schemes)
+        self._ctx_fp = ctx.helper_fp_available
+        self._ctx_width_steering = ctx.width_steering
+        self._ctx_narrow_width = ctx.config.narrow_width
+        self._rename_entries = ctx.rename.table
+        self._flags_entry = ctx.rename.table[ArchReg.FLAGS]
+        self._predict = ctx.width_predictor.predict
+        self._imbalance = ctx.imbalance
 
     # ------------------------------------------------------------------ helpers
     def _source_widths(self, uop: MicroOp, ctx: SteeringContext) -> List[bool]:
@@ -322,19 +362,32 @@ class DataWidthSteering(SteeringPolicy):
 
     # -------------------------------------------------------------------- steer
     def steer(self, fetched: FetchedUop, ctx: SteeringContext) -> SteerDecision:
+        # Flat fast path: per-machine facts are bound once per context, the
+        # per-branch accounting of :meth:`SteeringPolicy._account` is inlined
+        # at each return site, and width-table reads go straight at the
+        # rename entries.  Decision content and every counter are identical
+        # to the factored implementation.
+        if self._ctx_stale(ctx):
+            self._bind_ctx(ctx)
         uop = fetched.uop
+        stats = self.stats
+        stats.steered += 1
 
-        if ctx.num_helpers == 0 or not self.schemes:
-            return self._account(SteerDecision(domain=ClockDomain.WIDE,
-                                               reason="helper_disabled"))
-        if not self._helper_supports(uop, ctx):
-            return self._account(SteerDecision(domain=ClockDomain.WIDE,
-                                               reason="no_unit_in_helper"))
+        if not self._ctx_active:
+            stats.to_wide += 1
+            return SteerDecision(domain=ClockDomain.WIDE,
+                                 reason="helper_disabled")
+        op_class = uop.op_class
+        if (op_class is OpClass.MUL or op_class is OpClass.DIV
+                or (op_class is OpClass.FP and not self._ctx_fp)):
+            stats.to_wide += 1
+            return SteerDecision(domain=ClockDomain.WIDE,
+                                 reason="no_unit_in_helper")
 
         # §1 item 5 / §3.7: if the helper cluster is overloaded, steer narrow
         # work back to the wide cluster until balance is restored.
         rebalance_to_wide = (self._has_ir
-                             and ctx.imbalance.helper_overloaded())
+                             and self._imbalance.helper_overloaded())
 
         # --- BR: conditional branch depending on a narrow-cluster flag write.
         # Branches are never candidates for the width-prediction based
@@ -342,20 +395,27 @@ class DataWidthSteering(SteeringPolicy):
         # cluster only under the BR rule.
         if uop.is_branch:
             if self._has_br and uop.is_cond_branch:
-                flags_entry = ctx.rename.entry(ArchReg.FLAGS)
                 # Domains may be plain cluster indices (>= 2) for extra
                 # helper clusters, so compare by value, not identity.
-                flag_in_narrow = flags_entry.producer_domain != ClockDomain.WIDE
-                if (flag_in_narrow and fetched.target_resolved_in_frontend
+                if (self._flags_entry.producer_domain != ClockDomain.WIDE
+                        and fetched.target_resolved_in_frontend
                         and not rebalance_to_wide):
-                    return self._account(SteerDecision(
-                        domain=ClockDomain.NARROW, reason="br_narrow_flag", via_br=True))
-            return self._account(SteerDecision(domain=ClockDomain.WIDE,
-                                               reason="branch_wide"))
+                    stats.to_narrow += 1
+                    stats.narrow_by_br += 1
+                    return SteerDecision(domain=ClockDomain.NARROW,
+                                         reason="br_narrow_flag", via_br=True)
+            stats.to_wide += 1
+            return SteerDecision(domain=ClockDomain.WIDE, reason="branch_wide")
 
-        prediction = ctx.width_predictor.predict(uop.pc)
-        source_widths = self._source_widths(uop, ctx)
-        sources_narrow = all(source_widths) and self._immediate_narrow(uop, ctx)
+        prediction = self._predict(uop.pc)
+        entries = self._rename_entries
+        sources_narrow = True
+        for reg in uop.srcs:
+            if not entries[reg].narrow:
+                sources_narrow = False
+                break
+        if sources_narrow and uop.imm is not None:
+            sources_narrow = self._immediate_narrow(uop, ctx)
 
         # --- LR: loads predicted to fetch a narrow value have their result
         # register allocated in both clusters through the shared MOB (§3.4),
@@ -366,21 +426,25 @@ class DataWidthSteering(SteeringPolicy):
         # --- 8-8-8: all sources narrow and result predicted narrow with
         # high confidence (§3.2).
         if self._has_n888 and sources_narrow and uop.srcs:
-            result_ok = (not uop.has_dest) or (prediction.narrow and prediction.confident)
+            narrow_confident = prediction.narrow and prediction.confident
             if uop.has_dest and prediction.narrow and not prediction.confident:
-                self.stats.rejected_low_confidence += 1
-            if result_ok and not rebalance_to_wide:
-                return self._account(SteerDecision(
+                stats.rejected_low_confidence += 1
+            if ((not uop.has_dest or narrow_confident)
+                    and not rebalance_to_wide):
+                stats.to_narrow += 1
+                stats.narrow_by_n888 += 1
+                return SteerDecision(
                     domain=ClockDomain.NARROW, reason="n888",
                     predicted_narrow=True, replicate_load=replicate,
-                    requirement=self._width_requirement(uop, ctx, prediction)),
-                    prediction)
+                    requirement=(self._width_requirement(uop, ctx, prediction)
+                                 if self._ctx_width_steering else None),
+                    prediction=prediction)
 
         # --- CR: one narrow and one wide source, wide result, carry predicted
         # not to propagate past the low byte (§3.5).
         if self._has_cr and uop.info.cr_eligible and not rebalance_to_wide:
-            wide_sources = [i for i, narrow in enumerate(source_widths) if not narrow]
-            narrow_sources = [i for i, narrow in enumerate(source_widths) if narrow]
+            source_widths = [entries[reg].narrow for reg in uop.srcs]
+            wide_count = source_widths.count(False)
             result_predicted_wide = uop.has_dest and not prediction.narrow
             addresses_memory = uop.is_memory  # address result is consumed wide
             # Memory operations additionally require the narrow operand to be
@@ -389,41 +453,46 @@ class DataWidthSteering(SteeringPolicy):
             # boundary mid-loop, which the per-PC carry bit cannot track; the
             # flushing recovery they would cause costs more than the narrow
             # execution saves.
-            narrow_operand_ok = (uop.imm is not None if uop.is_memory
-                                 else bool(narrow_sources) or uop.imm is not None)
-            if (len(wide_sources) == 1 and narrow_operand_ok
+            narrow_operand_ok = (uop.imm is not None if addresses_memory
+                                 else wide_count < len(source_widths)
+                                 or uop.imm is not None)
+            if (wide_count == 1 and narrow_operand_ok
                     and (result_predicted_wide or addresses_memory)
                     and prediction.carry_safe):
                 # CR work touches only the low narrow_width bits (the wide
                 # source's upper bits are reused), so any helper at least
                 # that wide qualifies regardless of the operand's full width.
                 cr_requirement = (ClusterRequirement(
-                    min_width=ctx.config.narrow_width,
-                    needs_memory_port=uop.is_memory)
-                    if ctx.width_steering else None)
-                return self._account(SteerDecision(
+                    min_width=self._ctx_narrow_width,
+                    needs_memory_port=addresses_memory)
+                    if self._ctx_width_steering else None)
+                stats.to_narrow += 1
+                stats.narrow_by_cr += 1
+                return SteerDecision(
                     domain=ClockDomain.NARROW, reason="cr_no_carry",
                     via_cr=True, replicate_load=replicate,
-                    requirement=cr_requirement), prediction)
+                    requirement=cr_requirement, prediction=prediction)
 
         # --- IR: split wide instructions into narrow chunks while the helper
         # cluster is underutilised (§3.7).
-        if self._has_ir and ctx.imbalance.helper_underutilised():
-            require_no_dest = self._has_ir_nodest
-            ctx.splitter.require_no_dest = require_no_dest
+        if self._has_ir and self._imbalance.helper_underutilised():
+            ctx.splitter.require_no_dest = self._has_ir_nodest
             if ctx.splitter.can_split(uop):
-                return self._account(SteerDecision(
-                    domain=ClockDomain.NARROW, reason="ir_split", split=True),
-                    prediction)
+                stats.to_narrow += 1
+                stats.narrow_by_split += 1
+                return SteerDecision(domain=ClockDomain.NARROW,
+                                     reason="ir_split", split=True,
+                                     prediction=prediction)
 
+        stats.to_wide += 1
         if rebalance_to_wide:
-            self.stats.rebalanced_to_wide += 1
-            return self._account(SteerDecision(domain=ClockDomain.WIDE,
-                                               reason="helper_overloaded",
-                                               replicate_load=replicate), prediction)
-        return self._account(SteerDecision(domain=ClockDomain.WIDE,
-                                           reason="default_wide",
-                                           replicate_load=replicate), prediction)
+            stats.rebalanced_to_wide += 1
+            return SteerDecision(domain=ClockDomain.WIDE,
+                                 reason="helper_overloaded",
+                                 replicate_load=replicate,
+                                 prediction=prediction)
+        return SteerDecision(domain=ClockDomain.WIDE, reason="default_wide",
+                             replicate_load=replicate, prediction=prediction)
 
     # --------------------------------------------------------------- properties
     @property

@@ -113,12 +113,14 @@ class ExecutionUnitPool:
         if not instances:
             self.structural_stalls += 1
             return None
-        latency = self.exec_latency(opcode)
+        latency = self._latency_cache.get(opcode)
+        if latency is None:
+            latency = self.exec_latency(opcode)
         for index, busy_until in enumerate(instances):
             if busy_until <= fast_cycle:
-                pipelined = unit not in (FunctionalUnit.IDIV, FunctionalUnit.IMUL)
-                occupancy = 1 if pipelined else latency
-                instances[index] = fast_cycle + occupancy
+                pipelined = (unit is not FunctionalUnit.IDIV
+                             and unit is not FunctionalUnit.IMUL)
+                instances[index] = fast_cycle + (1 if pipelined else latency)
                 self.issued += 1
                 return fast_cycle + latency
         self.structural_stalls += 1

@@ -72,6 +72,7 @@ class Frontend:
         uops = self.trace.uops
         total = len(uops)
         tc_fetch = self.trace_cache.fetch
+        fraction = self.frontend_branch_resolution_fraction
         while budget > 0 and self._cursor < total:
             uop = uops[self._cursor]
             penalty = tc_fetch(uop.pc)
@@ -81,10 +82,19 @@ class Frontend:
                 self._stall_until_slow_cycle = slow_cycle + penalty
                 self.tc_stall_cycles += penalty
                 break
+            # Frontend resolvability is a pure function of the (shared) uop
+            # and the resolution fraction, so it is memoised on the uop: a
+            # trace reused across the runs of a policy sweep pays once.
+            memo = uop.__dict__.get("_fe_resolve_memo")
+            if memo is not None and memo[0] == fraction:
+                resolved = memo[1]
+            else:
+                resolved = self._resolves_in_frontend(uop)
+                uop._fe_resolve_memo = (fraction, resolved)
             fetched.append(FetchedUop(
                 uop=uop,
                 seq=self._seq,
-                target_resolved_in_frontend=self._resolves_in_frontend(uop),
+                target_resolved_in_frontend=resolved,
             ))
             self._cursor += 1
             self._seq += 1

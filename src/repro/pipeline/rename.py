@@ -70,6 +70,12 @@ class RenameTable:
 
     def __init__(self) -> None:
         self._entries: Dict[ArchReg, RenameEntry] = {r: RenameEntry() for r in ArchReg}
+        #: Public live view of the per-register entries, part of the
+        #: steering fast path's contract: policies bind it once per run and
+        #: read width bits straight off the (in-place mutated, never
+        #: replaced) RenameEntry records.  Mutate only through the table's
+        #: methods.
+        self.table = self._entries
         # CR deallocation counters, keyed by the wide register holding upper
         # bits (§3.5): the wide physical register can only be reclaimed when
         # its counter is zero and its renamer has committed.

@@ -33,6 +33,11 @@ class ReorderBuffer:
         self.commit_width = commit_width
         self._entries: Deque[ROBEntry] = deque()
         self._by_uid: dict[int, ROBEntry] = {}
+        #: Public live view of the uid index (the simulator resolves
+        #: producer clusters per source operand through it).  Aliases the
+        #: internal dict for the buffer's lifetime — mutate only through
+        #: the buffer's methods.
+        self.by_uid = self._by_uid
         self.committed = 0
 
     # --------------------------------------------------------------- capacity

@@ -21,6 +21,7 @@ consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import Dict, List, Optional
 
 
@@ -34,15 +35,17 @@ class IssueQueueEntry:
     fu_latency: int               # execution latency in fast cycles
     is_memory: bool = False
     payload: object = None        # opaque reference back to the simulator's record
+    #: dispatch-order stamp assigned by :meth:`IssueQueue.insert`; breaks seq
+    #: ties the way a stable sort over the insertion-ordered entry dict used to
+    order: int = 0
 
     @property
     def ready(self) -> bool:
         return self.remaining_sources == 0
 
 
-def _age_key(item):
-    entry, order = item
-    return (entry.seq, order)
+#: Oldest-first selection key: program order, then dispatch order on ties.
+_age_key = attrgetter("seq", "order")
 
 
 class IssueQueue:
@@ -56,12 +59,18 @@ class IssueQueue:
         self.issue_width = issue_width
         self.memory_ports = memory_ports
         self._entries: Dict[int, IssueQueueEntry] = {}
-        #: dispatch-order counter; breaks seq ties the way a stable sort over
-        #: the insertion-ordered entry dict used to
+        #: dispatch-order counter; stamped onto entries at insert
         self._order_counter = 0
-        self._order: Dict[int, int] = {}
         #: uid -> entry for entries with no outstanding sources
         self._ready: Dict[int, IssueQueueEntry] = {}
+        #: Public *live views* of the queue state, part of the hot-path
+        #: contract: the simulator's event wheel reads these dicts directly
+        #: (occupancy = len(entries), readiness = bool(ready_entries))
+        #: instead of paying a method call per cycle.  They alias the
+        #: internal dicts for the queue's whole lifetime — mutate only
+        #: through the queue's methods.
+        self.entries = self._entries
+        self.ready_entries = self._ready
         # Statistics for imbalance measurement.
         self.total_occupancy_samples = 0
         self.occupancy_accum = 0
@@ -95,7 +104,7 @@ class IssueQueue:
         if entry.uid in self._entries:
             raise ValueError(f"uid {entry.uid} already in issue queue")
         self._entries[entry.uid] = entry
-        self._order[entry.uid] = self._order_counter
+        entry.order = self._order_counter
         self._order_counter += 1
         if entry.remaining_sources == 0:
             self._ready[entry.uid] = entry
@@ -132,11 +141,9 @@ class IssueQueue:
                 return []
             self._remove(entry.uid)
             return [entry]
-        order = self._order
-        ready = sorted(((e, order[e.uid]) for e in self._ready.values()),
-                       key=_age_key)
+        ready = sorted(self._ready.values(), key=_age_key)
         selected: List[IssueQueueEntry] = []
-        for entry, _ in ready:
+        for entry in ready:
             if len(selected) >= budget:
                 break
             if entry.is_memory:
@@ -150,7 +157,6 @@ class IssueQueue:
 
     def _remove(self, uid: int) -> None:
         del self._entries[uid]
-        del self._order[uid]
         self._ready.pop(uid, None)
 
     # ------------------------------------------------------------------ flush
@@ -161,23 +167,18 @@ class IssueQueue:
         misprediction every instruction starting from the mispredicted one is
         squashed in the narrow backend.
         """
-        order = self._order
-        squashed = sorted(((e, order[e.uid]) for e in self._entries.values()
-                           if e.seq >= seq), key=_age_key)
-        result = [entry for entry, _ in squashed]
+        result = sorted((e for e in self._entries.values() if e.seq >= seq),
+                        key=_age_key)
         for entry in result:
             self._remove(entry.uid)
         return result
 
     def drain(self) -> List[IssueQueueEntry]:
         """Remove and return everything (used at simulation teardown)."""
-        order = self._order
-        entries = sorted(((e, order[e.uid]) for e in self._entries.values()),
-                         key=_age_key)
+        entries = sorted(self._entries.values(), key=_age_key)
         self._entries.clear()
-        self._order.clear()
         self._ready.clear()
-        return [entry for entry, _ in entries]
+        return entries
 
     # -------------------------------------------------------------- statistics
     def sample_occupancy(self, cycles: int = 1) -> None:

@@ -70,6 +70,12 @@ def canonical_text(value: object) -> str:
     return json.dumps(value, sort_keys=True, separators=(",", ":"))
 
 
+#: Upper bound on the in-memory entry memo (results are small metric
+#: records; the memo exists so a key is read and decoded from disk at most
+#: once per process, however many sweeps of a session ask for it).
+_MEMO_LIMIT = 4096
+
+
 class ResultCache:
     """Content-addressed store of :class:`SimulationResult` records."""
 
@@ -81,6 +87,16 @@ class ResultCache:
         self.stores = 0
         #: entries dropped because the digest or key did not verify
         self.corrupt_drops = 0
+        #: of the hits, how many were served from the in-process memo
+        #: without touching (or re-decoding) the on-disk entry
+        self.memo_hits = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        #: key -> already-loaded (or just-stored) result.  Overlapping CLI
+        #: flows — a baseline run followed by the suite sweep that contains
+        #: the same baseline job — used to re-read and re-decode the same
+        #: entry from disk; now the second load is a dict probe.
+        self._memo: dict = {}
 
     # ------------------------------------------------------------------ paths
     def path_for(self, key: str) -> Path:
@@ -92,12 +108,18 @@ class ResultCache:
         """Return the cached result for ``key``, or None on miss/corruption."""
         if not self.enabled:
             return None
+        memoised = self._memo.get(key)
+        if memoised is not None:
+            self.hits += 1
+            self.memo_hits += 1
+            return memoised
         path = self.path_for(key)
         try:
             blob = path.read_bytes()
         except OSError:
             self.misses += 1
             return None
+        self.bytes_read += len(blob)
         result = self._decode(key, blob)
         if result is None:
             # Corrupt or stale: remove so the slot is rewritten cleanly.
@@ -109,7 +131,13 @@ class ResultCache:
                 pass
             return None
         self.hits += 1
+        self._memoise(key, result)
         return result
+
+    def _memoise(self, key: str, result: SimulationResult) -> None:
+        if len(self._memo) >= _MEMO_LIMIT:
+            self._memo.pop(next(iter(self._memo)))
+        self._memo[key] = result
 
     def _decode(self, key: str, blob: bytes) -> Optional[SimulationResult]:
         newline = blob.find(b"\n")
@@ -165,6 +193,10 @@ class ResultCache:
                 pass
             return
         self.stores += 1
+        self.bytes_written += len(header) + 1 + len(payload)
+        # A just-stored result is the freshest possible entry: serve later
+        # loads of the same key from memory instead of round-tripping disk.
+        self._memoise(key, result)
 
     # -------------------------------------------------------------- reporting
     def stats(self) -> dict:
@@ -173,4 +205,7 @@ class ResultCache:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt_drops": self.corrupt_drops,
+            "memo_hits": self.memo_hits,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
         }

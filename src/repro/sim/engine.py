@@ -24,6 +24,9 @@ from __future__ import annotations
 
 import os
 import pickle
+import shutil
+import tempfile
+import weakref
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -35,6 +38,7 @@ from repro.sim.metrics import SimulationResult
 from repro.sim.simulator import simulate
 from repro.trace.profiles import BenchmarkProfile, get_profile
 from repro.trace.slicing import select_simulation_slice
+from repro.trace.store import TraceStore, trace_key
 from repro.trace.synthetic import generate_trace
 from repro.trace.trace import Trace
 
@@ -44,6 +48,17 @@ from repro.trace.trace import Trace
 _TRACE_MEMO_LIMIT = 32
 
 _trace_memo: Dict[Tuple[str, int, int, bool], Trace] = {}
+
+#: Trace store bound to this process when it is a pool worker (set by
+#: :func:`_pool_init`); lets spawned workers re-hydrate parent-generated
+#: traces from disk instead of re-deriving them.
+_worker_store: Optional[TraceStore] = None
+
+
+def _pool_init(store_dir: Optional[str]) -> None:
+    """Pool-worker initializer: seed the per-worker trace-store binding."""
+    global _worker_store
+    _worker_store = TraceStore(store_dir) if store_dir else None
 
 
 @dataclass(frozen=True)
@@ -86,13 +101,17 @@ def job_seed(sweep_seed: int, benchmark: str) -> int:
     return sweep_seed
 
 
-def trace_for_job(job: SweepJob, profile: Optional[BenchmarkProfile] = None) -> Trace:
+def trace_for_job(job: SweepJob, profile: Optional[BenchmarkProfile] = None,
+                  store: Optional[TraceStore] = None) -> Trace:
     """Generate (or reuse) the trace a job runs on.
 
-    Traces are memoised per process keyed by (benchmark, length, seed,
-    slicing): within a sweep every policy of a benchmark shares one trace,
-    which is both the main wall-clock saving of grouped execution and what
-    the serial runner has always done.
+    Three layers, cheapest first: the per-process memo (keyed by benchmark,
+    length, seed, slicing — within a sweep every policy of a benchmark
+    shares one trace), then the content-addressed on-disk ``store`` (one
+    digest-checked binary file per trace, shared across processes and across
+    sweeps on a warm directory), and only then generation — which also
+    populates both layers, so an entire sweep performs exactly one
+    generation per distinct trace.
     """
     if profile is None:
         profile = get_profile(job.benchmark)
@@ -100,6 +119,23 @@ def trace_for_job(job: SweepJob, profile: Optional[BenchmarkProfile] = None) -> 
     # shadows a registered name cannot collide with it.
     key = (repr(profile), job.trace_uops, job.seed, job.use_slicing)
     trace = _trace_memo.get(key)
+    if trace is not None:
+        # The memo is process-global while stores are per-engine: a trace
+        # another engine generated must still reach *this* store, or a
+        # spawn-started worker of this engine would regenerate it.  The
+        # store's ``seen`` set keeps the key hash + path probe to once per
+        # distinct trace rather than once per job.
+        if store is not None and store.enabled and key not in store.seen:
+            store_key = trace_key(profile, job.trace_uops, job.seed,
+                                  job.use_slicing)
+            if not store.path_for(store_key).exists():
+                store.store(store_key, trace)
+            store.seen.add(key)
+        return trace
+    store_key = (trace_key(profile, job.trace_uops, job.seed, job.use_slicing)
+                 if store is not None else None)
+    if store_key is not None:
+        trace = store.load(store_key)
     if trace is None:
         if job.use_slicing:
             # Generate a longer run and keep the paper's simulation slice
@@ -108,15 +144,20 @@ def trace_for_job(job: SweepJob, profile: Optional[BenchmarkProfile] = None) -> 
             trace = select_simulation_slice(full)
         else:
             trace = generate_trace(profile, job.trace_uops, seed=job.seed)
-        if len(_trace_memo) >= _TRACE_MEMO_LIMIT:
-            _trace_memo.pop(next(iter(_trace_memo)))
-        _trace_memo[key] = trace
+        if store_key is not None:
+            store.store(store_key, trace)
+    if store is not None:
+        store.seen.add(key)
+    if len(_trace_memo) >= _TRACE_MEMO_LIMIT:
+        _trace_memo.pop(next(iter(_trace_memo)))
+    _trace_memo[key] = trace
     return trace
 
 
 def execute_job(job: SweepJob, config: MachineConfig,
                 profile: Optional[BenchmarkProfile] = None,
-                spec=None, power: Optional[PowerConfig] = None) -> SimulationResult:
+                spec=None, power: Optional[PowerConfig] = None,
+                store: Optional[TraceStore] = None) -> SimulationResult:
     """Run one job to completion (trace generation included).
 
     The job's own ``config`` wins over the engine-supplied one; the baseline
@@ -124,9 +165,10 @@ def execute_job(job: SweepJob, config: MachineConfig,
     methodology normalises every topology to the same baseline).  ``spec``
     is the job's resolved :class:`~repro.core.steering.PolicySpec`; when
     omitted, the name is resolved against this process's registry.
-    ``power`` supplies the energy coefficients (job-carried config wins).
+    ``power`` supplies the energy coefficients (job-carried config wins);
+    ``store`` is the cross-job trace store consulted before generating.
     """
-    trace = trace_for_job(job, profile)
+    trace = trace_for_job(job, profile, store)
     policy = make_policy(spec if spec is not None else job.policy)
     power = job.power or power
     if job.policy == "baseline":
@@ -143,15 +185,26 @@ def _pool_worker(task: bytes) -> bytes:
     the spec in the task, so policies registered at runtime in the parent
     stay runnable even under spawn/forkserver start methods, where the
     child's freshly-imported registry only holds the built-in specs.
+    Traces come from the worker's memo (inherited on fork), the trace store
+    bound by :func:`_pool_init`, or are generated as a last resort.
     """
     job, config, profile, spec, power = pickle.loads(task)
-    result = execute_job(job, config, profile, spec=spec, power=power)
+    result = execute_job(job, config, profile, spec=spec, power=power,
+                         store=_worker_store)
     return pickle.dumps((job, result), protocol=pickle.HIGHEST_PROTOCOL)
 
 
 def default_jobs() -> int:
     """Worker count used when the caller asks for ``jobs=0`` ("auto")."""
     return max(1, (os.cpu_count() or 1))
+
+
+def _terminate_pool(pool) -> None:
+    """Engine-finalizer hook: tear the warm pool down without blocking."""
+    try:
+        pool.terminate()
+    except Exception:
+        pass
 
 
 class SweepEngine:
@@ -171,16 +224,57 @@ class SweepEngine:
         Energy-coefficient configuration applied to every job (including
         baselines); jobs may carry their own override.  Defaults to the
         standard :class:`~repro.power.wattch.PowerConfig`.
+    trace_store_dir:
+        Directory of the cross-job trace store.  ``None`` (the default)
+        uses a private temporary directory that lives as long as the engine
+        — still worth having, because spawned pool workers re-hydrate
+        parent-generated traces from it instead of re-deriving them.  Point
+        it at a persistent directory (the CLI uses ``<cache-dir>/traces``)
+        and repeated sweeps skip generation entirely.
     """
 
     def __init__(self, config: Optional[MachineConfig] = None, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
-                 power: Optional[PowerConfig] = None) -> None:
+                 power: Optional[PowerConfig] = None,
+                 trace_store_dir: Optional[str] = None) -> None:
         self.config = config or helper_cluster_config()
         self.jobs = default_jobs() if jobs == 0 else max(1, jobs)
         self.cache = cache
         self.power = power or PowerConfig()
         self._profiles: Dict[str, BenchmarkProfile] = {}
+        if trace_store_dir is None:
+            trace_store_dir = tempfile.mkdtemp(prefix="repro-traces-")
+            self._store_cleanup = weakref.finalize(
+                self, shutil.rmtree, trace_store_dir, ignore_errors=True)
+        self.trace_store = TraceStore(trace_store_dir)
+        #: persistent warm worker pool, created lazily on the first parallel
+        #: batch and reused across sweeps (pool spin-up and re-import are a
+        #: real cost when every figure of a benchmark session runs a sweep)
+        self._pool = None
+        self._pool_finalizer: Optional[weakref.finalize] = None
+
+    # ------------------------------------------------------------------ pool
+    def _ensure_pool(self):
+        """The engine's warm worker pool, created on first use."""
+        if self._pool is None:
+            import multiprocessing
+
+            self._pool = multiprocessing.Pool(
+                processes=self.jobs, initializer=_pool_init,
+                initargs=(str(self.trace_store.store_dir),))
+            self._pool_finalizer = weakref.finalize(
+                self, _terminate_pool, self._pool)
+        return self._pool
+
+    def close(self) -> None:
+        """Tear down the warm worker pool (idempotent)."""
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.terminate()
+            pool.join()
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
 
     # ------------------------------------------------------------------ keys
     def key_for(self, job: SweepJob) -> str:
@@ -250,7 +344,8 @@ class SweepEngine:
         else:
             computed = {job: execute_job(job, self.config,
                                          self._profile_for(job.benchmark),
-                                         power=self.power)
+                                         power=self.power,
+                                         store=self.trace_store)
                         for job in pending}
 
         for job, result in computed.items():
@@ -261,7 +356,19 @@ class SweepEngine:
 
     def _run_parallel(self, pending: Sequence[SweepJob]
                       ) -> Dict[SweepJob, SimulationResult]:
-        import multiprocessing
+        # Generate each distinct (profile, length, seed, slicing) trace once
+        # in the parent before fanning out: fork-started workers inherit the
+        # memo for free, spawn-started (and warm-restart) workers re-hydrate
+        # from the trace store — either way no worker re-derives a trace.
+        seen_traces: set = set()
+        for job in pending:
+            trace_tuple = (job.benchmark, job.trace_uops, job.seed,
+                           job.use_slicing)
+            if trace_tuple in seen_traces:
+                continue
+            seen_traces.add(trace_tuple)
+            trace_for_job(job, self._profile_for(job.benchmark),
+                          self.trace_store)
 
         # Adjacent jobs share a benchmark (the builders emit them grouped),
         # so contiguous chunks let each worker reuse its memoised trace.
@@ -274,10 +381,10 @@ class SweepEngine:
         workers = min(self.jobs, len(tasks))
         chunksize = max(1, len(tasks) // (workers * 2))
         computed: Dict[SweepJob, SimulationResult] = {}
-        with multiprocessing.Pool(processes=workers) as pool:
-            for blob in pool.imap(_pool_worker, tasks, chunksize=chunksize):
-                job, result = pickle.loads(blob)
-                computed[job] = result
+        pool = self._ensure_pool()
+        for blob in pool.imap(_pool_worker, tasks, chunksize=chunksize):
+            job, result = pickle.loads(blob)
+            computed[job] = result
         return computed
 
     # ----------------------------------------------------------------- sweeps

@@ -14,6 +14,7 @@ Serial and parallel paths are bit-identical (see DESIGN.md and
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -37,8 +38,9 @@ from repro.trace.workloads import WorkloadApp, build_workload_suite
 
 #: Default trace length (uops) used by experiments.  The paper simulates
 #: 100M-instruction traces; the synthetic profiles converge much earlier, and
-#: the pure-Python simulator needs CI-scale runtimes (see DESIGN.md).
-DEFAULT_TRACE_UOPS = 30_000
+#: the pure-Python simulator needs CI-scale runtimes (see DESIGN.md).  Raised
+#: from 30k when the event-wheel core + cross-job trace store landed (PR 5).
+DEFAULT_TRACE_UOPS = 50_000
 
 
 def _safe_ed2_improvement(baseline: SimulationResult,
@@ -286,7 +288,8 @@ class ExperimentRunner:
                  use_slicing: bool = False, jobs: int = 1,
                  cache_dir: Optional[str] = None,
                  use_cache: bool = True,
-                 power: Optional[PowerConfig] = None) -> None:
+                 power: Optional[PowerConfig] = None,
+                 trace_store_dir: Optional[str] = None) -> None:
         if trace_uops <= 0:
             raise ValueError("trace_uops must be positive")
         self.trace_uops = trace_uops
@@ -296,8 +299,13 @@ class ExperimentRunner:
         self.use_cache = use_cache
         self.power = power or PowerConfig()
         self.cache = ResultCache(cache_dir) if cache_dir else None
+        if trace_store_dir is None and cache_dir:
+            # A persistent result cache gets a persistent sibling trace
+            # store: warm directories skip generation as well as simulation.
+            trace_store_dir = os.path.join(str(cache_dir), "traces")
         self.engine = SweepEngine(config=self.config, jobs=jobs,
-                                  cache=self.cache, power=self.power)
+                                  cache=self.cache, power=self.power,
+                                  trace_store_dir=trace_store_dir)
         self._baselines: Dict[str, SimulationResult] = {}
 
     # ------------------------------------------------------------------ jobs
@@ -309,7 +317,8 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ traces
     def trace_for(self, profile: BenchmarkProfile) -> Trace:
         """Generate (and cache) the trace for a profile."""
-        return trace_for_job(self._job(profile, "baseline"), profile)
+        return trace_for_job(self._job(profile, "baseline"), profile,
+                             self.engine.trace_store)
 
     def baseline_for(self, profile: BenchmarkProfile) -> SimulationResult:
         """Run (and cache) the monolithic baseline for a profile."""

@@ -326,12 +326,40 @@ def format_workload_summary(sweep: WorkloadSweepResult,
     return text
 
 
-def format_cache_stats(cache) -> str:
-    """Render a :class:`~repro.sim.cache.ResultCache`'s hit/miss counters."""
+def _format_bytes(count: int) -> str:
+    """Humanise a byte count (1.5kB / 2.3MB), exact below 1kB."""
+    if count < 1000:
+        return f"{count}B"
+    for unit in ("kB", "MB", "GB", "TB"):
+        count /= 1000.0
+        if count < 1000 or unit == "TB":
+            return f"{count:.1f}{unit}"
+    raise AssertionError("unreachable")
+
+
+def cache_stats_line(cache, trace_store=None) -> str:
+    """One-line sweep-footer summary of the result cache (and trace store).
+
+    E.g. ``cache: hits=96 (memo 12) misses=0 stores=0 read=1.2MB
+    written=0B · traces: hits=12 stores=0`` — the compact form every
+    sweep-shaped CLI table prints under itself when a cache is configured.
+    """
     stats = cache.stats()
-    rows = [[name, value] for name, value in stats.items()]
-    rows.append(["cache_dir", str(cache.cache_dir)])
-    return format_table(["cache metric", "value"], rows, title="Result cache")
+    parts = [f"cache: hits={stats['hits']}"]
+    if stats.get("memo_hits"):
+        parts[-1] += f" (memo {stats['memo_hits']})"
+    parts.append(f"misses={stats['misses']}")
+    parts.append(f"stores={stats['stores']}")
+    if stats.get("corrupt_drops"):
+        parts.append(f"corrupt_drops={stats['corrupt_drops']}")
+    parts.append(f"read={_format_bytes(stats.get('bytes_read', 0))}")
+    parts.append(f"written={_format_bytes(stats.get('bytes_written', 0))}")
+    line = " ".join(parts)
+    if trace_store is not None:
+        tstats = trace_store.stats()
+        line += (f" · traces: hits={tstats['hits']} "
+                 f"stores={tstats['stores']}")
+    return line
 
 
 def to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

@@ -38,8 +38,10 @@ the paper's schemes try to minimise.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.cluster import Backend
@@ -81,6 +83,18 @@ _MAX_CYCLES_PER_UOP = 400
 #: paper's two-cluster API interoperates.
 _WIDE = 0
 
+#: Functional-unit kind -> activity bucket (0 = ALU, 1 = AGU, 2 = FPU), the
+#: dispatch-accounting classification precomputed off the hot path.
+_UNIT_ACCOUNT = {
+    FunctionalUnit.IALU: 0,
+    FunctionalUnit.BRU: 0,
+    FunctionalUnit.COPY: 0,
+    FunctionalUnit.IMUL: 0,
+    FunctionalUnit.IDIV: 0,
+    FunctionalUnit.AGU: 1,
+    FunctionalUnit.FPU: 2,
+}
+
 
 @dataclass(slots=True)
 class _DynUop:
@@ -115,7 +129,8 @@ class HelperClusterSimulator:
 
     def __init__(self, trace: Trace, config: Optional[MachineConfig] = None,
                  policy: Optional[SteeringPolicy] = None,
-                 power: Optional[PowerConfig] = None) -> None:
+                 power: Optional[PowerConfig] = None,
+                 reference_loop: Optional[bool] = None) -> None:
         self.trace = trace
         self.config = config or helper_cluster_config()
         self.policy = policy or BaselineSteering()
@@ -179,8 +194,6 @@ class HelperClusterSimulator:
         self._dyn_counter = 0
         self._completions: Dict[int, List[_DynUop]] = {}
         self._waiters: Dict[Tuple[int, ClockDomain], List[_DynUop]] = {}
-        self._iq_entries: Dict[int, IssueQueueEntry] = {}
-        self._dyn_by_id: Dict[int, _DynUop] = {}
         self._redispatch: Deque[_DynUop] = deque()
         self._pending_fetch: Deque[FetchedUop] = deque()
         self._dl0_slots: Dict[int, int] = {}
@@ -208,6 +221,7 @@ class HelperClusterSimulator:
         self._activity = self.result.activity
         self._ratio = self.clocking.ratio
         self._periods = self.clocking.periods
+        self._fetch_width = self.config.fetch_width
         self._dl0_hit_fast = (self.config.memory.dl0.hit_latency - 1) * self.clocking.ratio
         self._helper_enabled = bool(self.helpers)
         # Width horizon the selector wants values classified at (equals
@@ -223,17 +237,97 @@ class HelperClusterSimulator:
         self._uses_cp = getattr(self.policy, "uses_copy_prefetch", False)
         self._uses_lr = getattr(self.policy, "uses_load_replication", False)
 
+        # Event wheel.  ``_completion_heap`` mirrors the keys of
+        # ``_completions`` (a calendar of upcoming writeback cycles, with
+        # lazily discarded stale heads), so the next completion is an O(1)
+        # peek instead of a min() scan.  ``_helper_wheel`` pre-binds each
+        # helper backend's issue queue, ready set and clock period for the
+        # per-cycle issue/sampling/advance paths.
+        self._completion_heap: List[int] = []
+        self._helper_wheel: List[Tuple[Backend, IssueQueue, Dict, int]] = [
+            (backend, backend.issue_queue, backend.issue_queue.ready_entries,
+             self._periods[backend.index])
+            for backend in self.helpers]
+        #: run the straightforward per-cycle reference loop instead of the
+        #: event wheel (REPRO_REFERENCE_LOOP=1); results are bit-identical
+        if reference_loop is None:
+            reference_loop = os.environ.get("REPRO_REFERENCE_LOOP", "") == "1"
+        self._reference_loop = reference_loop
+
     # ======================================================================
     # public API
     # ======================================================================
     def run(self) -> SimulationResult:
-        """Run the trace to completion and return the filled-in result."""
+        """Run the trace to completion and return the filled-in result.
+
+        This is the event-wheel core: each iteration handles one *eventful*
+        fast cycle (writeback → issue → commit/dispatch on wide edges →
+        sampling) and then :meth:`_next_event` jumps straight to the next
+        cycle on which anything can happen.  The straightforward per-cycle
+        loop is kept behind ``REPRO_REFERENCE_LOOP=1``
+        (:meth:`_run_reference`); both produce bit-identical results.
+        """
+        if self._reference_loop:
+            return self._run_reference()
         limit = _MAX_CYCLES_PER_UOP * max(1, len(self.trace)) + 100_000
         stall_window = 60_000  # fast cycles with zero retirement => wedged
         t = 0
         last_progress_cycle = 0
         last_committed = 0
-        ratio = self.clocking.ratio
+        ratio = self._ratio
+        result = self.result
+        completions = self._completions
+        helper_wheel = self._helper_wheel
+        wide_ready = self.wide.issue_queue.ready_entries
+        helper_sampling = self._helper_enabled
+        while not self._done():
+            if t > limit or t - last_progress_cycle > stall_window:
+                raise RuntimeError(
+                    f"no forward progress after {t - last_progress_cycle} fast cycles "
+                    f"at cycle {t}; likely deadlock "
+                    f"(trace={self.trace.name}, policy={self.policy.name})")
+            if t in completions:
+                self._writeback(t)
+            for backend, _iq, ready, period in helper_wheel:
+                if ready and (period == 1 or t % period == 0):
+                    self._issue_backend(backend, t)
+            if t % ratio == 0:
+                if wide_ready:
+                    self._issue_backend(self.wide, t)
+                self._commit(t)
+                self._dispatch(t)
+            if helper_sampling:
+                self._sample_imbalance(t)
+            if result.committed_uops > last_committed:
+                last_committed = result.committed_uops
+                last_progress_cycle = t
+            target, idle = self._next_event(t)
+            if idle and helper_sampling and target > t + 1:
+                self._record_idle_cycles(target - t - 1)
+            t = target
+        self._finalise(t)
+        return self.result
+
+    def _run_reference(self) -> SimulationResult:
+        """The straightforward per-cycle loop (``REPRO_REFERENCE_LOOP=1``).
+
+        Every fast cycle is visited and runs the full stage schedule.  The
+        only accounting subtlety is inherited, not new: the pre-existing
+        long-wait skip (nothing ready anywhere, completions pending) defines
+        *semantics* — its cycles are unsampled and its frontend/commit
+        schedule is pinned by the golden tests — so the reference loop walks
+        those stretches cycle by cycle with writeback/issue (which provably
+        no-op) and no sampling, exactly as the event wheel accounts them.
+        Idle stretches are sampled one cycle at a time, which must equal the
+        event wheel's single aggregate sample; the equivalence test pins the
+        full :class:`SimulationResult` either way.
+        """
+        limit = _MAX_CYCLES_PER_UOP * max(1, len(self.trace)) + 100_000
+        stall_window = 60_000  # fast cycles with zero retirement => wedged
+        t = 0
+        last_progress_cycle = 0
+        last_committed = 0
+        ratio = self._ratio
         result = self.result
         while not self._done():
             if t > limit or t - last_progress_cycle > stall_window:
@@ -246,11 +340,24 @@ class HelperClusterSimulator:
             if t % ratio == 0:
                 self._commit(t)
                 self._dispatch(t)
-            self._sample_imbalance(t)
+            if self._helper_enabled:
+                self._sample_imbalance(t)
             if result.committed_uops > last_committed:
                 last_committed = result.committed_uops
                 last_progress_cycle = t
-            t = self._advance(t)
+            target, idle = self._next_event(t)
+            cursor = t + 1
+            while cursor < target:
+                # Walk the stretch the event wheel hops over: each cycle runs
+                # writeback and issue (no completion is due and no active
+                # backend has ready work, so both no-op) and contributes its
+                # own single-cycle sample when the stretch is idle-sampled.
+                self._writeback(cursor)
+                self._issue(cursor)
+                if idle and self._helper_enabled:
+                    self._record_idle_cycles(1)
+                cursor += 1
+            t = target
         self._finalise(t)
         return self.result
 
@@ -262,71 +369,90 @@ class HelperClusterSimulator:
                 and not self._pending_fetch and self.frontend.exhausted
                 and self.rob.is_empty())
 
-    def _advance(self, t: int) -> int:
-        """Advance time, skipping cycles on which provably nothing can happen.
+    def _next_completion(self) -> Optional[int]:
+        """Earliest upcoming writeback cycle (the completion calendar's head).
 
-        Three cases, in order:
+        Stale heads — cycles already consumed by :meth:`_writeback` — are
+        discarded lazily, so the amortised cost is O(log n) per completion
+        instead of an O(n) ``min()`` scan per advance.
+        """
+        heap = self._completion_heap
+        completions = self._completions
+        while heap:
+            head = heap[0]
+            if head in completions:
+                return head
+            heappop(heap)
+        return None
+
+    def _next_event(self, t: int) -> Tuple[int, bool]:
+        """The next fast cycle on which anything can happen, and whether the
+        cycles skipped to reach it are idle-sampled.
+
+        The wheel consults three next-action times: the earliest clock edge
+        of a helper backend with ready work, the completion calendar's head,
+        and the next wide-domain dispatch/commit boundary (only when the wide
+        backend has ready work, or dispatch could make progress).  Three
+        cases, in order:
 
         * a helper scheduler with ready work is active on the very next fast
           cycle — time advances by one;
         * event skip (long memory waits): nothing is ready in any cluster
           active before the next event and completions are pending — jump to
           the next completion, or the next wide cycle if dispatch could make
-          progress.  These skipped cycles are not sampled, preserving the
-          original accounting;
-        * idle hop: no helper scheduler has ready work due earlier, so no
-          backend can act strictly before the next wide cycle (or completion,
-          or ready helper's clock edge).  Hop there, folding the skipped
-          cycles' — provably frozen — occupancy statistics in as one
-          aggregate sample.
+          progress.  These skipped cycles are not sampled (``idle=False``),
+          preserving the original accounting;
+        * idle hop: no backend can act strictly before the next wide cycle
+          (or completion, or ready helper's clock edge).  Hop there; the
+          skipped cycles' — provably frozen — occupancy statistics fold in
+          as one aggregate sample (``idle=True``).
         """
         next_t = t + 1
         # Earliest upcoming cycle at which a helper with ready work is active
         # (period-1 helpers, the common case, bound it to ``next_t``).
         helper_bound: Optional[int] = None
-        periods = self._periods
-        for backend in self.helpers:
-            if not backend.issue_queue.ready_count():
+        for _backend, _iq, ready, period in self._helper_wheel:
+            if not ready:
                 continue
-            index = backend.index
-            nxt = (next_t if periods[index] == 1
-                   else self.clocking.next_active_cycle(index, next_t))
-            if nxt == next_t:
-                return next_t
+            if period == 1:
+                return next_t, False
+            remainder = next_t % period
+            if remainder == 0:
+                return next_t, False
+            nxt = next_t + (period - remainder)
             if helper_bound is None or nxt < helper_bound:
                 helper_bound = nxt
         completions = self._completions
-        if self.wide.issue_queue.ready_count() == 0 and completions:
-            next_event = min(completions)
+        ratio = self._ratio
+        if completions and not self.wide.issue_queue.ready_entries:
+            next_event = self._next_completion()
             # Dispatch may still make progress at the next wide cycle if
             # there is anything to dispatch and room to put it.
-            can_dispatch = ((not self.frontend.exhausted or self._redispatch
-                             or self._pending_fetch)
-                            and not self.rob.is_full())
-            if can_dispatch:
-                next_wide = self.clocking.next_active_cycle(_WIDE, t + 1)
-                next_event = min(next_event, next_wide)
-            if helper_bound is not None:
-                next_event = min(next_event, helper_bound)
+            if ((not self.frontend.exhausted or self._redispatch
+                 or self._pending_fetch) and not self.rob.is_full()):
+                remainder = next_t % ratio
+                next_wide = (next_t if remainder == 0
+                             else next_t + (ratio - remainder))
+                if next_wide < next_event:
+                    next_event = next_wide
+            if helper_bound is not None and helper_bound < next_event:
+                next_event = helper_bound
             if next_event > next_t:
-                return next_event
-            return next_t
-        target = self.clocking.next_active_cycle(_WIDE, next_t)
-        if completions:
-            next_completion = min(completions)
-            if next_completion < target:
-                target = next_completion
+                return next_event, False
+            return next_t, False
+        remainder = next_t % ratio
+        target = next_t if remainder == 0 else next_t + (ratio - remainder)
+        next_completion = self._next_completion()
+        if next_completion is not None and next_completion < target:
+            target = next_completion
         if helper_bound is not None and helper_bound < target:
             target = helper_bound
-        skipped = target - next_t
-        if skipped > 0:
+        if target > next_t and self._done():
             # The machine may already be fully drained (the run loop is about
             # to observe completion); keep the original final-cycle count.
-            if self._done():
-                return next_t
-            if self._helper_enabled:
-                self._record_idle_cycles(skipped)
-        return target
+            return next_t, False
+        return target, True
+
 
     def _record_idle_cycles(self, cycles: int) -> None:
         """Fold ``cycles`` skipped no-op cycles into the sampling statistics.
@@ -358,13 +484,13 @@ class HelperClusterSimulator:
             if dyn.squashed:
                 continue
             dyn.completed = True
-            if dyn.kind == "copy":
+            kind = dyn.kind
+            if kind == "trace":
+                self._complete_trace_uop(dyn, t)
+            elif kind == "copy":
                 self._complete_copy(dyn, t)
-                continue
-            if dyn.kind == "chunk":
+            else:
                 self._complete_chunk(dyn, t)
-                continue
-            self._complete_trace_uop(dyn, t)
 
     def _complete_copy(self, dyn: _DynUop, t: int) -> None:
         request = dyn.copy_request
@@ -398,10 +524,12 @@ class HelperClusterSimulator:
 
     def _complete_trace_uop(self, dyn: _DynUop, t: int) -> None:
         uop = dyn.uop
-        backend = self.clusters[dyn.domain]
-        backend.stats.completed += 1
+        domain = dyn.domain
+        decision = dyn.decision
+        self.clusters[domain].stats.completed += 1
 
         actual_narrow = uop.result_is_narrow(self._steer_width)
+        has_dest = uop.has_dest
 
         # Fatal width misprediction detection: only instructions steered to
         # a narrow backend on a prediction can be fatally wrong (§3.2).  The
@@ -410,29 +538,31 @@ class HelperClusterSimulator:
         # the original check; on asymmetric mixes a 12-bit value completing
         # on a 16-bit helper is correct, not a misprediction.
         fatal = False
-        if dyn.domain != _WIDE and dyn.decision is not None:
-            if dyn.decision.predicted_narrow:
-                width = self._cluster_widths[dyn.domain]
+        if domain != _WIDE and decision is not None:
+            if decision.predicted_narrow:
+                width = self._cluster_widths[domain]
                 fatal = (not uop.all_sources_narrow(width)
                          or not uop.result_is_narrow(width))
-            elif dyn.decision.via_cr:
+            elif decision.via_cr:
                 fatal = uop.cr_carry_crosses(self._narrow_width)
 
         # Figure 5 accounting: every result-producing uop whose width was
         # predicted contributes one outcome.
-        if uop.has_dest and dyn.predicted_narrow is not None:
-            if dyn.predicted_narrow == actual_narrow:
+        predicted_narrow = dyn.predicted_narrow
+        if has_dest and predicted_narrow is not None:
+            if predicted_narrow == actual_narrow:
                 self._prediction.correct += 1
-            elif dyn.domain != _WIDE and dyn.predicted_narrow:
+            elif domain != _WIDE and predicted_narrow:
                 self._prediction.fatal += 1
             else:
                 self._prediction.non_fatal += 1
 
         # Predictor training happens at writeback regardless of cluster.
-        if uop.has_dest:
+        track_width = self._track_width
+        if has_dest:
             self.width_predictor.update(
                 uop.pc, actual_narrow,
-                width_bits=uop.result_width_bits() if self._track_width else None)
+                width_bits=uop.result_width_bits() if track_width else None)
         if uop.info.cr_eligible:
             self.width_predictor.update_carry(
                 uop.pc, uop.cr_operated_narrow(self._narrow_width))
@@ -443,18 +573,19 @@ class HelperClusterSimulator:
 
         # Successful completion: publish the value (register result and/or
         # FLAGS write travel together) and wake consumers in this cluster.
-        if dyn.value_uid is not None:
-            self.copy_engine.note_produced(dyn.value_uid, dyn.domain, t)
-            if uop.has_dest:
+        value_uid = dyn.value_uid
+        if value_uid is not None:
+            self.copy_engine.note_produced(value_uid, domain, t)
+            if has_dest:
                 self.rename.writeback(
-                    uop.dest, dyn.value_uid, narrow=actual_narrow,
-                    domain=dyn.domain,
+                    uop.dest, value_uid, narrow=actual_narrow,
+                    domain=domain,
                     width_bits=(uop.result_width_bits()
-                                if self._track_width else None))
+                                if track_width else None))
             if uop.writes_flags:
-                self.rename.writeback(ArchReg.FLAGS, dyn.value_uid, narrow=True,
-                                      domain=dyn.domain)
-            self._wake(dyn.value_uid, dyn.domain)
+                self.rename.writeback(ArchReg.FLAGS, value_uid, narrow=True,
+                                      domain=domain)
+            self._wake(value_uid, domain)
             if dyn.replicate_load and uop.is_load and actual_narrow:
                 # LR (§3.4): the narrow load value is written into every
                 # cluster's register file through the shared MOB.  A value
@@ -462,11 +593,11 @@ class HelperClusterSimulator:
                 # there; that case is simply a missed opportunity (on the
                 # paper's machine every helper is narrow_width bits wide, so
                 # the per-cluster fit check degenerates to the old gate).
-                self.copy_engine.note_replicated(dyn.value_uid, t)
+                self.copy_engine.note_replicated(value_uid, t)
                 widths = self._cluster_widths
-                for domain in range(len(self.clusters)):
-                    if domain != dyn.domain and uop.result_is_narrow(widths[domain]):
-                        self._wake(dyn.value_uid, domain)
+                for other in range(len(self.clusters)):
+                    if other != domain and uop.result_is_narrow(widths[other]):
+                        self._wake(value_uid, other)
         if dyn.in_rob:
             self.rob.mark_completed(uop.uid)
 
@@ -619,7 +750,12 @@ class HelperClusterSimulator:
                 completion = self._memory_access(dyn, t, completion, slow_cycle)
             dyn.issued = True
             backend.stats.issued += 1
-            completions.setdefault(completion, []).append(dyn)
+            bucket = completions.get(completion)
+            if bucket is None:
+                completions[completion] = [dyn]
+                heappush(self._completion_heap, completion)
+            else:
+                bucket.append(dyn)
 
     def _memory_access(self, dyn: _DynUop, t: int, completion: int,
                        slow_cycle: int) -> int:
@@ -648,27 +784,32 @@ class HelperClusterSimulator:
     # ======================================================================
     def _commit(self, t: int) -> None:
         retired = self.rob.commit()
+        if not retired:
+            return
         uses_cp = self._uses_cp
         result = self.result
+        steer_reasons = result.steer_reasons
+        copied_values = self._copied_values
         for entry in retired:
             dyn = entry.payload
-            if not isinstance(dyn, _DynUop) or dyn.uop is None:
+            if type(dyn) is not _DynUop or dyn.uop is None:
                 continue
             uop = dyn.uop
+            decision = dyn.decision
             result.committed_uops += 1
-            if dyn.domain != _WIDE or dyn.kind == "chunk" or (
-                    dyn.decision is not None and dyn.decision.split):
+            split = decision is not None and decision.split
+            if dyn.domain != _WIDE or split or dyn.kind == "chunk":
                 self._helper_committed += 1
-            if dyn.decision is not None and dyn.decision.split:
+            if split:
                 self._split_committed += 1
             if uop.is_memory:
                 self.mob.release(uop.uid)
             # Copy-prefetch predictor training: the producer "incurred a copy"
             # if any consumer demanded one before it retired (§3.6).
-            if uop.has_dest and uses_cp:
-                self.width_predictor.update_copy(uop.pc, uop.uid in self._copied_values)
-            reason = dyn.decision.reason if dyn.decision is not None else "none"
-            result.steer_reasons[reason] = result.steer_reasons.get(reason, 0) + 1
+            if uses_cp and uop.has_dest:
+                self.width_predictor.update_copy(uop.pc, uop.uid in copied_values)
+            reason = decision.reason if decision is not None else "none"
+            steer_reasons[reason] = steer_reasons.get(reason, 0) + 1
 
     def policy_uses_cp(self) -> bool:
         return getattr(self.policy, "uses_copy_prefetch", False)
@@ -682,8 +823,8 @@ class HelperClusterSimulator:
     def _dispatch(self, t: int) -> None:
         if self.recovery.dispatch_blocked(t):
             return
-        slow_cycle = t // self.clocking.ratio
-        budget = self.config.fetch_width
+        slow_cycle = t // self._ratio
+        budget = self._fetch_width
 
         # Re-dispatch squashed work first (it is older than anything new).
         # Re-dispatch must make forward progress even when the schedulers are
@@ -725,13 +866,12 @@ class HelperClusterSimulator:
             return None
 
         decision = self._steer(fetched, self.context)
+        prediction = decision.prediction
         if uop.has_dest:
-            prediction = decision.prediction
             if prediction is None:
                 prediction = self._predict(uop.pc)
             predicted_narrow = prediction.narrow
         else:
-            prediction = decision.prediction
             predicted_narrow = None
         self._activity.predictor_accesses += 1
 
@@ -740,21 +880,22 @@ class HelperClusterSimulator:
 
         # Policies steer wide-vs-helper; the simulator resolves *which*
         # helper cluster (least-loaded, lowest index on ties).
-        cluster = self._target_cluster(decision, uop)
+        cluster = self.selector.resolve(decision, uop.opcode)
         backend = self.clusters[cluster]
-        if backend.issue_queue.is_full():
+        iq = backend.issue_queue
+        if len(iq.entries) >= iq.size:
             return None
 
         self._dyn_counter += 1
-        produces_value = uop.has_dest or uop.writes_flags
         dyn = _DynUop(
             dyn_id=self._dyn_counter, kind="trace", seq=fetched.seq,
             domain=cluster, opcode=uop.opcode, uop=uop,
-            decision=decision, value_uid=uop.uid if produces_value else None,
+            decision=decision,
+            value_uid=uop.uid if (uop.has_dest or uop.writes_flags) else None,
             predicted_narrow=predicted_narrow,
             replicate_load=decision.replicate_load and self._uses_lr,
         )
-        if not self._dispatch_dyn(dyn, t, fetched=fetched, allocate_rob=True):
+        if not self._dispatch_dyn(dyn, t, allocate_rob=True):
             return None
         return 1
 
@@ -763,37 +904,41 @@ class HelperClusterSimulator:
         """Place a dynamic uop into its backend's scheduler, wiring dependences."""
         uop = dyn.uop
         backend = self.clusters[dyn.domain]
-        if backend.issue_queue.is_full() and not force:
+        iq = backend.issue_queue
+        if not force and len(iq.entries) >= iq.size:
             return False
+        units = backend.units
         if dyn.unit is None:
-            dyn.unit = backend.units.unit_for(dyn.opcode)
+            dyn.unit = units.unit_for(dyn.opcode)
 
         # Resolve source dependences (and generate demand copies).
         outstanding = self._resolve_dependences(dyn, t, force=force)
         if outstanding is None:
             return False
 
+        activity = self._activity
         if allocate_rob:
             self.rob.allocate(uop.uid, dyn.seq, payload=dyn)
             dyn.in_rob = True
-            self._activity.rob_ops += 1
+            activity.rob_ops += 1
             if uop.is_memory:
                 self.mob.allocate(uop.uid, dyn.seq, uop.is_store, uop.mem_addr,
                                   uop.mem_size)
             # Rename the destination and record the steering domain so later
             # consumers know where the value will live (§3.2 width table).
+            decision = dyn.decision
             if uop.has_dest:
                 predicted_narrow = (dyn.predicted_narrow
                                     if dyn.predicted_narrow is not None else True)
                 width_bits = None
                 if self._track_width:
-                    prediction = (dyn.decision.prediction
-                                  if dyn.decision is not None else None)
+                    prediction = (decision.prediction
+                                  if decision is not None else None)
                     if prediction is not None:
                         width_bits = prediction.width_bits
                 self.rename.allocate(uop.dest, uop.uid, dyn.domain,
                                      predicted_narrow, width_bits=width_bits)
-                if dyn.decision is not None and dyn.decision.via_cr and uop.srcs:
+                if decision is not None and decision.via_cr and uop.srcs:
                     wide_sources = [r for i, r in enumerate(uop.srcs)
                                     if i < len(uop.src_values)
                                     and not is_narrow(uop.src_values[i], self._narrow_width)]
@@ -801,13 +946,13 @@ class HelperClusterSimulator:
                         self.rename.link_upper_bits(uop.dest, wide_sources[0])
             if uop.writes_flags:
                 self.rename.allocate(ArchReg.FLAGS, uop.uid, dyn.domain, True)
-            self._activity.rename_ops += 1
+            activity.rename_ops += 1
 
         entry = IssueQueueEntry(
             uid=dyn.dyn_id, seq=dyn.seq, remaining_sources=outstanding,
-            fu_latency=backend.units.exec_latency(dyn.opcode),
+            fu_latency=units.exec_latency(dyn.opcode),
             is_memory=uop.is_memory, payload=dyn)
-        backend.issue_queue.insert(entry, force=force)
+        iq.insert(entry, force=force)
         backend.stats.dispatched += 1
         self._account_dispatch(dyn, backend)
 
@@ -823,12 +968,12 @@ class HelperClusterSimulator:
         unit = dyn.unit
         if unit is None:
             unit = backend.units.unit_for(dyn.opcode)
-        if unit in (FunctionalUnit.IALU, FunctionalUnit.BRU, FunctionalUnit.COPY,
-                    FunctionalUnit.IMUL, FunctionalUnit.IDIV):
+        kind = _UNIT_ACCOUNT.get(unit)
+        if kind == 0:
             cluster.alu_ops += 1
-        elif unit is FunctionalUnit.AGU:
+        elif kind == 1:
             cluster.agu_ops += 1
-        elif unit is FunctionalUnit.FPU:
+        elif kind == 2:
             cluster.fpu_ops += 1
 
     # -------------------------------------------------------- dependences
@@ -850,67 +995,87 @@ class HelperClusterSimulator:
         needed copy cannot be injected because the producer cluster's
         scheduler is full (the caller stalls dispatch).
         """
-        uop = dyn.uop
+        producers = dyn.uop.effective_producers
+        if not producers:
+            return 0
+        domain = dyn.domain
+        copy_engine = self.copy_engine
+        availability = copy_engine.availability_map
+        pending_copies = copy_engine.pending_map
+        prefetched = self._prefetched_values
+        rob_by_uid = self.rob.by_uid
+        waiters = self._waiters
         outstanding = 0
-        needed_copies: List[Tuple[int, ClockDomain]] = []
-        deps: List[int] = []
+        needed_copies: Optional[List[Tuple[int, ClockDomain]]] = None
+        deps: Optional[List[int]] = None
 
-        for producer_uid in uop.effective_producers:
-            avail_here = self.copy_engine.availability(producer_uid, dyn.domain)
+        for producer_uid in producers:
+            slots = availability.get(producer_uid)
+            avail_here = None if slots is None else slots.get(domain)
             if avail_here is not None and avail_here <= t:
-                if (producer_uid, dyn.domain) in self._prefetched_values:
-                    self.copy_engine.note_prefetch_useful()
-                    self._prefetched_values.discard((producer_uid, dyn.domain))
+                if prefetched and (producer_uid, domain) in prefetched:
+                    copy_engine.stats.useful_prefetches += 1
+                    prefetched.discard((producer_uid, domain))
                     # A consumed prefetch keeps the producer's CP bit trained.
                     self._copied_values.add(producer_uid)
                 continue
-            producer_domain = self._producer_domain(producer_uid)
-            available_domains = self.copy_engine.domains_available(producer_uid)
-            if producer_domain is None and not available_domains:
+            entry = rob_by_uid.get(producer_uid)
+            if entry is not None and type(entry.payload) is _DynUop:
+                producer_domain = entry.payload.domain
+            else:
+                producer_domain = None
+            if producer_domain is None and not slots:
                 # Retired before tracking or trace live-in: architectural
                 # state visible to both register files.
                 continue
-            copy_pending = self.copy_engine.copy_in_flight(producer_uid, dyn.domain)
-            if copy_pending and (producer_uid, dyn.domain) in self._prefetched_values:
+            pending = pending_copies.get(producer_uid)
+            copy_pending = pending is not None and domain in pending
+            if copy_pending and prefetched and (producer_uid, domain) in prefetched:
                 # The consumer will ride an in-flight prefetched copy.
-                self.copy_engine.note_prefetch_useful()
-                self._prefetched_values.discard((producer_uid, dyn.domain))
+                copy_engine.stats.useful_prefetches += 1
+                prefetched.discard((producer_uid, domain))
                 self._copied_values.add(producer_uid)
-            needs_copy = avail_here is None and not copy_pending
-            if needs_copy:
+            if avail_here is None and not copy_pending:
                 source_domain = producer_domain
-                if source_domain is None or source_domain == dyn.domain:
+                if source_domain is None or source_domain == domain:
                     # The producer record says "this cluster" but the value is
                     # only resident elsewhere (e.g. it migrated on recovery).
-                    others = [d for d in available_domains if d != dyn.domain]
+                    others = [d for d in slots if d != domain] if slots else []
                     source_domain = others[0] if others else None
-                if source_domain is not None and source_domain != dyn.domain:
+                if source_domain is not None and source_domain != domain:
+                    if needed_copies is None:
+                        needed_copies = []
                     needed_copies.append((producer_uid, source_domain))
-            deps.append(producer_uid)
+            if deps is None:
+                deps = [producer_uid]
+            else:
+                deps.append(producer_uid)
             outstanding += 1
 
-        # Check the producer clusters have scheduler room for all the copies
-        # this uop needs before injecting any of them (unless forced by
-        # recovery re-dispatch, which must not stall indefinitely).
-        if not force:
-            slots_needed: Dict[ClockDomain, int] = {}
-            for _, producer_domain in needed_copies:
-                slots_needed[producer_domain] = slots_needed.get(producer_domain, 0) + 1
-            for producer_domain, count in slots_needed.items():
-                if self._backend(producer_domain).issue_queue.free_slots < count:
-                    return None
-        for producer_uid, producer_domain in needed_copies:
-            self._inject_copy(producer_uid, producer_domain, dyn.domain, t,
-                              prefetch=False, force=force)
-        for producer_uid in deps:
-            self._waiters.setdefault((producer_uid, dyn.domain), []).append(dyn)
+        if needed_copies is not None:
+            # Check the producer clusters have scheduler room for all the
+            # copies this uop needs before injecting any of them (unless
+            # forced by recovery re-dispatch, which must not stall
+            # indefinitely).
+            if not force:
+                slots_needed: Dict[ClockDomain, int] = {}
+                for _, producer_domain in needed_copies:
+                    slots_needed[producer_domain] = slots_needed.get(producer_domain, 0) + 1
+                for producer_domain, count in slots_needed.items():
+                    if self.clusters[producer_domain].issue_queue.free_slots < count:
+                        return None
+            for producer_uid, producer_domain in needed_copies:
+                self._inject_copy(producer_uid, producer_domain, domain, t,
+                                  prefetch=False, force=force)
+        if deps is not None:
+            for producer_uid in deps:
+                key = (producer_uid, domain)
+                bucket = waiters.get(key)
+                if bucket is None:
+                    waiters[key] = [dyn]
+                else:
+                    bucket.append(dyn)
         return outstanding
-
-    def _producer_domain(self, producer_uid: int) -> Optional[ClockDomain]:
-        entry = self.rob._by_uid.get(producer_uid)  # type: ignore[attr-defined]
-        if entry is None or not isinstance(entry.payload, _DynUop):
-            return None
-        return entry.payload.domain
 
     # ------------------------------------------------------------ copies
     def _inject_copy(self, value_uid: int, from_domain: ClockDomain,
@@ -948,10 +1113,9 @@ class HelperClusterSimulator:
             fu_latency=self._copy_latency_fast[from_domain],
             is_memory=False, payload=dyn)
         backend.issue_queue.insert(entry, force=force)
-        self._iq_entries[dyn.dyn_id] = entry
 
     def _seq_of_value(self, value_uid: int) -> int:
-        entry = self.rob._by_uid.get(value_uid)  # type: ignore[attr-defined]
+        entry = self.rob.by_uid.get(value_uid)
         if entry is not None:
             return entry.seq
         return 0
@@ -1087,8 +1251,21 @@ class HelperClusterSimulator:
         waiters = self._waiters.pop((value_uid, domain), None)
         if not waiters:
             return
+        clusters = self.clusters
         for dyn in waiters:
-            self._wake_dyn(dyn)
+            if dyn.squashed:
+                continue
+            # IssueQueue.wakeup inlined: one fewer call per woken operand.
+            iq = clusters[dyn.domain].issue_queue
+            entry = iq.entries.get(dyn.dyn_id)
+            if entry is None:
+                continue
+            remaining = entry.remaining_sources - 1
+            if remaining <= 0:
+                entry.remaining_sources = 0
+                iq.ready_entries[dyn.dyn_id] = entry
+            else:
+                entry.remaining_sources = remaining
 
     def _wake_dyn(self, dyn: _DynUop) -> None:
         if dyn.squashed:
@@ -1108,32 +1285,50 @@ class HelperClusterSimulator:
     # sampling / finalisation
     # ======================================================================
     def _sample_imbalance(self, t: int) -> None:
+        """Record this cycle's NREADY / occupancy statistics.
+
+        The arithmetic is ``ImbalanceMonitor.record_cycle`` +
+        ``IssueQueue.sample_occupancy`` fused into one pass over the
+        backends — identical integer accumulations, one call per cycle.
+        """
         if not self._helper_enabled:
             return
-        wide_active = t % self._ratio == 0
         wide_iq = self.wide.issue_queue
-        periods = self._periods
         helper_ready = 0
         helper_free = 0
         helper_occupancy = 0
-        for backend in self.helpers:
-            iq = backend.issue_queue
-            period = periods[backend.index]
+        for _backend, iq, ready, period in self._helper_wheel:
+            occupancy = len(iq.entries)
+            helper_occupancy += occupancy
             if period == 1 or t % period == 0:
-                helper_ready += iq.ready_count()
+                helper_ready += len(ready)
                 helper_free += iq.issue_width
-            helper_occupancy += len(iq)
-        self.imbalance.record_cycle(
-            wide_ready_blocked=wide_iq.ready_count() if wide_active else 0,
-            narrow_ready_blocked=helper_ready,
-            wide_free_slots=wide_iq.issue_width if wide_active else 0,
-            narrow_free_slots=helper_free,
-            wide_occupancy=len(wide_iq),
-            narrow_occupancy=helper_occupancy,
-        )
-        wide_iq.sample_occupancy()
-        for backend in self.helpers:
-            backend.issue_queue.sample_occupancy()
+            iq.total_occupancy_samples += 1
+            iq.occupancy_accum += occupancy
+            iq.ready_not_issued_accum += len(ready)
+        wide_occupancy = len(wide_iq.entries)
+        wide_ready_count = len(wide_iq.ready_entries)
+        if t % self._ratio == 0:
+            wide_ready_blocked = wide_ready_count
+            wide_free = wide_iq.issue_width
+        else:
+            wide_ready_blocked = 0
+            wide_free = 0
+        imbalance = self.imbalance
+        imbalance.samples += 1
+        opportunities = wide_occupancy + helper_occupancy
+        imbalance.issue_opportunities += opportunities if opportunities > 1 else 1
+        imbalance.wide_to_narrow_nready += (
+            wide_ready_blocked if wide_ready_blocked < helper_free else helper_free)
+        imbalance.narrow_to_wide_nready += (
+            helper_ready if helper_ready < wide_free else wide_free)
+        imbalance.wide_occupancy_accum += wide_occupancy
+        imbalance.narrow_occupancy_accum += helper_occupancy
+        imbalance._last_wide_occupancy = wide_occupancy
+        imbalance._last_narrow_occupancy = helper_occupancy
+        wide_iq.total_occupancy_samples += 1
+        wide_iq.occupancy_accum += wide_occupancy
+        wide_iq.ready_not_issued_accum += wide_ready_count
 
     def _finalise(self, final_cycle: int) -> None:
         result = self.result
@@ -1204,16 +1399,6 @@ class HelperClusterSimulator:
     # ======================================================================
     def _backend(self, domain: int) -> Backend:
         return self.clusters[domain]
-
-    def _target_cluster(self, decision: SteerDecision, uop: MicroOp) -> int:
-        """Resolve a steering decision to a concrete cluster.
-
-        Placement is entirely the shared selector's job: an explicit target
-        wins, a declarative requirement constrains the candidates, and with
-        neither the selector places on capability and load (the default
-        selector is the original least-loaded-capable rule, bit-identically).
-        """
-        return self.selector.resolve(decision, uop.opcode)
 
     def _select_helper_cluster(self, opcode: Optional[Opcode] = None) -> Optional[int]:
         """Pick a helper cluster for requirement-less work (prefetch targets,

@@ -16,6 +16,10 @@ are unavailable, so this subpackage builds the closest synthetic equivalent:
   discipline of §3.1.
 * :mod:`repro.trace.workloads` — the Table 2 suite: 412 application instances
   across seven workload categories.
+* :mod:`repro.trace.serialization` — text (diff-able JSON lines) and binary
+  (digest-checked pickle) trace formats.
+* :mod:`repro.trace.store` — the content-addressed on-disk trace store the
+  sweep engine shares traces through (one generation per distinct trace).
 """
 
 from repro.trace.trace import Trace, TraceStats
@@ -33,7 +37,14 @@ from repro.trace.workloads import (
     WorkloadApp,
     build_workload_suite,
 )
-from repro.trace.serialization import save_trace, load_trace, iter_trace_records
+from repro.trace.serialization import (
+    save_trace,
+    load_trace,
+    iter_trace_records,
+    save_trace_binary,
+    load_trace_binary,
+)
+from repro.trace.store import TraceStore, trace_key
 
 __all__ = [
     "Trace",
@@ -53,4 +64,8 @@ __all__ = [
     "save_trace",
     "load_trace",
     "iter_trace_records",
+    "save_trace_binary",
+    "load_trace_binary",
+    "TraceStore",
+    "trace_key",
 ]

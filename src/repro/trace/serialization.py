@@ -3,15 +3,28 @@
 Synthetic traces are cheap to regenerate, but a downstream user comparing
 steering policies wants to pin the *exact* uop stream to disk — both for
 long-running sweeps (generate once, simulate many times) and to exchange
-traces between machines.  The format is line-delimited JSON: one header line
-with the trace metadata followed by one compact JSON array per uop, which
-keeps files diff-able and streams without loading everything into memory.
+traces between machines.  Two formats:
+
+* the *text* format (:func:`save_trace` / :func:`load_trace`) is
+  line-delimited JSON — one header line with the trace metadata followed by
+  one compact JSON array per uop — which keeps files diff-able and streams
+  without loading everything into memory;
+* the *binary* format (:func:`save_trace_binary` / :func:`load_trace_binary`)
+  is a digest-checked pickle used by the engine's cross-job trace store
+  (:mod:`repro.trace.store`), where load speed matters more than
+  diff-ability: a worker re-hydrating a 30k-uop trace pays a single pickle
+  load instead of re-deriving 30k uops.  A binary entry is
+  ``<header JSON line>\\n<pickled Trace payload>``; the header records the
+  format version and a SHA-256 digest of the payload, so corrupted or
+  truncated files are detected and rejected on load.
 """
 
 from __future__ import annotations
 
 import gzip
+import hashlib
 import json
+import pickle
 from pathlib import Path
 from typing import IO, Iterator, Optional, Union
 
@@ -22,6 +35,9 @@ from repro.trace.trace import Trace
 
 #: Format identifier written to the header line.
 FORMAT_VERSION = 1
+
+#: Binary (pickle) format identifier; bump when the entry layout changes.
+BINARY_FORMAT_VERSION = 1
 
 _PathLike = Union[str, Path]
 
@@ -104,6 +120,65 @@ def iter_trace_records(path: _PathLike) -> Iterator[MicroOp]:
             line = line.strip()
             if line:
                 yield _record_to_uop(json.loads(line))
+
+
+def save_trace_binary(trace: Trace, path: _PathLike) -> Path:
+    """Write a trace as a digest-checked pickle (the trace store's format).
+
+    The caller is responsible for atomicity (write to a temp file and
+    ``os.replace``) when concurrent readers are possible; the on-disk bytes
+    themselves are self-validating via the header digest.
+    """
+    path = Path(path)
+    payload = pickle.dumps(trace, protocol=pickle.HIGHEST_PROTOCOL)
+    header = json.dumps({
+        "format": BINARY_FORMAT_VERSION,
+        "name": trace.name,
+        "seed": trace.seed,
+        "num_uops": len(trace),
+        "digest": hashlib.sha256(payload).hexdigest(),
+    }, sort_keys=True).encode("utf-8")
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(b"\n")
+        handle.write(payload)
+    return path
+
+
+def load_trace_binary(path: _PathLike) -> Trace:
+    """Read a trace written by :func:`save_trace_binary`.
+
+    Raises ``ValueError`` on format mismatch, digest mismatch, truncation or
+    an un-unpicklable payload, so callers can treat any failure as a cache
+    miss and regenerate.
+    """
+    blob = Path(path).read_bytes()
+    newline = blob.find(b"\n")
+    if newline < 0:
+        raise ValueError(f"binary trace file {path} has no header line")
+    try:
+        header = json.loads(blob[:newline].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ValueError(f"binary trace file {path} has a corrupt header") from exc
+    if not isinstance(header, dict) or header.get("format") != BINARY_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported binary trace format {header.get('format')!r}; "
+            f"expected {BINARY_FORMAT_VERSION}")
+    payload = blob[newline + 1:]
+    if header.get("digest") != hashlib.sha256(payload).hexdigest():
+        raise ValueError(f"binary trace file {path} failed its digest check")
+    try:
+        trace = pickle.loads(payload)
+    except Exception as exc:
+        raise ValueError(f"binary trace file {path} failed to unpickle") from exc
+    if not isinstance(trace, Trace):
+        raise ValueError(f"binary trace file {path} does not contain a Trace")
+    expected = header.get("num_uops")
+    if expected is not None and expected != len(trace):
+        raise ValueError(
+            f"binary trace file {path} is truncated: header says {expected} "
+            f"uops, found {len(trace)}")
+    return trace
 
 
 def load_trace(path: _PathLike) -> Trace:

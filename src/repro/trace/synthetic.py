@@ -404,6 +404,24 @@ class SyntheticTraceGenerator:
         return rng.randrange(1 << self.narrow_width, 1 << (MACHINE_WIDTH - 1))
 
 
+class GenerationStats:
+    """Process-wide trace-generation counter.
+
+    The cross-job trace store's contract is that a sweep generates each
+    distinct (profile, length, seed, slicing) trace exactly once; this
+    counter is what the counting tests assert against.
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+
+#: Incremented on every :func:`generate_trace` call in this process.
+GENERATION_STATS = GenerationStats()
+
+
 def generate_trace(profile: BenchmarkProfile, num_uops: int, seed: int = 0,
                    name: Optional[str] = None) -> Trace:
     """Convenience wrapper: build a generator and produce one trace.
@@ -413,6 +431,7 @@ def generate_trace(profile: BenchmarkProfile, num_uops: int, seed: int = 0,
     are bit-identical; 16 produces halfword-heavy workloads for asymmetric
     helper-mix exploration).
     """
+    GENERATION_STATS.count += 1
     return SyntheticTraceGenerator(
         profile, seed=seed,
         narrow_width=profile.data_width).generate(num_uops, name=name)

@@ -122,11 +122,18 @@ class TestResultCache:
         assert _sweep_fingerprint(recomputed) == _sweep_fingerprint(reference)
 
     def test_truncated_entry_detected(self, tmp_path):
-        cache = ResultCache(tmp_path)
+        writer = ResultCache(tmp_path)
         key = result_key("probe")
-        cache.store(key, SimulationResult(benchmark="x", policy="y"))
-        path = cache.path_for(key)
+        stored = SimulationResult(benchmark="x", policy="y")
+        writer.store(key, stored)
+        path = writer.path_for(key)
         path.write_bytes(path.read_bytes()[:10])
+        # The storing process memoises its own (known-good) result and never
+        # re-decodes the disk entry, so it is immune to the truncation...
+        assert writer.load(key) is stored
+        assert writer.memo_hits == 1
+        # ...while a fresh process reading the same directory detects it.
+        cache = ResultCache(tmp_path)
         assert cache.load(key) is None
         assert cache.corrupt_drops == 1
         assert not path.exists()  # dropped so the slot rewrites cleanly
@@ -146,6 +153,38 @@ class TestResultCache:
         cache.store(result_key("k"), SimulationResult(benchmark="x", policy="y"))
         assert cache.load(result_key("k")) is None
         assert not (tmp_path / "never").exists()
+
+    def test_load_once_per_process_and_byte_counters(self, tmp_path):
+        writer = ResultCache(tmp_path)
+        key = result_key("probe")
+        writer.store(key, SimulationResult(benchmark="x", policy="y"))
+        assert writer.bytes_written > 0
+
+        reader = ResultCache(tmp_path)
+        first = reader.load(key)
+        assert first is not None
+        assert reader.bytes_read > 0
+        bytes_after_first = reader.bytes_read
+        # The second load of the same key must not re-read or re-decode the
+        # on-disk entry — even if the file vanishes in the meantime.
+        reader.path_for(key).unlink()
+        assert reader.load(key) is first
+        assert reader.bytes_read == bytes_after_first
+        assert reader.memo_hits == 1
+        assert reader.hits == 2
+
+    def test_cache_stats_line_mentions_hits_misses_and_bytes(self, tmp_path):
+        from repro.sim.reporting import cache_stats_line
+
+        cache = ResultCache(tmp_path)
+        cache.store(result_key("k"), SimulationResult(benchmark="x", policy="y"))
+        fresh = ResultCache(tmp_path)
+        fresh.load(result_key("k"))
+        fresh.load(result_key("absent"))
+        line = cache_stats_line(fresh)
+        assert "hits=1" in line and "misses=1" in line
+        assert "read=" in line and "written=" in line
+        assert "\n" not in line  # a one-line table footer
 
 
 # ---------------------------------------------------------------------------
