@@ -184,6 +184,38 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--uops", type=int, default=20_000)
     analyze.add_argument("--seed", type=int, default=2006)
 
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing: event wheel vs reference loop")
+    fuzz.add_argument("--cases", type=int, default=50,
+                      help="number of cases to generate and co-simulate")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed (case i uses a pure function of "
+                           "seed and i, so any case replays from the log)")
+    fuzz.add_argument("--shrink", dest="shrink", action="store_true",
+                      default=True, help="shrink failures to minimal "
+                      "reproducers (default)")
+    fuzz.add_argument("--no-shrink", dest="shrink", action="store_false",
+                      help="report failures as generated, without shrinking")
+    fuzz.add_argument("--out", default="fuzz-failures", metavar="DIR",
+                      help="directory for failure artifacts: repro scripts "
+                           "plus original and shrunk case JSON")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="also write shrunk failures as corpus entries "
+                           "here (e.g. tests/fuzz_corpus)")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      metavar="SECONDS",
+                      help="stop starting new cases after this many seconds")
+    fuzz.add_argument("--max-failures", type=int, default=5,
+                      help="stop after this many failing cases")
+    fuzz.add_argument("--skip-store-checks", action="store_true",
+                      help="skip the ResultCache/TraceStore round-trip "
+                           "checks (faster campaigns)")
+
+    replay = sub.add_parser(
+        "fuzz-replay", help="replay a fuzz corpus directory (tier-1 gate)")
+    replay.add_argument("--corpus", default="tests/fuzz_corpus", metavar="DIR",
+                        help="corpus directory of *.json case entries")
+
     sub.add_parser("table1", help="print the Table 1 baseline parameters")
     sub.add_parser("workloads", help="list the Table 2 workload categories")
     return parser
@@ -356,6 +388,45 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzzing campaign (see DESIGN.md § Differential fuzzing)."""
+    from repro.fuzz import run_campaign
+
+    campaign = run_campaign(
+        args.cases, seed=args.seed, shrink=args.shrink, out_dir=args.out,
+        corpus_dir=args.corpus, time_budget=args.time_budget,
+        max_failures=args.max_failures,
+        check_stores=not args.skip_store_checks, log=print)
+    print(f"\n{campaign.cases_run} cases in {campaign.elapsed:.1f}s "
+          f"({campaign.stop_reason}); {len(campaign.reports)} failure(s)")
+    if campaign.artifacts:
+        print("failure artifacts:")
+        for path in campaign.artifacts:
+            print(f"  {path}")
+    return 0 if campaign.ok else 1
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    """Replay every committed corpus entry; any failure is a regression."""
+    from repro.fuzz import load_corpus_dir, run_case
+
+    entries = load_corpus_dir(args.corpus)
+    if not entries:
+        print(f"no corpus entries under {args.corpus}", file=sys.stderr)
+        return 2
+    failed = 0
+    for name, case in entries:
+        report = run_case(case)
+        status = "ok  " if report.ok else "FAIL"
+        print(f"{status} {name}: {case.label()} ({report.elapsed:.2f}s)")
+        for failure in report.failures:
+            failed += 1
+            print(f"     {failure}")
+    print(f"\n{len(entries)} corpus entries, "
+          f"{failed if failed else 'no'} failure(s)")
+    return 1 if failed else 0
+
+
 def _cmd_table1(_: argparse.Namespace) -> int:
     rows = [[name, value] for name, value in TABLE_1_PARAMETERS.items()]
     print(format_table(["parameter", "value"], rows,
@@ -377,6 +448,8 @@ _COMMANDS = {
     "explore": _cmd_explore,
     "energy": _cmd_energy,
     "analyze": _cmd_analyze,
+    "fuzz": _cmd_fuzz,
+    "fuzz-replay": _cmd_fuzz_replay,
     "table1": _cmd_table1,
     "workloads": _cmd_workloads,
 }

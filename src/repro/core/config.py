@@ -97,6 +97,13 @@ class ClusterSpec:
             raise ValueError("cluster name must be non-empty")
         if self.datapath_width <= 0 or self.datapath_width > MACHINE_WIDTH:
             raise ValueError("cluster datapath width must be in (0, machine width]")
+        if MACHINE_WIDTH % self.datapath_width:
+            # The splitter chunks full-width values into datapath-width
+            # pieces, so non-divisor widths (e.g. 24) have no well-defined
+            # chunk count; reject them here rather than at simulator build.
+            raise ValueError(
+                f"cluster datapath width must divide the machine width "
+                f"({MACHINE_WIDTH}), got {self.datapath_width}")
         if self.clock_ratio < 1:
             raise ValueError("cluster clock ratio must be >= 1")
         if self.issue_width <= 0 or self.queue_size <= 0 or self.memory_ports <= 0:
@@ -233,6 +240,10 @@ class HelperClusterConfig:
     def __post_init__(self) -> None:
         if self.narrow_width <= 0 or self.narrow_width > MACHINE_WIDTH:
             raise ValueError("narrow width must be in (0, machine width]")
+        if MACHINE_WIDTH % self.narrow_width:
+            raise ValueError(
+                f"narrow width must divide the machine width "
+                f"({MACHINE_WIDTH}), got {self.narrow_width}")
         if self.clock_ratio < 1:
             raise ValueError("clock ratio must be >= 1")
         if self.copy_latency_slow < 1:
@@ -456,6 +467,61 @@ def mixed_helper_topology(helper_shapes: Sequence[Tuple[int, int]],
             memory_ports=scheduler.memory_ports, has_fp=has_fp,
             copy_latency_slow=copy_latency_slow,
             flush_penalty_slow=flush_penalty_slow))
+    return Topology(tuple(specs))
+
+
+#: Parameter pools :func:`random_topology` draws from.  Kept module-level so
+#: tests (and the fuzz corpus docs) can see exactly which machine space the
+#: differential-fuzz campaign covers.
+#: widths must divide MACHINE_WIDTH — the splitter's chunking contract
+#: (a 24-bit draw was the first bug the fuzzer found: the simulator
+#: rejected it only at construction time, long after config validation).
+RANDOM_HELPER_WIDTHS = (4, 8, 16, 32)
+RANDOM_CLOCK_RATIOS = (1, 2, 3, 4)
+RANDOM_QUEUE_SIZES = (4, 8, 16, 32, 64)
+
+
+def random_topology(rng, max_helpers: int = 3) -> Topology:
+    """Draw a random-but-valid :class:`Topology` from ``rng``.
+
+    The host is always the paper's wide 32-bit cluster at clock ratio 1
+    with FP units (a :class:`Topology` invariant); everything else is
+    drawn from the pools above: helper count 0..``max_helpers``, datapath
+    widths (including full-width and the awkward non-power-of-two 24-bit
+    case), clock ratios, per-cluster scheduler resources, FU mix
+    (``has_fp`` helpers included) and copy/flush latencies.  Constraints
+    the dataclass validators enforce — helper width <= host width, unique
+    names, positive resources — hold by construction, so every returned
+    topology is simulatable.
+
+    ``rng`` is a ``random.Random``; the draw is a pure function of its
+    state, which is how the fuzz harness regenerates byte-identical cases
+    from a single case seed.
+    """
+    def scheduler_draw() -> dict:
+        return {
+            "issue_width": rng.randint(1, 4),
+            "queue_size": rng.choice(RANDOM_QUEUE_SIZES),
+            "memory_ports": rng.randint(1, 3),
+        }
+
+    host = ClusterSpec(
+        name="wide", datapath_width=MACHINE_WIDTH, clock_ratio=1,
+        has_fp=True,
+        copy_latency_slow=rng.randint(1, 4),
+        flush_penalty_slow=rng.randint(0, 8),
+        **scheduler_draw())
+    specs = [host]
+    for index in range(rng.randint(0, max_helpers)):
+        width = rng.choice(RANDOM_HELPER_WIDTHS)
+        ratio = rng.choice(RANDOM_CLOCK_RATIOS)
+        specs.append(ClusterSpec(
+            name=f"fz{index}_{width}x{ratio}",
+            datapath_width=width, clock_ratio=ratio,
+            has_fp=rng.random() < 0.2,
+            copy_latency_slow=rng.randint(1, 4),
+            flush_penalty_slow=rng.randint(0, 8),
+            **scheduler_draw()))
     return Topology(tuple(specs))
 
 

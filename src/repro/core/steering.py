@@ -37,6 +37,7 @@ from repro.core.copy_engine import CopyEngine
 from repro.core.imbalance import ImbalanceMonitor
 from repro.core.predictors import WidthPredictor, WidthPrediction
 from repro.core.selection import (
+    SELECTORS,
     ClusterRequirement,
     ClusterSelector,
     make_selector,
@@ -639,6 +640,45 @@ policy_registry.register(PolicySpec(name="ir_wa",
                                     schemes=POLICY_LADDER["ir"],
                                     selector="width_aware"))
 del _name, _schemes
+
+
+def random_policy_spec(rng, allow_baseline: bool = False) -> PolicySpec:
+    """Draw a random-but-valid :class:`PolicySpec` from ``rng``.
+
+    Three families, mirroring how policies reach the engine in practice:
+    a registered spec straight from the registry, an ad-hoc scheme combo
+    (the ``"n888+cr"``-style names the CLI accepts), or a fully synthetic
+    spec with a random scheme subset, selector and selector knobs.  The
+    draw is a pure function of the ``random.Random`` state, so the fuzz
+    harness regenerates identical specs from a case seed.
+
+    ``IR_NODEST`` only refines ``IR``, so synthetic scheme sets that draw
+    it without ``IR`` have ``IR`` added — the combination is otherwise
+    inert and would waste fuzz cases on duplicate behaviour.
+    """
+    scheme_pool = [s for s in Scheme]
+    family = rng.random()
+    if family < 0.4:
+        names = [name for name in policy_registry.names()
+                 if allow_baseline or policy_registry.get(name).schemes]
+        return policy_registry.get(rng.choice(names))
+    if family < 0.6:
+        count = rng.randint(1, 3)
+        tokens = sorted({rng.choice(list(SCHEME_TOKENS)) for _ in range(count)})
+        return policy_spec("+".join(tokens))
+    schemes = {s for s in scheme_pool if rng.random() < 0.45}
+    if not schemes:
+        schemes = {rng.choice(scheme_pool)}
+    if Scheme.IR_NODEST in schemes:
+        schemes.add(Scheme.IR)
+    selector = rng.choice(sorted(SELECTORS))
+    knobs: Dict[str, object] = {}
+    if selector == "width_aware" and rng.random() < 0.5:
+        knobs["width_margin"] = rng.randint(0, 8)
+    return PolicySpec(
+        name="fz_" + "_".join(sorted(s.name.lower() for s in schemes)),
+        schemes=frozenset(schemes), selector=selector,
+        knobs=tuple(sorted(knobs.items())))
 
 
 def parse_scheme_combo(name: str) -> Optional[frozenset]:

@@ -1,0 +1,53 @@
+"""Differential fuzzing of the simulator (event wheel vs reference loop).
+
+The repo's correctness story is that every optimisation since PR 1 is pinned
+bit-identical to a straightforward reference implementation.  This package
+industrialises that guarantee: :mod:`repro.fuzz.generate` draws random-but-
+valid (topology, policy, profile, trace) cases from a single seed,
+:mod:`repro.fuzz.harness` co-simulates each case through the event wheel and
+the ``REPRO_REFERENCE_LOOP=1`` per-cycle loop and checks standalone
+invariants (:mod:`repro.fuzz.invariants`), and failures are shrunk to
+minimal reproducers and written out as corpus entries + self-contained
+repro scripts.  ``repro.cli fuzz`` drives a campaign; the committed corpus
+under ``tests/fuzz_corpus/`` replays in tier-1 so found-and-fixed bugs stay
+fixed.  See DESIGN.md § "Differential fuzzing".
+"""
+
+from repro.fuzz.generate import (
+    CASE_FORMAT,
+    FuzzCase,
+    case_from_dict,
+    case_text,
+    case_to_dict,
+    generate_case,
+)
+from repro.fuzz.harness import (
+    CampaignResult,
+    CaseReport,
+    load_corpus_dir,
+    run_campaign,
+    run_case,
+    shrink_case,
+    write_corpus_entry,
+    write_repro_script,
+)
+from repro.fuzz.invariants import CommitOrderRecorder, check_result_invariants
+
+__all__ = [
+    "CASE_FORMAT",
+    "FuzzCase",
+    "case_from_dict",
+    "case_text",
+    "case_to_dict",
+    "generate_case",
+    "CampaignResult",
+    "CaseReport",
+    "load_corpus_dir",
+    "run_campaign",
+    "run_case",
+    "shrink_case",
+    "write_corpus_entry",
+    "write_repro_script",
+    "CommitOrderRecorder",
+    "check_result_invariants",
+]

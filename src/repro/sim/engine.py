@@ -242,6 +242,9 @@ class SweepEngine:
         self.cache = cache
         self.power = power or PowerConfig()
         self._profiles: Dict[str, BenchmarkProfile] = {}
+        #: finalizer that removes the engine-private temp trace directory;
+        #: None when the caller supplied (and therefore owns) the directory
+        self._store_cleanup: Optional[weakref.finalize] = None
         if trace_store_dir is None:
             trace_store_dir = tempfile.mkdtemp(prefix="repro-traces-")
             self._store_cleanup = weakref.finalize(
@@ -267,7 +270,17 @@ class SweepEngine:
         return self._pool
 
     def close(self) -> None:
-        """Tear down the warm worker pool (idempotent)."""
+        """Release the engine's pooled resources (idempotent).
+
+        Tears down the warm worker pool and removes the engine-private
+        temporary trace-store directory (when no explicit
+        ``trace_store_dir`` was given — a caller-supplied directory is the
+        caller's to keep).  The same cleanups are registered as
+        ``weakref.finalize`` callbacks (which also run at interpreter
+        exit), so an engine that is never closed still cannot leak them;
+        ``close()`` — or the context-manager form — releases them eagerly
+        and deterministically, exceptions included.
+        """
         if self._pool is not None:
             pool, self._pool = self._pool, None
             pool.terminate()
@@ -275,6 +288,15 @@ class SweepEngine:
             if self._pool_finalizer is not None:
                 self._pool_finalizer.detach()
                 self._pool_finalizer = None
+        if self._store_cleanup is not None:
+            cleanup, self._store_cleanup = self._store_cleanup, None
+            cleanup()  # a dead finalizer is a no-op, so this is idempotent
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ keys
     def key_for(self, job: SweepJob) -> str:

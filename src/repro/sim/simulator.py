@@ -248,6 +248,12 @@ class HelperClusterSimulator:
             (backend, backend.issue_queue, backend.issue_queue.ready_entries,
              self._periods[backend.index])
             for backend in self.helpers]
+        #: optional commit observer: called as ``hook(retired, t)`` with the
+        #: just-retired ROB entries and the fast cycle.  The differential
+        #: fuzz harness (repro.fuzz) attaches an in-order-retirement checker
+        #: here; the default None costs one attribute test per retiring
+        #: cycle and leaves results untouched.
+        self.commit_hook = None
         #: run the straightforward per-cycle reference loop instead of the
         #: event wheel (REPRO_REFERENCE_LOOP=1); results are bit-identical
         if reference_loop is None:
@@ -786,6 +792,8 @@ class HelperClusterSimulator:
         retired = self.rob.commit()
         if not retired:
             return
+        if self.commit_hook is not None:
+            self.commit_hook(retired, t)
         uses_cp = self._uses_cp
         result = self.result
         steer_reasons = result.steer_reasons

@@ -392,6 +392,41 @@ def get_profile(name: str) -> BenchmarkProfile:
         ) from None
 
 
+def random_profile(rng, name: str = "fuzz") -> BenchmarkProfile:
+    """Draw a random-but-valid :class:`BenchmarkProfile` from ``rng``.
+
+    Starts from a random SPEC profile and perturbs every distribution knob
+    within its validated range, so the synthetic generator sees parameter
+    corners (extreme narrowness, tiny/huge loops, 16-bit data bands) that
+    no calibrated profile reaches while every draw still passes
+    ``__post_init__`` validation.  The draw is a pure function of the
+    ``random.Random`` state — the fuzz harness's determinism contract.
+    """
+    base = SPEC_INT_2000[rng.choice(SPEC_INT_NAMES)]
+
+    def fraction(value: float) -> float:
+        return min(1.0, max(0.0, value + rng.uniform(-0.3, 0.3)))
+
+    mix = base.mix.normalized()
+    return base.scaled(
+        name=name,
+        narrow_data_fraction=fraction(base.narrow_data_fraction),
+        narrow_consumer_locality=fraction(base.narrow_consumer_locality),
+        loop_trip_mean=max(1.0, base.loop_trip_mean * rng.uniform(0.1, 3.0)),
+        loop_body_size=max(1, int(base.loop_body_size * rng.uniform(0.3, 2.5))),
+        dependency_span=max(0.5, base.dependency_span * rng.uniform(0.4, 3.0)),
+        aligned_base_fraction=fraction(base.aligned_base_fraction),
+        small_offset_fraction=fraction(base.small_offset_fraction),
+        byte_load_fraction=fraction(base.byte_load_fraction),
+        pointer_arith_fraction=fraction(base.pointer_arith_fraction),
+        width_locality=fraction(base.width_locality),
+        data_width=rng.choice((8, 8, 8, 16)),
+        static_loops=max(1, int(base.static_loops * rng.uniform(0.25, 2.0))),
+        mix=mix,
+        category="fuzz",
+    )
+
+
 def average_profile(profiles: Mapping[str, BenchmarkProfile] | None = None,
                     name: str = "avg") -> BenchmarkProfile:
     """Construct a profile whose numeric parameters are the mean of a set.

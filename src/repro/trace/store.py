@@ -107,15 +107,26 @@ class TraceStore:
             # rather than failing the sweep.
             return
         os.close(fd)
+        # Unlike ResultCache.store, the payload is serialised *inside* this
+        # window (save_trace_binary pickles straight to the temp file), so a
+        # non-OSError failure mid-dump would otherwise strand the .tmp file
+        # next to the entry forever.  try/finally guarantees the temp file is
+        # gone on every path: renamed into place on success, unlinked on any
+        # failure — I/O errors are swallowed (best-effort store), anything
+        # else propagates after the cleanup.
+        replaced = False
         try:
             save_trace_binary(trace, tmp_name)
             os.replace(tmp_name, path)
+            replaced = True
         except OSError:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
             return
+        finally:
+            if not replaced:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
         self.stores += 1
 
     # -------------------------------------------------------------- reporting

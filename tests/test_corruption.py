@@ -1,0 +1,192 @@
+"""Crash-consistency tests for the on-disk stores.
+
+Both content-addressed stores (:class:`repro.sim.cache.ResultCache`,
+:class:`repro.trace.store.TraceStore`) promise that *any* on-disk damage —
+truncation, garbling, or the debris of a process killed mid-write — is
+treated as a cache miss, never an error and never a wrong answer.  These
+tests exercise that promise directly against the store APIs (the engine-level
+paths are covered in ``test_engine.py`` / ``test_trace_store.py``), plus the
+regression pin for the ``TraceStore.store`` temp-file leak: a serialization
+failure between ``mkstemp`` and ``os.replace`` used to strand a ``.tmp``
+file next to the entry forever.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.sim.cache import ResultCache
+from repro.sim.metrics import SimulationResult
+from repro.trace.profiles import get_profile
+from repro.trace.store import TraceStore, trace_key
+from repro.trace.synthetic import generate_trace
+
+KEY = "ab" * 32  # a well-formed SHA-256 hex digest
+
+
+@pytest.fixture
+def trace():
+    return generate_trace(get_profile("gzip"), 300, seed=7)
+
+
+@pytest.fixture
+def result():
+    return SimulationResult(benchmark="gzip", policy="ir", committed_uops=300)
+
+
+# ---------------------------------------------------------------------------
+# mid-write crash debris (stray .tmp files)
+# ---------------------------------------------------------------------------
+class TestStrayTmpFiles:
+    def test_trace_store_ignores_stray_tmp_next_to_entry(self, tmp_path, trace):
+        store = TraceStore(tmp_path)
+        store.store(KEY, trace)
+        # A writer killed between mkstemp and os.replace leaves exactly this.
+        stray = store.path_for(KEY).parent / "crashedwriter.tmp"
+        stray.write_bytes(b"\x00partial write\x00")
+        assert pickle.dumps(store.load(KEY)) == pickle.dumps(trace)
+        assert store.corrupt_drops == 0
+        # The debris is inert: it is never loaded and never blocks a rewrite.
+        store.store(KEY, trace)
+        assert pickle.dumps(store.load(KEY)) == pickle.dumps(trace)
+
+    def test_result_cache_ignores_stray_tmp_next_to_entry(self, tmp_path,
+                                                          result):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, result)
+        entry = cache.path_for(KEY)
+        (entry.parent / "crashedwriter.tmp").write_bytes(b"\x00partial\x00")
+        loaded = cache.load(KEY)
+        assert loaded is not None
+        assert pickle.dumps(loaded) == pickle.dumps(result)
+
+    def test_tmp_suffix_entry_never_shadows_the_real_key(self, tmp_path,
+                                                         trace):
+        store = TraceStore(tmp_path)
+        # A crash can also leave the *entry path itself* half-written when
+        # os.replace never ran: simulate by writing junk at the final path.
+        path = store.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a trace file")
+        assert store.load(KEY) is None
+        assert store.corrupt_drops == 1
+        assert not path.exists(), "the corrupt slot must be reclaimed"
+        store.store(KEY, trace)
+        assert pickle.dumps(store.load(KEY)) == pickle.dumps(trace)
+
+
+# ---------------------------------------------------------------------------
+# truncated / garbled entries
+# ---------------------------------------------------------------------------
+class TestDamagedEntries:
+    def test_truncated_trace_entry_is_a_miss(self, tmp_path, trace):
+        store = TraceStore(tmp_path)
+        store.store(KEY, trace)
+        path = store.path_for(KEY)
+        path.write_bytes(path.read_bytes()[:-20])
+        assert store.load(KEY) is None
+        assert store.misses == 1 and store.corrupt_drops == 1
+
+    def test_garbled_trace_payload_fails_the_digest(self, tmp_path, trace):
+        store = TraceStore(tmp_path)
+        store.store(KEY, trace)
+        path = store.path_for(KEY)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert store.load(KEY) is None
+        assert store.corrupt_drops == 1
+
+    def test_truncated_result_entry_is_a_miss(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, result)
+        path = cache.path_for(KEY)
+        path.write_bytes(path.read_bytes()[:-20])
+        fresh = ResultCache(tmp_path)  # bypass the in-process memo
+        assert fresh.load(KEY) is None
+
+    def test_garbled_result_payload_fails_the_digest(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, result)
+        path = cache.path_for(KEY)
+        data = bytearray(path.read_bytes())
+        data[-10] ^= 0xFF
+        path.write_bytes(bytes(data))
+        fresh = ResultCache(tmp_path)
+        assert fresh.load(KEY) is None
+
+
+# ---------------------------------------------------------------------------
+# regression: TraceStore.store must never strand its temp file
+# ---------------------------------------------------------------------------
+class TestStoreTmpLeak:
+    def _tmp_files(self, tmp_path):
+        return [p for p in tmp_path.rglob("*.tmp")]
+
+    def test_failed_serialization_cleans_up_the_temp_file(self, tmp_path,
+                                                          trace, monkeypatch):
+        store = TraceStore(tmp_path)
+
+        def explode(trace_obj, path):
+            raise ValueError("simulated mid-dump failure")
+
+        monkeypatch.setattr("repro.trace.store.save_trace_binary", explode)
+        with pytest.raises(ValueError, match="mid-dump"):
+            store.store(KEY, trace)
+        assert self._tmp_files(tmp_path) == [], "temp file leaked"
+        assert store.stores == 0
+        assert not store.path_for(KEY).exists()
+
+    def test_oserror_during_dump_is_swallowed_without_leaking(self, tmp_path,
+                                                              trace,
+                                                              monkeypatch):
+        store = TraceStore(tmp_path)
+
+        def explode(trace_obj, path):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr("repro.trace.store.save_trace_binary", explode)
+        store.store(KEY, trace)  # best-effort: must not raise
+        assert self._tmp_files(tmp_path) == [], "temp file leaked"
+        assert store.stores == 0
+
+    def test_successful_store_leaves_no_temp_file(self, tmp_path, trace):
+        store = TraceStore(tmp_path)
+        store.store(KEY, trace)
+        assert self._tmp_files(tmp_path) == []
+        assert store.stores == 1
+
+    def test_store_recovers_after_a_failed_attempt(self, tmp_path, trace,
+                                                   monkeypatch):
+        store = TraceStore(tmp_path)
+        real = __import__("repro.trace.serialization",
+                          fromlist=["save_trace_binary"]).save_trace_binary
+        calls = {"n": 0}
+
+        def flaky(trace_obj, path):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ValueError("first attempt dies")
+            real(trace_obj, path)
+
+        monkeypatch.setattr("repro.trace.store.save_trace_binary", flaky)
+        with pytest.raises(ValueError):
+            store.store(KEY, trace)
+        store.store(KEY, trace)
+        assert pickle.dumps(store.load(KEY)) == pickle.dumps(trace)
+        assert self._tmp_files(tmp_path) == []
+
+
+# ---------------------------------------------------------------------------
+# os.replace leaves either the old or the new entry, never a hybrid
+# ---------------------------------------------------------------------------
+def test_rewrite_of_an_existing_entry_is_atomic(tmp_path, trace):
+    store = TraceStore(tmp_path)
+    store.store(KEY, trace)
+    before = store.path_for(KEY).read_bytes()
+    store.store(KEY, trace)
+    assert store.path_for(KEY).read_bytes() == before
+    assert store.load(KEY) is not None

@@ -215,3 +215,51 @@ class TestCacheKeys:
         narrow16 = SweepEngine(config=helper_cluster_config(narrow_width=16))
         job = SweepJob("gcc", "baseline", 1000, 2006)
         assert narrow8.key_for(job) == narrow16.key_for(job)
+
+
+# ---------------------------------------------------------------------------
+# engine lifecycle: the private trace-store directory must never leak
+# ---------------------------------------------------------------------------
+class TestEngineLifecycle:
+    def test_close_removes_the_private_trace_dir(self):
+        engine = SweepEngine(config=helper_cluster_config())
+        store_dir = engine.trace_store.store_dir
+        assert store_dir.is_dir()
+        engine.close()
+        assert not store_dir.exists()
+
+    def test_close_is_idempotent(self):
+        engine = SweepEngine(config=helper_cluster_config())
+        engine.close()
+        engine.close()  # must not raise on the already-removed directory
+
+    def test_context_manager_cleans_up(self):
+        with SweepEngine(config=helper_cluster_config()) as engine:
+            store_dir = engine.trace_store.store_dir
+            engine.run_jobs([SweepJob("gcc", "ir", 400, SEED)])
+            assert store_dir.is_dir()
+        assert not store_dir.exists()
+
+    def test_context_manager_cleans_up_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with SweepEngine(config=helper_cluster_config()) as engine:
+                store_dir = engine.trace_store.store_dir
+                raise RuntimeError("boom")
+        assert not store_dir.exists()
+
+    def test_caller_supplied_dir_is_preserved(self, tmp_path):
+        store_dir = tmp_path / "traces"
+        store_dir.mkdir()
+        with SweepEngine(config=helper_cluster_config(),
+                         trace_store_dir=str(store_dir)) as engine:
+            engine.run_jobs([SweepJob("gcc", "ir", 400, SEED)])
+        assert store_dir.is_dir(), "the caller owns an explicit directory"
+
+    def test_garbage_collected_engine_removes_its_dir(self):
+        import gc
+
+        engine = SweepEngine(config=helper_cluster_config())
+        store_dir = engine.trace_store.store_dir
+        del engine
+        gc.collect()
+        assert not store_dir.exists()
