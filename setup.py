@@ -1,3 +1,53 @@
-from setuptools import setup
+"""Build configuration.
 
-setup()
+The only non-trivial piece is the *optional* C extension
+``repro._corekernel`` (the compiled simulator backend, see DESIGN.md,
+"Hot state & compiled core").  The package is pure python by contract:
+a missing compiler, missing Python headers or a failing compile must
+never break installation — the simulator transparently falls back to
+the pure-python backend (``REPRO_BACKEND`` selects explicitly).
+
+Build in place with::
+
+    python setup.py build_ext --inplace
+"""
+
+import warnings
+
+from setuptools import Extension, find_packages, setup
+from setuptools.command.build_ext import build_ext
+
+
+class OptionalBuildExt(build_ext):
+    """Build the accelerator extension if possible; never fail the build."""
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:
+            warnings.warn(
+                f"skipping optional C extension build ({exc!r}); "
+                f"the pure-python simulator backend will be used")
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:
+            warnings.warn(
+                f"skipping optional C extension {ext.name} ({exc!r}); "
+                f"the pure-python simulator backend will be used")
+
+
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    ext_modules=[
+        Extension(
+            "repro._corekernel",
+            sources=["src/repro/_corekernel.c"],
+            optional=True,
+        ),
+    ],
+    cmdclass={"build_ext": OptionalBuildExt},
+)

@@ -1,0 +1,475 @@
+/* repro._corekernel — compiled inner kernels of the event-wheel simulator.
+ *
+ * Optional CPython extension implementing the innermost *pure decision*
+ * kernels of repro.sim.simulator over the struct-of-arrays hot state
+ * (see DESIGN.md, "Hot state & compiled core"):
+ *
+ *   - next_event:      the event wheel's next-eventful-cycle selection
+ *                      (helper clock edges / completion calendar head /
+ *                      wide dispatch-commit boundary);
+ *   - select_slots:    oldest-first ready-scan issue selection under the
+ *                      issue-width and DL0 memory-port budgets;
+ *   - rob_commit_scan: contiguous-completed head scan of the ROB ring.
+ *
+ * The kernels mutate nothing except the completion heap's lazy pruning
+ * (exactly what the python path does) — all state write-back stays in
+ * python, which is how both backends remain bit-identical.  The bound
+ * state (a capsule) holds references to long-lived python objects: the
+ * calendar dict, the heap list, each cluster's ready dict and array('q')
+ * columns.  Buffers of growable arrays are acquired per call, so queue
+ * growth on recovery-forced inserts cannot leave dangling pointers.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <stdlib.h>
+
+static const char CAPSULE_NAME[] = "repro._corekernel.state";
+
+typedef struct {
+    PyObject *completions;   /* dict: fast cycle -> bucket list            */
+    PyObject *heap;          /* list of int, min-heap of calendar cycles   */
+    PyObject *ready_list;    /* list of per-cluster ready dicts (uid->slot)*/
+    PyObject *agekey_list;   /* list of per-cluster array('q') age keys    */
+    PyObject *mem_list;      /* list of per-cluster array('q') mem flags   */
+    PyObject *rob_state;     /* array('q'): ROB ring completion states     */
+    long long *periods;      /* per-cluster period in fast cycles          */
+    Py_ssize_t n_clusters;
+    long long ratio;
+    long long rob_size;
+    long long commit_width;
+} CoreState;
+
+static void
+state_destructor(PyObject *capsule)
+{
+    CoreState *st = (CoreState *)PyCapsule_GetPointer(capsule, CAPSULE_NAME);
+    if (st == NULL)
+        return;
+    Py_XDECREF(st->completions);
+    Py_XDECREF(st->heap);
+    Py_XDECREF(st->ready_list);
+    Py_XDECREF(st->agekey_list);
+    Py_XDECREF(st->mem_list);
+    Py_XDECREF(st->rob_state);
+    free(st->periods);
+    free(st);
+}
+
+static CoreState *
+get_state(PyObject *capsule)
+{
+    return (CoreState *)PyCapsule_GetPointer(capsule, CAPSULE_NAME);
+}
+
+/* ------------------------------------------------------------------ bind */
+
+static PyObject *
+k_bind(PyObject *self, PyObject *args)
+{
+    PyObject *completions, *heap, *ready_list, *agekey_list, *mem_list;
+    PyObject *periods_obj, *rob_state;
+    long long ratio, rob_size, commit_width;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!O!O!OLOLL",
+                          &PyDict_Type, &completions,
+                          &PyList_Type, &heap,
+                          &PyList_Type, &ready_list,
+                          &PyList_Type, &agekey_list,
+                          &PyList_Type, &mem_list,
+                          &periods_obj, &ratio,
+                          &rob_state, &rob_size, &commit_width))
+        return NULL;
+
+    Py_ssize_t n_clusters = PyList_GET_SIZE(ready_list);
+    if (PyList_GET_SIZE(agekey_list) != n_clusters
+        || PyList_GET_SIZE(mem_list) != n_clusters) {
+        PyErr_SetString(PyExc_ValueError,
+                        "per-cluster column lists disagree on length");
+        return NULL;
+    }
+
+    Py_buffer pview;
+    if (PyObject_GetBuffer(periods_obj, &pview, PyBUF_SIMPLE) < 0)
+        return NULL;
+    if ((Py_ssize_t)(pview.len / sizeof(long long)) < n_clusters) {
+        PyBuffer_Release(&pview);
+        PyErr_SetString(PyExc_ValueError, "periods shorter than cluster list");
+        return NULL;
+    }
+
+    CoreState *st = (CoreState *)calloc(1, sizeof(CoreState));
+    if (st == NULL) {
+        PyBuffer_Release(&pview);
+        return PyErr_NoMemory();
+    }
+    st->periods = (long long *)malloc(sizeof(long long) * (size_t)n_clusters);
+    if (st->periods == NULL) {
+        PyBuffer_Release(&pview);
+        free(st);
+        return PyErr_NoMemory();
+    }
+    memcpy(st->periods, pview.buf, sizeof(long long) * (size_t)n_clusters);
+    PyBuffer_Release(&pview);
+
+    Py_INCREF(completions); st->completions = completions;
+    Py_INCREF(heap);        st->heap = heap;
+    Py_INCREF(ready_list);  st->ready_list = ready_list;
+    Py_INCREF(agekey_list); st->agekey_list = agekey_list;
+    Py_INCREF(mem_list);    st->mem_list = mem_list;
+    Py_INCREF(rob_state);   st->rob_state = rob_state;
+    st->n_clusters = n_clusters;
+    st->ratio = ratio;
+    st->rob_size = rob_size;
+    st->commit_width = commit_width;
+
+    PyObject *capsule = PyCapsule_New(st, CAPSULE_NAME, state_destructor);
+    if (capsule == NULL) {
+        Py_DECREF(completions); Py_DECREF(heap); Py_DECREF(ready_list);
+        Py_DECREF(agekey_list); Py_DECREF(mem_list); Py_DECREF(rob_state);
+        free(st->periods);
+        free(st);
+        return NULL;
+    }
+    return capsule;
+}
+
+/* ------------------------------------------------- completion heap (lazy) */
+
+/* Discard the heap's root, restoring the min-heap property.  Elements are
+ * unique python ints; any valid min-heap over the same values is
+ * indistinguishable from heapq's arrangement through the only operations
+ * ever applied (min-peek here, heappush/heappop in python). */
+static int
+heap_pop_discard(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    PyObject *last = PyList_GET_ITEM(heap, n - 1);
+    Py_INCREF(last);
+    if (PyList_SetSlice(heap, n - 1, n, NULL) < 0) {
+        Py_DECREF(last);
+        return -1;
+    }
+    n -= 1;
+    if (n == 0) {
+        Py_DECREF(last);
+        return 0;
+    }
+    long long lastv = PyLong_AsLongLong(last);
+    if (lastv == -1 && PyErr_Occurred()) {
+        Py_DECREF(last);
+        return -1;
+    }
+    Py_ssize_t pos = 0;
+    for (;;) {
+        Py_ssize_t child = 2 * pos + 1;
+        if (child >= n)
+            break;
+        long long childv = PyLong_AsLongLong(PyList_GET_ITEM(heap, child));
+        if (child + 1 < n) {
+            long long rightv =
+                PyLong_AsLongLong(PyList_GET_ITEM(heap, child + 1));
+            if (rightv < childv) {
+                childv = rightv;
+                child += 1;
+            }
+        }
+        if (lastv <= childv)
+            break;
+        PyObject *childobj = PyList_GET_ITEM(heap, child);
+        Py_INCREF(childobj);
+        PyList_SetItem(heap, pos, childobj);   /* steals, decrefs old */
+        pos = child;
+    }
+    PyList_SetItem(heap, pos, last);           /* steals last */
+    return 0;
+}
+
+/* Earliest calendar cycle still holding a bucket; prunes stale heads.
+ * Returns 0 with *has = 0 when the calendar is empty, -1 on error. */
+static int
+next_completion(CoreState *st, long long *value, int *has)
+{
+    PyObject *heap = st->heap;
+    while (PyList_GET_SIZE(heap) > 0) {
+        PyObject *head = PyList_GET_ITEM(heap, 0);
+        int contains = PyDict_Contains(st->completions, head);
+        if (contains < 0)
+            return -1;
+        if (contains) {
+            long long v = PyLong_AsLongLong(head);
+            if (v == -1 && PyErr_Occurred())
+                return -1;
+            *value = v;
+            *has = 1;
+            return 0;
+        }
+        if (heap_pop_discard(heap) < 0)
+            return -1;
+    }
+    *has = 0;
+    *value = 0;
+    return 0;
+}
+
+/* ------------------------------------------------------------ next_event */
+
+/* flags: bit 0 = dispatch possible (frontend has work or redispatch /
+ *                pending fetch queues are non-empty),
+ *        bit 1 = ROB full,
+ *        bit 2 = machine drained except for the calendar (redispatch and
+ *                fetch queues empty, frontend exhausted, ROB empty).
+ * Returns (target << 1) | idle_sampled. */
+static PyObject *
+k_next_event(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError, "next_event(state, t, flags)");
+        return NULL;
+    }
+    CoreState *st = get_state(args[0]);
+    if (st == NULL)
+        return NULL;
+    long long t = PyLong_AsLongLong(args[1]);
+    long long flags = PyLong_AsLongLong(args[2]);
+    if (PyErr_Occurred())
+        return NULL;
+
+    long long next_t = t + 1;
+    long long helper_bound = -1;
+    for (Py_ssize_t i = 1; i < st->n_clusters; i++) {
+        PyObject *ready = PyList_GET_ITEM(st->ready_list, i);
+        if (PyDict_GET_SIZE(ready) == 0)
+            continue;
+        long long period = st->periods[i];
+        if (period == 1)
+            return PyLong_FromLongLong(next_t << 1);
+        long long remainder = next_t % period;
+        if (remainder == 0)
+            return PyLong_FromLongLong(next_t << 1);
+        long long nxt = next_t + (period - remainder);
+        if (helper_bound < 0 || nxt < helper_bound)
+            helper_bound = nxt;
+    }
+
+    Py_ssize_t calendar_n = PyDict_GET_SIZE(st->completions);
+    PyObject *wide_ready = PyList_GET_ITEM(st->ready_list, 0);
+    long long ratio = st->ratio;
+
+    if (calendar_n > 0 && PyDict_GET_SIZE(wide_ready) == 0) {
+        long long next_event;
+        int has;
+        if (next_completion(st, &next_event, &has) < 0)
+            return NULL;
+        /* has is guaranteed: a non-empty calendar keeps its keys heaped */
+        if ((flags & 1) && !(flags & 2)) {
+            long long remainder = next_t % ratio;
+            long long next_wide = remainder == 0
+                ? next_t : next_t + (ratio - remainder);
+            if (next_wide < next_event)
+                next_event = next_wide;
+        }
+        if (helper_bound >= 0 && helper_bound < next_event)
+            next_event = helper_bound;
+        if (next_event > next_t)
+            return PyLong_FromLongLong(next_event << 1);
+        return PyLong_FromLongLong(next_t << 1);
+    }
+
+    long long remainder = next_t % ratio;
+    long long target = remainder == 0 ? next_t : next_t + (ratio - remainder);
+    long long nc;
+    int has;
+    if (next_completion(st, &nc, &has) < 0)
+        return NULL;
+    if (has && nc < target)
+        target = nc;
+    if (helper_bound >= 0 && helper_bound < target)
+        target = helper_bound;
+    if (target > next_t && calendar_n == 0 && (flags & 4))
+        return PyLong_FromLongLong(next_t << 1);
+    return PyLong_FromLongLong((target << 1) | 1);
+}
+
+/* ----------------------------------------------------------- select_slots */
+
+typedef struct {
+    long long key;
+    long long slot;
+} ReadySlot;
+
+static int
+cmp_ready(const void *a, const void *b)
+{
+    long long ka = ((const ReadySlot *)a)->key;
+    long long kb = ((const ReadySlot *)b)->key;
+    return (ka > kb) - (ka < kb);
+}
+
+/* select_slots(state, cluster, budget, mem_budget) -> list of slot ints,
+ * oldest first, identical to IssueQueue.select's choice (removal is the
+ * caller's IssueQueue.take_slots). */
+static PyObject *
+k_select_slots(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 4) {
+        PyErr_SetString(PyExc_TypeError,
+                        "select_slots(state, cluster, budget, mem_budget)");
+        return NULL;
+    }
+    CoreState *st = get_state(args[0]);
+    if (st == NULL)
+        return NULL;
+    Py_ssize_t cluster = PyLong_AsSsize_t(args[1]);
+    long long budget = PyLong_AsLongLong(args[2]);
+    long long mem_budget = PyLong_AsLongLong(args[3]);
+    if (PyErr_Occurred())
+        return NULL;
+    if (cluster < 0 || cluster >= st->n_clusters) {
+        PyErr_SetString(PyExc_IndexError, "cluster index out of range");
+        return NULL;
+    }
+
+    PyObject *ready = PyList_GET_ITEM(st->ready_list, cluster);
+    Py_ssize_t n = PyDict_GET_SIZE(ready);
+    if (n == 0 || budget <= 0)
+        return PyList_New(0);
+
+    Py_buffer age_view, mem_view;
+    if (PyObject_GetBuffer(PyList_GET_ITEM(st->agekey_list, cluster),
+                           &age_view, PyBUF_SIMPLE) < 0)
+        return NULL;
+    if (PyObject_GetBuffer(PyList_GET_ITEM(st->mem_list, cluster),
+                           &mem_view, PyBUF_SIMPLE) < 0) {
+        PyBuffer_Release(&age_view);
+        return NULL;
+    }
+    const long long *agekey = (const long long *)age_view.buf;
+    const long long *mem = (const long long *)mem_view.buf;
+
+    PyObject *result = NULL;
+    ReadySlot stack_slots[64];
+    ReadySlot *slots = stack_slots;
+    if (n > 64) {
+        slots = (ReadySlot *)malloc(sizeof(ReadySlot) * (size_t)n);
+        if (slots == NULL) {
+            PyErr_NoMemory();
+            goto done;
+        }
+    }
+
+    Py_ssize_t pos = 0, count = 0;
+    PyObject *key, *value;
+    while (PyDict_Next(ready, &pos, &key, &value)) {
+        long long slot = PyLong_AsLongLong(value);
+        if (slot == -1 && PyErr_Occurred())
+            goto done_free;
+        slots[count].slot = slot;
+        slots[count].key = agekey[slot];
+        count += 1;
+    }
+
+    if (count == 1) {
+        if (mem[slots[0].slot] && mem_budget <= 0) {
+            result = PyList_New(0);
+            goto done_free;
+        }
+    } else {
+        qsort(slots, (size_t)count, sizeof(ReadySlot), cmp_ready);
+    }
+
+    result = PyList_New(0);
+    if (result == NULL)
+        goto done_free;
+    long long taken = 0;
+    for (Py_ssize_t i = 0; i < count; i++) {
+        if (taken >= budget)
+            break;
+        long long slot = slots[i].slot;
+        if (mem[slot]) {
+            if (mem_budget <= 0)
+                continue;
+            mem_budget -= 1;
+        }
+        PyObject *slot_obj = PyLong_FromLongLong(slot);
+        if (slot_obj == NULL || PyList_Append(result, slot_obj) < 0) {
+            Py_XDECREF(slot_obj);
+            Py_CLEAR(result);
+            goto done_free;
+        }
+        Py_DECREF(slot_obj);
+        taken += 1;
+    }
+
+done_free:
+    if (slots != stack_slots)
+        free(slots);
+done:
+    PyBuffer_Release(&age_view);
+    PyBuffer_Release(&mem_view);
+    return result;
+}
+
+/* -------------------------------------------------------- rob_commit_scan */
+
+/* rob_commit_scan(state, head, count) -> number of contiguous completed
+ * entries at the ROB ring's head, capped at the commit width. */
+static PyObject *
+k_rob_commit_scan(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError, "rob_commit_scan(state, head, count)");
+        return NULL;
+    }
+    CoreState *st = get_state(args[0]);
+    if (st == NULL)
+        return NULL;
+    long long head = PyLong_AsLongLong(args[1]);
+    long long count = PyLong_AsLongLong(args[2]);
+    if (PyErr_Occurred())
+        return NULL;
+
+    long long limit = count < st->commit_width ? count : st->commit_width;
+    if (limit <= 0)
+        return PyLong_FromLong(0);
+
+    Py_buffer view;
+    if (PyObject_GetBuffer(st->rob_state, &view, PyBUF_SIMPLE) < 0)
+        return NULL;
+    const long long *state = (const long long *)view.buf;
+    long long size = st->rob_size;
+    long long retirable = 0;
+    while (retirable < limit && (state[(head + retirable) % size] & 1))
+        retirable += 1;
+    PyBuffer_Release(&view);
+    return PyLong_FromLongLong(retirable);
+}
+
+/* ---------------------------------------------------------------- module */
+
+static PyMethodDef corekernel_methods[] = {
+    {"bind", k_bind, METH_VARARGS,
+     "bind(completions, heap, ready_dicts, agekeys, mem_flags, periods, "
+     "ratio, rob_state, rob_size, commit_width) -> state capsule"},
+    {"next_event", (PyCFunction)k_next_event, METH_FASTCALL,
+     "next_event(state, t, flags) -> (target << 1) | idle"},
+    {"select_slots", (PyCFunction)k_select_slots, METH_FASTCALL,
+     "select_slots(state, cluster, budget, mem_budget) -> [slot, ...]"},
+    {"rob_commit_scan", (PyCFunction)k_rob_commit_scan, METH_FASTCALL,
+     "rob_commit_scan(state, head, count) -> retirable entry count"},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef corekernel_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro._corekernel",
+    "Compiled inner kernels of the event-wheel simulator (optional).",
+    -1,
+    corekernel_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__corekernel(void)
+{
+    return PyModule_Create(&corekernel_module);
+}

@@ -35,6 +35,7 @@ re-runs).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -50,6 +51,7 @@ from repro.sim.experiment import (
     mixed_topology_point,
     run_spec_suite,
 )
+from repro.sim.hotstate import BACKEND_ENV, detected_backend
 from repro.sim.reporting import (
     cache_stats_line,
     format_energy_table,
@@ -67,14 +69,36 @@ from repro.trace.synthetic import generate_trace
 from repro.trace.workloads import WORKLOAD_CATEGORIES
 
 
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default=None,
+                        choices=["auto", "python", "compiled"],
+                        help="simulator backend (mirrors REPRO_BACKEND; "
+                             "results are bit-identical, only speed differs)")
+
+
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     """Parallel-engine knobs shared by the sweep-shaped subcommands."""
     parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes (1 = serial, 0 = one per CPU)")
+                        help="worker processes (1 = serial, 0 = one per CPU; "
+                             "requests past the CPU count are clamped)")
     parser.add_argument("--cache-dir", default=None,
                         help="directory for the on-disk result cache")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass cache reads (entries are still refreshed)")
+    _add_backend_flag(parser)
+
+
+def _print_engine_footer(runner) -> None:
+    """Sweep-table footer: resolved backend, cache stats, worker clamp."""
+    line = f"backend: {detected_backend()}"
+    if runner.cache is not None:
+        line += " · " + cache_stats_line(runner.cache, runner.engine.trace_store,
+                                         engine=runner.engine)
+    elif runner.engine.jobs_clamped_from:
+        line += (f" · jobs={runner.engine.jobs} (clamped from "
+                 f"{runner.engine.jobs_clamped_from}: the host has "
+                 f"{runner.engine.jobs} usable CPU(s))")
+    print(line)
 
 
 def _parse_mixed_shapes(text: str) -> List[tuple]:
@@ -112,6 +136,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--policy", default="ir", choices=all_policies)
     run.add_argument("--uops", type=int, default=20_000)
     run.add_argument("--seed", type=int, default=2006)
+    _add_backend_flag(run)
 
     ladder = sub.add_parser("ladder", help="run the cumulative policy ladder")
     ladder.add_argument("--benchmarks", nargs="*", default=None, choices=SPEC_INT_NAMES)
@@ -261,8 +286,7 @@ def _cmd_ladder(args: argparse.Namespace) -> int:
     for policy in policies:
         print(format_policy_table(sweep, policy))
         print()
-    if runner.cache is not None:
-        print(cache_stats_line(runner.cache, runner.engine.trace_store))
+    _print_engine_footer(runner)
     return 0
 
 
@@ -285,9 +309,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(csv_text + "\n")
         print(f"\nwrote {args.csv}")
-    if runner.cache is not None:
-        print()
-        print(cache_stats_line(runner.cache, runner.engine.trace_store))
+    print()
+    _print_engine_footer(runner)
     return 0
 
 
@@ -314,9 +337,8 @@ def _cmd_sweep_table2(args: argparse.Namespace) -> int:
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(to_csv(["app", "category", "speedup", "ipc"], rows) + "\n")
         print(f"\nwrote {args.csv}")
-    if runner.cache is not None:
-        print()
-        print(cache_stats_line(runner.cache, runner.engine.trace_store))
+    print()
+    _print_engine_footer(runner)
     return 0
 
 
@@ -338,9 +360,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(topology_sweep_to_csv(sweep) + "\n")
         print(f"\nwrote {args.csv}")
-    if runner.cache is not None:
-        print()
-        print(cache_stats_line(runner.cache, runner.engine.trace_store))
+    print()
+    _print_engine_footer(runner)
     return 0
 
 
@@ -360,9 +381,8 @@ def _cmd_energy(args: argparse.Namespace) -> int:
             handle.write(to_csv(["benchmark", "energy", "baseline_energy",
                                  "ed2_gain"], rows) + "\n")
         print(f"\nwrote {args.csv}")
-    if runner.cache is not None:
-        print()
-        print(cache_stats_line(runner.cache, runner.engine.trace_store))
+    print()
+    _print_engine_footer(runner)
     return 0
 
 
@@ -459,6 +479,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "backend", None):
+        # The flag literally mirrors the environment variable so the choice
+        # reaches every simulator construction, worker processes included.
+        os.environ[BACKEND_ENV] = args.backend
     return _COMMANDS[args.command](args)
 
 

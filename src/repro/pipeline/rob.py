@@ -3,18 +3,30 @@
 The ROB bounds the number of in-flight uops and retires them in program order
 at up to ``commit_width`` per wide-cluster cycle.  Commit happens in the wide
 clock domain regardless of which cluster executed the uop.
+
+Storage is a struct-of-arrays ring (see DESIGN.md, "Hot state & compiled
+core"): uid, sequence number and completion state live in preallocated
+parallel ``array('q')`` columns indexed by ring slot, with the simulator's
+payload objects in a parallel list.  :class:`ROBEntry` objects are only
+materialised for the entries a :meth:`ReorderBuffer.commit` call retires —
+the in-flight window itself is plain index arithmetic, which is also what
+the compiled backend's commit-scan kernel operates on.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from array import array
 from dataclasses import dataclass
-from typing import Deque, List, Optional
+from typing import List, Optional
+
+#: ``state`` column values: an entry is retirable when bit 0 is set.
+_STATE_COMPLETED = 1
+_STATE_SQUASHED = 3          # squashed implies completed (retired as a bubble)
 
 
 @dataclass(slots=True)
 class ROBEntry:
-    """One reorder-buffer entry."""
+    """One reorder-buffer entry (materialised at retirement)."""
 
     uid: int
     seq: int
@@ -31,46 +43,72 @@ class ReorderBuffer:
             raise ValueError("ROB size and commit width must be positive")
         self.size = size
         self.commit_width = commit_width
-        self._entries: Deque[ROBEntry] = deque()
-        self._by_uid: dict[int, ROBEntry] = {}
-        #: Public live view of the uid index (the simulator resolves
-        #: producer clusters per source operand through it).  Aliases the
-        #: internal dict for the buffer's lifetime — mutate only through
-        #: the buffer's methods.
+        # ---- struct-of-arrays ring storage ------------------------------
+        #: uid per ring slot
+        self.uid_ring = array("q", bytes(8 * size))
+        #: program-order sequence number per ring slot
+        self.seq_ring = array("q", bytes(8 * size))
+        #: completion state per ring slot (see ``_STATE_*``)
+        self.state_ring = array("q", bytes(8 * size))
+        #: simulator payload per ring slot (None when the slot is free)
+        self.payload_ring: List[object] = [None] * size
+        self._head = 0
+        self._count = 0
+        self._by_uid: dict[int, int] = {}
+        #: Public live view of the uid index, mapping uid -> ring slot (the
+        #: simulator resolves producer clusters per source operand through
+        #: it, reading ``payload_ring[slot]`` / ``seq_ring[slot]``).
+        #: Aliases the internal dict for the buffer's lifetime — mutate only
+        #: through the buffer's methods.
         self.by_uid = self._by_uid
         self.committed = 0
+        #: optional compiled commit-scan kernel, bound by
+        #: :meth:`repro.sim.hotstate.HotState.bind_kernel`
+        self._scan_kernel = None
+        self._scan_state = None
+
+    def bind_scan_kernel(self, kernel_fn, cstate) -> None:
+        """Route :meth:`commit_scan` through a compiled kernel."""
+        self._scan_kernel = kernel_fn
+        self._scan_state = cstate
 
     # --------------------------------------------------------------- capacity
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._count
 
     @property
     def free_slots(self) -> int:
-        return self.size - len(self._entries)
+        return self.size - self._count
 
     def is_full(self) -> bool:
-        return len(self._entries) >= self.size
+        return self._count >= self.size
 
     def is_empty(self) -> bool:
-        return not self._entries
+        return self._count == 0
 
     # ---------------------------------------------------------------- allocate
-    def allocate(self, uid: int, seq: int, payload: object = None) -> ROBEntry:
+    def allocate(self, uid: int, seq: int, payload: object = None) -> None:
         """Allocate an entry at the tail.  Raises if the ROB is full."""
-        if self.is_full():
+        count = self._count
+        if count >= self.size:
             raise RuntimeError("ROB full")
-        if self._entries and seq <= self._entries[-1].seq:
+        head = self._head
+        size = self.size
+        if count and seq <= self.seq_ring[(head + count - 1) % size]:
             raise ValueError("ROB allocations must be in program order")
-        entry = ROBEntry(uid=uid, seq=seq, payload=payload)
-        self._entries.append(entry)
-        self._by_uid[uid] = entry
-        return entry
+        slot = (head + count) % size
+        self.uid_ring[slot] = uid
+        self.seq_ring[slot] = seq
+        self.state_ring[slot] = 0
+        self.payload_ring[slot] = payload
+        self._by_uid[uid] = slot
+        self._count = count + 1
 
     # ---------------------------------------------------------------- complete
     def mark_completed(self, uid: int) -> None:
-        entry = self._by_uid.get(uid)
-        if entry is not None:
-            entry.completed = True
+        slot = self._by_uid.get(uid)
+        if slot is not None:
+            self.state_ring[slot] |= _STATE_COMPLETED
 
     def mark_squashed(self, uid: int) -> None:
         """Squashed entries still occupy their slot until commit drains them.
@@ -78,38 +116,75 @@ class ReorderBuffer:
         The flushing recovery re-executes the squashed work in the wide
         cluster under a new uid; the original entry is retired as a bubble.
         """
-        entry = self._by_uid.get(uid)
-        if entry is not None:
-            entry.squashed = True
-            entry.completed = True
+        slot = self._by_uid.get(uid)
+        if slot is not None:
+            self.state_ring[slot] = _STATE_SQUASHED
 
     def is_completed(self, uid: int) -> bool:
-        entry = self._by_uid.get(uid)
-        return bool(entry and entry.completed)
+        slot = self._by_uid.get(uid)
+        return slot is not None and bool(self.state_ring[slot] & _STATE_COMPLETED)
 
     # ------------------------------------------------------------------ commit
-    def commit(self) -> List[ROBEntry]:
-        """Retire up to ``commit_width`` completed entries from the head."""
+    def commit_scan(self) -> int:
+        """Number of contiguous completed head entries retirable this cycle."""
+        if self._scan_kernel is not None:
+            return self._scan_kernel(self._scan_state, self._head, self._count)
+        head = self._head
+        count = self._count
+        size = self.size
+        state = self.state_ring
+        limit = count if count < self.commit_width else self.commit_width
+        retirable = 0
+        while retirable < limit and state[(head + retirable) % size] & 1:
+            retirable += 1
+        return retirable
+
+    def commit(self, retirable: Optional[int] = None) -> List[ROBEntry]:
+        """Retire up to ``commit_width`` completed entries from the head.
+
+        ``retirable`` may be passed by callers that already ran
+        :meth:`commit_scan` (the compiled backend does); it must equal what
+        the scan would return.
+        """
+        if retirable is None:
+            retirable = self.commit_scan()
+        if retirable == 0:
+            return []
+        head = self._head
+        size = self.size
+        uid_ring = self.uid_ring
+        seq_ring = self.seq_ring
+        state_ring = self.state_ring
+        payload_ring = self.payload_ring
+        by_uid = self._by_uid
         retired: List[ROBEntry] = []
-        while self._entries and len(retired) < self.commit_width:
-            head = self._entries[0]
-            if not head.completed:
-                break
-            self._entries.popleft()
-            del self._by_uid[head.uid]
-            retired.append(head)
-            if not head.squashed:
-                self.committed += 1
+        committed = 0
+        for i in range(retirable):
+            slot = (head + i) % size
+            uid = uid_ring[slot]
+            squashed = state_ring[slot] == _STATE_SQUASHED
+            retired.append(ROBEntry(uid=uid, seq=seq_ring[slot],
+                                    completed=True, squashed=squashed,
+                                    payload=payload_ring[slot]))
+            payload_ring[slot] = None
+            del by_uid[uid]
+            if not squashed:
+                committed += 1
+        self.committed += committed
+        self._head = (head + retirable) % size
+        self._count -= retirable
         return retired
 
     def head_seq(self) -> Optional[int]:
         """Sequence number of the oldest in-flight uop (None when empty)."""
-        return self._entries[0].seq if self._entries else None
+        return self.seq_ring[self._head] if self._count else None
 
     def occupancy(self) -> int:
-        return len(self._entries)
+        return self._count
 
     def reset(self) -> None:
-        self._entries.clear()
+        self._head = 0
+        self._count = 0
+        self.payload_ring[:] = [None] * self.size
         self._by_uid.clear()
         self.committed = 0

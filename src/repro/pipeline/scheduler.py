@@ -13,6 +13,15 @@ a stable oldest-first sort over the whole queue: ties on the sequence number
 are broken by dispatch (insertion) order, tracked with a monotonically
 increasing counter.
 
+Storage is struct-of-arrays (see DESIGN.md, "Hot state & compiled core"):
+entry state lives in preallocated parallel ``array('q')`` columns keyed by a
+small integer *slot*, with :class:`IssueQueueEntry` objects kept only as
+carriers in the ``payloads`` column.  The arrays are authoritative for the
+outstanding-source count and the age key while an entry is queued; every
+path that hands an entry back out (``select`` / ``flush_from`` / ``drain``)
+writes the current array state back into the object first.  The compiled
+backend (:mod:`repro.sim.hotstate`) operates directly on the same columns.
+
 The issue queue also exposes the occupancy and ready-but-not-issued counts
 that the NREADY load-imbalance metric (§3.7) and the IR splitting heuristic
 consume.
@@ -20,9 +29,16 @@ consume.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
-from operator import attrgetter
 from typing import Dict, List, Optional
+
+#: Bits reserved for the dispatch-order stamp inside the packed age key.
+#: ``agekey = (seq << ORDER_BITS) | order`` sorts exactly like the tuple
+#: ``(seq, order)`` as long as ``seq < 2**31`` and ``order < 2**32`` —
+#: both far beyond any trace the harness generates (the packed key stays
+#: below 2**63, so it fits a signed 64-bit array element).
+ORDER_BITS = 32
 
 
 @dataclass(slots=True)
@@ -44,10 +60,6 @@ class IssueQueueEntry:
         return self.remaining_sources == 0
 
 
-#: Oldest-first selection key: program order, then dispatch order on ties.
-_age_key = attrgetter("seq", "order")
-
-
 class IssueQueue:
     """A bounded issue queue with explicit wakeup and oldest-first select."""
 
@@ -58,17 +70,36 @@ class IssueQueue:
         self.size = size
         self.issue_width = issue_width
         self.memory_ports = memory_ports
-        self._entries: Dict[int, IssueQueueEntry] = {}
         #: dispatch-order counter; stamped onto entries at insert
         self._order_counter = 0
-        #: uid -> entry for entries with no outstanding sources
-        self._ready: Dict[int, IssueQueueEntry] = {}
+        # ---- struct-of-arrays storage, indexed by slot -------------------
+        # Capacity starts at ``size`` and doubles on forced (recovery)
+        # inserts past the architectural size; ``size`` stays the logical
+        # capacity used by ``is_full``.
+        capacity = size
+        self._capacity = capacity
+        #: packed (seq << ORDER_BITS) | order age key per slot
+        self.agekey = array("q", bytes(8 * capacity))
+        #: outstanding source-operand count per slot (authoritative)
+        self.remaining = array("q", bytes(8 * capacity))
+        #: 1 if the slot holds a memory operation
+        self.mem_flags = array("q", bytes(8 * capacity))
+        #: uid stored in each slot (valid only for occupied slots)
+        self.uids = array("q", bytes(8 * capacity))
+        #: carrier objects per slot (None when the slot is free)
+        self.payloads: List[Optional[IssueQueueEntry]] = [None] * capacity
+        self._free = list(range(capacity - 1, -1, -1))
+        #: uid -> slot for every queued entry
+        self._entries: Dict[int, int] = {}
+        #: uid -> slot for entries with no outstanding sources
+        self._ready: Dict[int, int] = {}
         #: Public *live views* of the queue state, part of the hot-path
         #: contract: the simulator's event wheel reads these dicts directly
         #: (occupancy = len(entries), readiness = bool(ready_entries))
-        #: instead of paying a method call per cycle.  They alias the
-        #: internal dicts for the queue's whole lifetime — mutate only
-        #: through the queue's methods.
+        #: instead of paying a method call per cycle.  They map uid -> slot
+        #: and alias the internal dicts for the queue's whole lifetime —
+        #: mutate only through the queue's methods (or the documented
+        #: hot-state wake sequence in :mod:`repro.sim.simulator`).
         self.entries = self._entries
         self.ready_entries = self._ready
         # Statistics for imbalance measurement.
@@ -90,6 +121,18 @@ class IssueQueue:
     def __contains__(self, uid: int) -> bool:
         return uid in self._entries
 
+    def _grow(self) -> None:
+        """Double the physical slot capacity (forced inserts only)."""
+        old = self._capacity
+        grow_by = old
+        self.agekey.extend(bytes(8 * grow_by))
+        self.remaining.extend(bytes(8 * grow_by))
+        self.mem_flags.extend(bytes(8 * grow_by))
+        self.uids.extend(bytes(8 * grow_by))
+        self.payloads.extend([None] * grow_by)
+        self._free.extend(range(old + grow_by - 1, old - 1, -1))
+        self._capacity = old + grow_by
+
     # ----------------------------------------------------------------- insert
     def insert(self, entry: IssueQueueEntry, force: bool = False) -> None:
         """Dispatch an entry into the queue.
@@ -99,25 +142,43 @@ class IssueQueue:
         forward progress even when the scheduler is congested (the real
         machine reserves entries for re-steered instructions).
         """
-        if self.is_full() and not force:
+        entries = self._entries
+        if len(entries) >= self.size and not force:
             raise RuntimeError("issue queue full")
-        if entry.uid in self._entries:
-            raise ValueError(f"uid {entry.uid} already in issue queue")
-        self._entries[entry.uid] = entry
-        entry.order = self._order_counter
-        self._order_counter += 1
-        if entry.remaining_sources == 0:
-            self._ready[entry.uid] = entry
+        uid = entry.uid
+        if uid in entries:
+            raise ValueError(f"uid {uid} already in issue queue")
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        order = self._order_counter
+        entry.order = order
+        self._order_counter = order + 1
+        self.agekey[slot] = (entry.seq << ORDER_BITS) | order
+        remaining = entry.remaining_sources
+        self.remaining[slot] = remaining
+        self.mem_flags[slot] = 1 if entry.is_memory else 0
+        self.uids[slot] = uid
+        self.payloads[slot] = entry
+        entries[uid] = slot
+        if remaining == 0:
+            self._ready[uid] = slot
 
     # ----------------------------------------------------------------- wakeup
     def wakeup(self, uid: int, count: int = 1) -> None:
         """Mark ``count`` source operands of ``uid`` as ready."""
-        entry = self._entries.get(uid)
-        if entry is None:
+        slot = self._entries.get(uid)
+        if slot is None:
             return
-        entry.remaining_sources = max(0, entry.remaining_sources - count)
-        if entry.remaining_sources == 0:
-            self._ready[uid] = entry
+        remaining = self.remaining[slot] - count
+        if remaining <= 0:
+            remaining = 0
+            self._ready[uid] = slot
+        self.remaining[slot] = remaining
+        # Keep the carrier coherent for external observers; the simulator's
+        # inlined wake path skips this and relies on the removal-path
+        # write-back instead.
+        self.payloads[slot].remaining_sources = remaining
 
     # ----------------------------------------------------------------- select
     def select(self, max_issue: Optional[int] = None,
@@ -128,36 +189,63 @@ class IssueQueue:
         this cycle (DL0 port limit); non-memory entries are unaffected.
         Selected entries are removed from the queue.
         """
-        if not self._ready:
+        ready = self._ready
+        if not ready:
             return []
         budget = self.issue_width if max_issue is None else min(max_issue, self.issue_width)
         if budget <= 0:
             return []
         mem_budget = memory_slots if memory_slots is not None else (
             self.memory_ports if self.memory_ports is not None else budget)
-        if len(self._ready) == 1:
-            entry = next(iter(self._ready.values()))
-            if entry.is_memory and mem_budget <= 0:
+        payloads = self.payloads
+        mem_flags = self.mem_flags
+        if len(ready) == 1:
+            uid, slot = next(iter(ready.items()))
+            if mem_flags[slot] and mem_budget <= 0:
                 return []
-            self._remove(entry.uid)
+            entry = payloads[slot]
+            self._remove(uid, slot)
+            entry.remaining_sources = 0
             return [entry]
-        ready = sorted(self._ready.values(), key=_age_key)
+        slots = sorted(ready.values(), key=self.agekey.__getitem__)
         selected: List[IssueQueueEntry] = []
-        for entry in ready:
-            if len(selected) >= budget:
+        taken = 0
+        for slot in slots:
+            if taken >= budget:
                 break
-            if entry.is_memory:
+            if mem_flags[slot]:
                 if mem_budget <= 0:
                     continue
                 mem_budget -= 1
+            entry = payloads[slot]
+            entry.remaining_sources = 0
             selected.append(entry)
+            taken += 1
         for entry in selected:
-            self._remove(entry.uid)
+            self._remove(entry.uid, self._entries[entry.uid])
         return selected
 
-    def _remove(self, uid: int) -> None:
+    def _remove(self, uid: int, slot: int) -> None:
         del self._entries[uid]
         self._ready.pop(uid, None)
+        self.payloads[slot] = None
+        self._free.append(slot)
+
+    def take_slots(self, slots: List[int]) -> List[IssueQueueEntry]:
+        """Remove pre-selected ``slots`` (compiled select) and return entries.
+
+        The compiled backend performs the oldest-first/memory-budget argselect
+        over the arrays and hands back slot indices; this write-back path
+        mirrors :meth:`select`'s removal exactly.
+        """
+        payloads = self.payloads
+        out: List[IssueQueueEntry] = []
+        for slot in slots:
+            entry = payloads[slot]
+            entry.remaining_sources = 0
+            self._remove(entry.uid, slot)
+            out.append(entry)
+        return out
 
     # ------------------------------------------------------------------ flush
     def flush_from(self, seq: int) -> List[IssueQueueEntry]:
@@ -167,18 +255,34 @@ class IssueQueue:
         misprediction every instruction starting from the mispredicted one is
         squashed in the narrow backend.
         """
-        result = sorted((e for e in self._entries.values() if e.seq >= seq),
-                        key=_age_key)
-        for entry in result:
-            self._remove(entry.uid)
+        agekey = self.agekey
+        threshold = seq << ORDER_BITS
+        doomed = [slot for slot in self._entries.values()
+                  if agekey[slot] >= threshold]
+        doomed.sort(key=agekey.__getitem__)
+        remaining = self.remaining
+        payloads = self.payloads
+        result: List[IssueQueueEntry] = []
+        for slot in doomed:
+            entry = payloads[slot]
+            entry.remaining_sources = remaining[slot]
+            self._remove(entry.uid, slot)
+            result.append(entry)
         return result
 
     def drain(self) -> List[IssueQueueEntry]:
         """Remove and return everything (used at simulation teardown)."""
-        entries = sorted(self._entries.values(), key=_age_key)
-        self._entries.clear()
-        self._ready.clear()
-        return entries
+        agekey = self.agekey
+        slots = sorted(self._entries.values(), key=agekey.__getitem__)
+        remaining = self.remaining
+        payloads = self.payloads
+        result: List[IssueQueueEntry] = []
+        for slot in slots:
+            entry = payloads[slot]
+            entry.remaining_sources = remaining[slot]
+            self._remove(entry.uid, slot)
+            result.append(entry)
+        return result
 
     # -------------------------------------------------------------- statistics
     def sample_occupancy(self, cycles: int = 1) -> None:

@@ -194,9 +194,19 @@ def _pool_worker(task: bytes) -> bytes:
     return pickle.dumps((job, result), protocol=pickle.HIGHEST_PROTOCOL)
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually use.
+
+    Prefers ``os.process_cpu_count`` (Python 3.13+, affinity-aware) and
+    falls back to ``os.cpu_count``.
+    """
+    counter = getattr(os, "process_cpu_count", None) or os.cpu_count
+    return max(1, counter() or 1)
+
+
 def default_jobs() -> int:
     """Worker count used when the caller asks for ``jobs=0`` ("auto")."""
-    return max(1, (os.cpu_count() or 1))
+    return available_cpus()
 
 
 def _terminate_pool(pool) -> None:
@@ -216,7 +226,15 @@ class SweepEngine:
         Machine configuration for the policy runs (the baseline policy always
         runs on :func:`baseline_config`, mirroring the paper's methodology).
     jobs:
-        Worker processes; 1 = serial in-process, 0 = one per CPU.
+        Worker processes; 1 = serial in-process, 0 = one per CPU.  Requests
+        beyond the host's usable CPU count are clamped to it (worker
+        processes are CPU-bound, so oversubscription only adds scheduling
+        overhead) unless ``allow_oversubscribe`` is set; a clamp is
+        recorded in :attr:`jobs_clamped_from` and surfaces in the CLI's
+        footer line.
+    allow_oversubscribe:
+        Run exactly the requested number of workers even past the CPU
+        count (measurement / debugging escape hatch).
     cache:
         Optional :class:`ResultCache` consulted before and filled after
         every job.
@@ -236,9 +254,18 @@ class SweepEngine:
     def __init__(self, config: Optional[MachineConfig] = None, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
                  power: Optional[PowerConfig] = None,
-                 trace_store_dir: Optional[str] = None) -> None:
+                 trace_store_dir: Optional[str] = None,
+                 allow_oversubscribe: bool = False) -> None:
         self.config = config or helper_cluster_config()
-        self.jobs = default_jobs() if jobs == 0 else max(1, jobs)
+        requested = default_jobs() if jobs == 0 else max(1, jobs)
+        #: the originally requested worker count when the engine clamped it
+        #: to the host's CPU count, else None
+        self.jobs_clamped_from: Optional[int] = None
+        cpus = available_cpus()
+        if requested > cpus and not allow_oversubscribe:
+            self.jobs_clamped_from = requested
+            requested = cpus
+        self.jobs = requested
         self.cache = cache
         self.power = power or PowerConfig()
         self._profiles: Dict[str, BenchmarkProfile] = {}

@@ -272,7 +272,9 @@ class ExperimentRunner:
     Parameters
     ----------
     jobs:
-        Worker processes for sweeps (1 = serial, 0 = one per CPU).
+        Worker processes for sweeps (1 = serial, 0 = one per CPU).  Requests
+        beyond the host's usable CPUs are clamped by the engine unless
+        ``allow_oversubscribe=True``.
     cache_dir:
         Directory for the on-disk result cache; None disables caching.
     use_cache:
@@ -289,7 +291,8 @@ class ExperimentRunner:
                  cache_dir: Optional[str] = None,
                  use_cache: bool = True,
                  power: Optional[PowerConfig] = None,
-                 trace_store_dir: Optional[str] = None) -> None:
+                 trace_store_dir: Optional[str] = None,
+                 allow_oversubscribe: bool = False) -> None:
         if trace_uops <= 0:
             raise ValueError("trace_uops must be positive")
         self.trace_uops = trace_uops
@@ -305,7 +308,8 @@ class ExperimentRunner:
             trace_store_dir = os.path.join(str(cache_dir), "traces")
         self.engine = SweepEngine(config=self.config, jobs=jobs,
                                   cache=self.cache, power=self.power,
-                                  trace_store_dir=trace_store_dir)
+                                  trace_store_dir=trace_store_dir,
+                                  allow_oversubscribe=allow_oversubscribe)
         self._baselines: Dict[str, SimulationResult] = {}
 
     # ------------------------------------------------------------------ jobs
@@ -437,11 +441,13 @@ def run_spec_suite(policies: Sequence[str], trace_uops: int = DEFAULT_TRACE_UOPS
                    seed: int = 2006, benchmarks: Optional[Sequence[str]] = None,
                    config: Optional[MachineConfig] = None, jobs: int = 1,
                    cache_dir: Optional[str] = None,
-                   use_cache: bool = True) -> PolicySweepResult:
+                   use_cache: bool = True,
+                   allow_oversubscribe: bool = False) -> PolicySweepResult:
     """Run the 12 SPEC Int 2000 benchmarks (or a subset) under the given policies."""
     runner = ExperimentRunner(trace_uops=trace_uops, seed=seed, config=config,
                               jobs=jobs, cache_dir=cache_dir,
-                              use_cache=use_cache)
+                              use_cache=use_cache,
+                              allow_oversubscribe=allow_oversubscribe)
     names = list(benchmarks) if benchmarks else SPEC_INT_NAMES
     profiles = [SPEC_INT_2000[name] for name in names]
     return runner.run_suite(profiles, policies)

@@ -1,0 +1,194 @@
+"""Hot simulator state: struct-of-arrays views and backend selection.
+
+The event wheel's per-event work operates on a small set of *hot state*
+structures (DESIGN.md, "Hot state & compiled core"):
+
+* each cluster's :class:`~repro.pipeline.scheduler.IssueQueue` columns —
+  packed age keys, outstanding-source counts and memory flags in parallel
+  ``array('q')`` slots plus the uid→slot ``entries`` / ``ready_entries``
+  dicts;
+* the :class:`~repro.pipeline.rob.ReorderBuffer` ring columns (uid / seq /
+  state per ring slot);
+* the completion calendar: a ``{cycle: [dyn, ...]}`` bucket dict plus a
+  lazily-pruned min-heap of the bucket cycles.
+
+:class:`HotState` aggregates them behind one object so the inner loops (and
+the optional compiled backend) have a single binding point.  The compiled
+backend is a small C extension, :mod:`repro._corekernel`, implementing the
+innermost pure-decision kernels over exactly these structures: next-event
+selection, ready-scan issue selection and the ROB commit scan.  Both
+backends are bit-identical by construction and pinned by the randomized
+equivalence suite (``tests/test_event_wheel.py``) — pickle-equality of
+:class:`~repro.sim.metrics.SimulationResult` is the bar, so no result field
+records which backend ran.
+
+Backend selection
+-----------------
+``REPRO_BACKEND`` picks the backend process-wide (the ``--backend`` CLI
+flag mirrors it); :class:`~repro.sim.simulator.HelperClusterSimulator`
+accepts a per-instance override for co-simulation:
+
+* ``python`` — always use the pure-python Layer-1 path;
+* ``compiled`` — require :mod:`repro._corekernel`; raise with build
+  instructions when it is not importable;
+* ``auto`` (default / unset) — use the compiled kernels when importable,
+  silently fall back when the extension was never built, and degrade with
+  a single warning when the extension exists but fails to import (a broken
+  build must not change results, only speed).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from array import array
+from heapq import heappop
+from typing import Dict, List, Optional, Tuple
+
+#: Environment variable (and CLI ``--backend``) controlling the backend.
+BACKEND_ENV = "REPRO_BACKEND"
+
+_VALID_CHOICES = ("auto", "python", "compiled")
+
+#: Memoised import attempt: ``(available, module_or_None)``.
+_kernel_cache: Optional[Tuple[bool, object]] = None
+_warned_broken = False
+
+
+def _import_kernel():
+    """Try importing the compiled extension once; memoise the outcome.
+
+    Returns the module or ``None``.  A missing extension (never built) is
+    remembered silently; a present-but-broken extension emits one warning
+    per process and is treated as missing from then on.
+    """
+    global _kernel_cache, _warned_broken
+    if _kernel_cache is not None:
+        return _kernel_cache[1]
+    try:
+        import repro._corekernel as _corekernel  # noqa: PLC0415 (optional)
+        _kernel_cache = (True, _corekernel)
+    except ModuleNotFoundError:
+        _kernel_cache = (False, None)
+    except Exception as exc:  # broken build: degrade, loudly but once
+        if not _warned_broken:
+            _warned_broken = True
+            warnings.warn(
+                f"repro._corekernel failed to import ({exc!r}); "
+                f"falling back to the pure-python simulator backend",
+                RuntimeWarning, stacklevel=2)
+        _kernel_cache = (False, None)
+    return _kernel_cache[1]
+
+
+def backend_choice(override: Optional[str] = None) -> str:
+    """The requested backend: ``override`` if given, else ``REPRO_BACKEND``."""
+    choice = override if override is not None else os.environ.get(BACKEND_ENV, "auto")
+    choice = choice.strip().lower() or "auto"
+    if choice not in _VALID_CHOICES:
+        raise ValueError(
+            f"invalid backend {choice!r}: expected one of {_VALID_CHOICES} "
+            f"(via {'--backend' if override is not None else BACKEND_ENV})")
+    return choice
+
+
+def resolve_backend(override: Optional[str] = None):
+    """Resolve the backend to use: ``('python'|'compiled', module_or_None)``.
+
+    ``override`` takes precedence over the environment variable.  Raises
+    ``RuntimeError`` when ``compiled`` is forced but the extension cannot
+    be imported.
+    """
+    choice = backend_choice(override)
+    if choice == "python":
+        return "python", None
+    kernel = _import_kernel()
+    if kernel is not None:
+        return "compiled", kernel
+    if choice == "compiled":
+        raise RuntimeError(
+            "REPRO_BACKEND=compiled but the repro._corekernel extension is "
+            "not importable; build it with "
+            "`python setup.py build_ext --inplace` (gcc required) or use "
+            "REPRO_BACKEND=python")
+    return "python", None
+
+
+def compiled_available() -> bool:
+    """Whether the compiled extension imports (for co-simulation / reporting)."""
+    return _import_kernel() is not None
+
+
+def detected_backend() -> str:
+    """The backend a default-constructed simulator would use right now."""
+    return resolve_backend()[0]
+
+
+class HotState:
+    """The simulator's hot state, aggregated behind one binding point.
+
+    Owns the completion calendar and references every cluster's scheduler
+    columns and the ROB ring; see the module docstring for the layout.
+    The API is deliberately narrow — the simulator reads/writes the
+    calendar through the aliased ``completions`` / ``heap`` attributes and
+    calls :meth:`next_completion`; everything else is wiring for the
+    compiled kernels.
+    """
+
+    __slots__ = ("completions", "heap", "queues", "rob", "periods", "ratio",
+                 "kernel", "cstate")
+
+    def __init__(self, queues, rob, periods, ratio: int) -> None:
+        #: completion calendar: fast cycle -> bucket of completing dyn uops
+        #: (bucket order is issue order, which writeback preserves)
+        self.completions: Dict[int, list] = {}
+        #: lazily-pruned min-heap over the calendar's cycles (unique keys:
+        #: a cycle is pushed exactly when its bucket is created)
+        self.heap: List[int] = []
+        #: per-cluster issue queues, cluster 0 = wide host
+        self.queues = list(queues)
+        self.rob = rob
+        #: per-cluster clock periods in fast cycles
+        self.periods = array("q", periods)
+        self.ratio = ratio
+        self.kernel = None
+        self.cstate = None
+
+    # ------------------------------------------------------------- python path
+    def next_completion(self) -> Optional[int]:
+        """Earliest upcoming writeback cycle (lazy-pruned heap head)."""
+        heap = self.heap
+        completions = self.completions
+        while heap:
+            head = heap[0]
+            if head in completions:
+                return head
+            heappop(heap)
+        return None
+
+    # ----------------------------------------------------------- compiled path
+    def bind_kernel(self, kernel) -> None:
+        """Build the compiled backend's state binding over these structures.
+
+        The C state holds references to the calendar dict/heap list, each
+        queue's ready dict and ``array('q')`` columns, and the ROB ring's
+        state column; buffers of growable arrays are (re)acquired per call
+        inside the extension, so recovery-forced queue growth stays safe.
+        """
+        self.kernel = kernel
+        self.cstate = kernel.bind(
+            self.completions,
+            self.heap,
+            [q.ready_entries for q in self.queues],
+            [q.agekey for q in self.queues],
+            [q.mem_flags for q in self.queues],
+            self.periods,
+            self.ratio,
+            self.rob.state_ring,
+            self.rob.size,
+            self.rob.commit_width,
+        )
+        # The ROB commit scan routes through the kernel for every commit
+        # call while this binding is alive (call sites are unchanged, so
+        # test spies on ``rob.commit`` keep working).
+        self.rob.bind_scan_kernel(kernel.rob_commit_scan, self.cstate)

@@ -337,12 +337,14 @@ def _format_bytes(count: int) -> str:
     raise AssertionError("unreachable")
 
 
-def cache_stats_line(cache, trace_store=None) -> str:
+def cache_stats_line(cache, trace_store=None, engine=None) -> str:
     """One-line sweep-footer summary of the result cache (and trace store).
 
     E.g. ``cache: hits=96 (memo 12) misses=0 stores=0 read=1.2MB
     written=0B · traces: hits=12 stores=0`` — the compact form every
     sweep-shaped CLI table prints under itself when a cache is configured.
+    When ``engine`` is given and it clamped an oversubscribed worker
+    request, the clamp is appended (e.g. ``· jobs=4 (clamped from 16)``).
     """
     stats = cache.stats()
     parts = [f"cache: hits={stats['hits']}"]
@@ -359,6 +361,10 @@ def cache_stats_line(cache, trace_store=None) -> str:
         tstats = trace_store.stats()
         line += (f" · traces: hits={tstats['hits']} "
                  f"stores={tstats['stores']}")
+    if engine is not None and getattr(engine, "jobs_clamped_from", None):
+        line += (f" · jobs={engine.jobs} (clamped from "
+                 f"{engine.jobs_clamped_from}: the host has "
+                 f"{engine.jobs} usable CPU(s))")
     return line
 
 

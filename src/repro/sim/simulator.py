@@ -71,6 +71,7 @@ from repro.pipeline.rename import RenameTable
 from repro.pipeline.rob import ReorderBuffer
 from repro.pipeline.scheduler import IssueQueue, IssueQueueEntry
 from repro.power.wattch import ClusterActivity, PowerConfig, PowerModel
+from repro.sim.hotstate import HotState, resolve_backend
 from repro.sim.metrics import PredictionBreakdown, SimulationResult
 from repro.trace.trace import Trace
 
@@ -130,7 +131,8 @@ class HelperClusterSimulator:
     def __init__(self, trace: Trace, config: Optional[MachineConfig] = None,
                  policy: Optional[SteeringPolicy] = None,
                  power: Optional[PowerConfig] = None,
-                 reference_loop: Optional[bool] = None) -> None:
+                 reference_loop: Optional[bool] = None,
+                 backend: Optional[str] = None) -> None:
         self.trace = trace
         self.config = config or helper_cluster_config()
         self.policy = policy or BaselineSteering()
@@ -190,9 +192,16 @@ class HelperClusterSimulator:
             copy_engine=self.copy_engine, splitter=self.splitter,
             selector=self.selector)
 
-        # Dynamic state.
+        # Dynamic state.  The completion calendar (and the other hot-state
+        # columns) live behind one HotState binding point shared with the
+        # optional compiled backend; ``_completions``/``_completion_heap``
+        # alias it for the run loop.
         self._dyn_counter = 0
-        self._completions: Dict[int, List[_DynUop]] = {}
+        self.hot = HotState(
+            queues=[cluster.issue_queue for cluster in self.clusters],
+            rob=self.rob, periods=self.clocking.periods,
+            ratio=self.clocking.ratio)
+        self._completions: Dict[int, List[_DynUop]] = self.hot.completions
         self._waiters: Dict[Tuple[int, ClockDomain], List[_DynUop]] = {}
         self._redispatch: Deque[_DynUop] = deque()
         self._pending_fetch: Deque[FetchedUop] = deque()
@@ -243,7 +252,7 @@ class HelperClusterSimulator:
         # peek instead of a min() scan.  ``_helper_wheel`` pre-binds each
         # helper backend's issue queue, ready set and clock period for the
         # per-cycle issue/sampling/advance paths.
-        self._completion_heap: List[int] = []
+        self._completion_heap: List[int] = self.hot.heap
         self._helper_wheel: List[Tuple[Backend, IssueQueue, Dict, int]] = [
             (backend, backend.issue_queue, backend.issue_queue.ready_entries,
              self._periods[backend.index])
@@ -259,6 +268,13 @@ class HelperClusterSimulator:
         if reference_loop is None:
             reference_loop = os.environ.get("REPRO_REFERENCE_LOOP", "") == "1"
         self._reference_loop = reference_loop
+        #: simulator backend: ``"python"`` or ``"compiled"`` (bit-identical;
+        #: resolved from the ``backend`` argument / REPRO_BACKEND).  The
+        #: compiled kernels only drive the event wheel — the reference loop
+        #: is always pure python, so it stays an independent net.
+        self.backend, self._kernel = resolve_backend(backend)
+        #: issue-selection routing; the wheel swaps in the compiled variant
+        self._select_fn = self._select_python
 
     # ======================================================================
     # public API
@@ -286,6 +302,12 @@ class HelperClusterSimulator:
         helper_wheel = self._helper_wheel
         wide_ready = self.wide.issue_queue.ready_entries
         helper_sampling = self._helper_enabled
+        if self._kernel is not None:
+            self.hot.bind_kernel(self._kernel)
+            self._select_fn = self._select_compiled
+            next_event = self._next_event_compiled
+        else:
+            next_event = self._next_event
         while not self._done():
             if t > limit or t - last_progress_cycle > stall_window:
                 raise RuntimeError(
@@ -307,7 +329,7 @@ class HelperClusterSimulator:
             if result.committed_uops > last_committed:
                 last_committed = result.committed_uops
                 last_progress_cycle = t
-            target, idle = self._next_event(t)
+            target, idle = next_event(t)
             if idle and helper_sampling and target > t + 1:
                 self._record_idle_cycles(target - t - 1)
             t = target
@@ -458,6 +480,23 @@ class HelperClusterSimulator:
             # to observe completion); keep the original final-cycle count.
             return next_t, False
         return target, True
+
+    def _next_event_compiled(self, t: int) -> Tuple[int, bool]:
+        """Compiled :meth:`_next_event`: the python-only conditions (frontend
+        / redispatch / ROB fullness) fold into a flag word, the helper-wheel
+        scan, calendar peek and clock arithmetic run in C."""
+        pending = self._redispatch or self._pending_fetch
+        exhausted = self.frontend.exhausted
+        rob_count = self.rob.occupancy()
+        flags = 0
+        if pending or not exhausted:
+            flags = 1                                   # dispatch possible
+        if rob_count >= self.rob.size:
+            flags |= 2                                  # ROB full
+        elif not pending and exhausted and rob_count == 0:
+            flags |= 4                                  # drained modulo calendar
+        packed = self._kernel.next_event(self.hot.cstate, t, flags)
+        return packed >> 1, bool(packed & 1)
 
 
     def _record_idle_cycles(self, cycles: int) -> None:
@@ -737,10 +776,23 @@ class HelperClusterSimulator:
         if t % self._ratio == 0 and self.wide.issue_queue.ready_count():
             self._issue_backend(self.wide, t)
 
+    def _select_python(self, iq: IssueQueue, index: int,
+                       memory_slots: int) -> List[IssueQueueEntry]:
+        return iq.select(memory_slots=memory_slots)
+
+    def _select_compiled(self, iq: IssueQueue, index: int,
+                         memory_slots: int) -> List[IssueQueueEntry]:
+        slots = self._kernel.select_slots(self.hot.cstate, index,
+                                          iq.issue_width, memory_slots)
+        if not slots:
+            return []
+        return iq.take_slots(slots)
+
     def _issue_backend(self, backend: Backend, t: int) -> None:
         slow_cycle = t // self._ratio
         dl0_free = self.memory.dl0_ports - self._dl0_slots.get(slow_cycle, 0)
-        selected = backend.issue_queue.select(memory_slots=max(0, dl0_free))
+        selected = self._select_fn(backend.issue_queue, backend.index,
+                                   max(0, dl0_free))
         completions = self._completions
         for entry in selected:
             dyn = entry.payload
@@ -1012,6 +1064,7 @@ class HelperClusterSimulator:
         pending_copies = copy_engine.pending_map
         prefetched = self._prefetched_values
         rob_by_uid = self.rob.by_uid
+        rob_payloads = self.rob.payload_ring
         waiters = self._waiters
         outstanding = 0
         needed_copies: Optional[List[Tuple[int, ClockDomain]]] = None
@@ -1027,11 +1080,12 @@ class HelperClusterSimulator:
                     # A consumed prefetch keeps the producer's CP bit trained.
                     self._copied_values.add(producer_uid)
                 continue
-            entry = rob_by_uid.get(producer_uid)
-            if entry is not None and type(entry.payload) is _DynUop:
-                producer_domain = entry.payload.domain
-            else:
-                producer_domain = None
+            slot = rob_by_uid.get(producer_uid)
+            producer_domain = None
+            if slot is not None:
+                payload = rob_payloads[slot]
+                if type(payload) is _DynUop:
+                    producer_domain = payload.domain
             if producer_domain is None and not slots:
                 # Retired before tracking or trace live-in: architectural
                 # state visible to both register files.
@@ -1123,9 +1177,9 @@ class HelperClusterSimulator:
         backend.issue_queue.insert(entry, force=force)
 
     def _seq_of_value(self, value_uid: int) -> int:
-        entry = self.rob.by_uid.get(value_uid)
-        if entry is not None:
-            return entry.seq
+        slot = self.rob.by_uid.get(value_uid)
+        if slot is not None:
+            return self.rob.seq_ring[slot]
         return 0
 
     def _maybe_prefetch_copy(self, dyn: _DynUop, t: int) -> None:
@@ -1263,17 +1317,19 @@ class HelperClusterSimulator:
         for dyn in waiters:
             if dyn.squashed:
                 continue
-            # IssueQueue.wakeup inlined: one fewer call per woken operand.
+            # IssueQueue.wakeup inlined on the slot columns: the arrays are
+            # authoritative while queued (the carrier object is synced on
+            # removal), so this is one dict probe and one column update.
             iq = clusters[dyn.domain].issue_queue
-            entry = iq.entries.get(dyn.dyn_id)
-            if entry is None:
+            uid = dyn.dyn_id
+            slot = iq.entries.get(uid)
+            if slot is None:
                 continue
-            remaining = entry.remaining_sources - 1
+            remaining = iq.remaining[slot] - 1
             if remaining <= 0:
-                entry.remaining_sources = 0
-                iq.ready_entries[dyn.dyn_id] = entry
-            else:
-                entry.remaining_sources = remaining
+                remaining = 0
+                iq.ready_entries[uid] = slot
+            iq.remaining[slot] = remaining
 
     def _wake_dyn(self, dyn: _DynUop) -> None:
         if dyn.squashed:

@@ -1,0 +1,203 @@
+"""Backend selection (REPRO_BACKEND / --backend) and worker clamping.
+
+Covers the selection contract of :mod:`repro.sim.hotstate`:
+
+* ``REPRO_BACKEND=python`` forces the pure-python fallback even when the
+  compiled extension is built;
+* ``REPRO_BACKEND=compiled`` fails loudly (with build instructions) when
+  the extension is not importable;
+* auto-detection picks the compiled backend exactly when it imports;
+* a present-but-broken extension (import raises) degrades to python with
+  a single RuntimeWarning — a failed build changes speed, never results;
+
+plus the :class:`~repro.sim.engine.SweepEngine` oversubscription clamp.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+import pytest
+
+from repro.sim import hotstate
+from repro.sim.engine import SweepEngine, available_cpus, default_jobs
+from repro.sim.hotstate import (
+    backend_choice,
+    compiled_available,
+    detected_backend,
+    resolve_backend,
+)
+from repro.sim.simulator import HelperClusterSimulator
+from repro.trace.profiles import SPEC_INT_2000
+from repro.trace.synthetic import generate_trace
+
+
+@pytest.fixture
+def fresh_kernel_cache():
+    """Reset hotstate's memoised import state around a test."""
+    saved = hotstate._kernel_cache, hotstate._warned_broken
+    hotstate._kernel_cache = None
+    hotstate._warned_broken = False
+    try:
+        yield
+    finally:
+        hotstate._kernel_cache, hotstate._warned_broken = saved
+
+
+def _make_sim(**kwargs):
+    trace = generate_trace(SPEC_INT_2000["gzip"], 400, seed=1)
+    return HelperClusterSimulator(trace, **kwargs)
+
+
+class TestBackendChoice:
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv(hotstate.BACKEND_ENV, raising=False)
+        assert backend_choice() == "auto"
+
+    def test_env_var_is_read(self, monkeypatch):
+        monkeypatch.setenv(hotstate.BACKEND_ENV, "python")
+        assert backend_choice() == "python"
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(hotstate.BACKEND_ENV, "python")
+        assert backend_choice("compiled") == "compiled"
+
+    def test_whitespace_and_case_are_normalised(self, monkeypatch):
+        monkeypatch.setenv(hotstate.BACKEND_ENV, "  Python ")
+        assert backend_choice() == "python"
+        assert backend_choice("") == "auto"
+
+    def test_invalid_choice_raises(self, monkeypatch):
+        monkeypatch.setenv(hotstate.BACKEND_ENV, "fortran")
+        with pytest.raises(ValueError, match="fortran"):
+            backend_choice()
+        with pytest.raises(ValueError, match="--backend"):
+            backend_choice("fortran")
+
+
+class TestBackendResolution:
+    def test_forced_python_never_loads_the_kernel(self, monkeypatch):
+        monkeypatch.setenv(hotstate.BACKEND_ENV, "python")
+        assert resolve_backend() == ("python", None)
+        sim = _make_sim()
+        assert sim.backend == "python"
+        assert sim._kernel is None
+
+    def test_per_instance_override_forces_python(self, monkeypatch):
+        monkeypatch.delenv(hotstate.BACKEND_ENV, raising=False)
+        sim = _make_sim(backend="python")
+        assert sim.backend == "python"
+        assert sim._kernel is None
+
+    def test_forced_compiled_errors_clearly_when_absent(self, monkeypatch):
+        monkeypatch.setattr(hotstate, "_kernel_cache", (False, None))
+        with pytest.raises(RuntimeError, match="build_ext"):
+            resolve_backend("compiled")
+
+    def test_auto_detects_compiled_when_built(self):
+        if not compiled_available():
+            pytest.skip("repro._corekernel extension not built")
+        assert detected_backend() == "compiled"
+        sim = _make_sim()
+        assert sim.backend == "compiled"
+        assert sim._kernel is not None
+
+    def test_auto_falls_back_silently_when_never_built(
+            self, monkeypatch, fresh_kernel_cache):
+        monkeypatch.delenv(hotstate.BACKEND_ENV, raising=False)
+        monkeypatch.delitem(sys.modules, "repro._corekernel", raising=False)
+        real_import = __builtins__["__import__"] if isinstance(
+            __builtins__, dict) else __builtins__.__import__
+
+        def missing_import(name, *args, **kwargs):
+            if name == "repro._corekernel":
+                raise ModuleNotFoundError(
+                    "No module named 'repro._corekernel'")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr("builtins.__import__", missing_import)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning -> failure
+            assert resolve_backend() == ("python", None)
+
+    def test_broken_build_degrades_with_a_single_warning(
+            self, monkeypatch, fresh_kernel_cache):
+        monkeypatch.delenv(hotstate.BACKEND_ENV, raising=False)
+        monkeypatch.delitem(sys.modules, "repro._corekernel", raising=False)
+        real_import = __builtins__["__import__"] if isinstance(
+            __builtins__, dict) else __builtins__.__import__
+
+        def broken_import(name, *args, **kwargs):
+            if name == "repro._corekernel":
+                raise ImportError("simulated broken build: undefined symbol")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr("builtins.__import__", broken_import)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert resolve_backend() == ("python", None)
+            # Memoised: the second resolution must not warn again.
+            assert resolve_backend() == ("python", None)
+        relevant = [w for w in caught
+                    if issubclass(w.category, RuntimeWarning)]
+        assert len(relevant) == 1
+        assert "falling back" in str(relevant[0].message)
+
+    def test_both_backends_produce_identical_results(self):
+        if not compiled_available():
+            pytest.skip("repro._corekernel extension not built")
+        import pickle
+        trace = generate_trace(SPEC_INT_2000["gcc"], 1_500, seed=99)
+        py = HelperClusterSimulator(trace, backend="python").run()
+        cc = HelperClusterSimulator(trace, backend="compiled").run()
+        assert pickle.dumps(py) == pickle.dumps(cc)
+
+
+class TestSweepEngineJobClamp:
+    def test_oversubscribed_request_is_clamped(self):
+        engine = SweepEngine(jobs=available_cpus() + 63)
+        try:
+            assert engine.jobs == available_cpus()
+            assert engine.jobs_clamped_from == available_cpus() + 63
+        finally:
+            engine.close()
+
+    def test_explicit_override_keeps_the_request(self):
+        engine = SweepEngine(jobs=available_cpus() + 3,
+                             allow_oversubscribe=True)
+        try:
+            assert engine.jobs == available_cpus() + 3
+            assert engine.jobs_clamped_from is None
+        finally:
+            engine.close()
+
+    def test_auto_and_serial_are_not_clamped(self):
+        auto = SweepEngine(jobs=0)
+        serial = SweepEngine(jobs=1)
+        try:
+            assert auto.jobs == default_jobs()
+            assert auto.jobs_clamped_from is None
+            assert serial.jobs == 1
+            assert serial.jobs_clamped_from is None
+        finally:
+            auto.close()
+            serial.close()
+
+    def test_clamp_is_reported_in_the_cache_footer(self, tmp_path):
+        from repro.sim.cache import ResultCache
+        from repro.sim.reporting import cache_stats_line
+        cache = ResultCache(tmp_path / "cache")
+        engine = SweepEngine(jobs=available_cpus() + 7, cache=cache)
+        try:
+            line = cache_stats_line(cache, engine=engine)
+            assert "clamped from" in line
+            assert f"jobs={engine.jobs}" in line
+            # An unclamped engine adds nothing.
+            serial = SweepEngine(jobs=1)
+            try:
+                assert "clamped" not in cache_stats_line(cache, engine=serial)
+            finally:
+                serial.close()
+        finally:
+            engine.close()

@@ -105,7 +105,8 @@ class TestEnergyGoldenPins:
 
     def test_parallel_engine_matches_serial_energy(self, mini_energy_sweep):
         parallel = run_spec_suite(["ir"], trace_uops=2500, seed=2006,
-                                  benchmarks=list(ED2_RATIO_PINS), jobs=2)
+                                  benchmarks=list(ED2_RATIO_PINS), jobs=2,
+                                  allow_oversubscribe=True)
         for benchmark in ED2_RATIO_PINS:
             serial_result = mini_energy_sweep.results[benchmark].by_policy["ir"]
             parallel_result = parallel.results[benchmark].by_policy["ir"]

@@ -65,7 +65,8 @@ class TestDeterminism:
         serial = run_spec_suite(POLICIES, trace_uops=UOPS, seed=SEED,
                                 benchmarks=BENCHMARKS, jobs=1)
         parallel = run_spec_suite(POLICIES, trace_uops=UOPS, seed=SEED,
-                                  benchmarks=BENCHMARKS, jobs=2)
+                                  benchmarks=BENCHMARKS, jobs=2,
+                                  allow_oversubscribe=True)
         assert _sweep_fingerprint(serial) == _sweep_fingerprint(parallel)
 
     def test_job_seed_is_pure(self):

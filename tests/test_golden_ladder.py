@@ -88,7 +88,8 @@ class TestMiniLadderGolden:
     def test_parallel_engine_matches_golden(self, mini_sweep):
         parallel = run_spec_suite(list(MINI_LADDER_SPEEDUPS), trace_uops=2500,
                                   seed=2006,
-                                  benchmarks=["gcc", "bzip2", "parser"], jobs=2)
+                                  benchmarks=["gcc", "bzip2", "parser"], jobs=2,
+                                  allow_oversubscribe=True)
         for policy in MINI_LADDER_SPEEDUPS:
             assert parallel.speedup_series(policy) == mini_sweep.speedup_series(policy)
 

@@ -264,7 +264,8 @@ class TestTopologyGrid:
 
         cache_dir = tmp_path / "cache"
         parallel = ExperimentRunner(trace_uops=1500, seed=2006, jobs=2,
-                                    cache_dir=str(cache_dir))
+                                    cache_dir=str(cache_dir),
+                                    allow_oversubscribe=True)
         parallel_sweep = parallel.run_topology_grid(points, profiles, policy="ir")
         for point in points:
             assert parallel_sweep.speedup(point.name, "gcc") == \
@@ -272,7 +273,8 @@ class TestTopologyGrid:
 
         # A second run over the same grid must be served from the cache.
         rerun = ExperimentRunner(trace_uops=1500, seed=2006, jobs=2,
-                                 cache_dir=str(cache_dir))
+                                 cache_dir=str(cache_dir),
+                                 allow_oversubscribe=True)
         rerun_sweep = rerun.run_topology_grid(points, profiles, policy="ir")
         assert rerun.cache.hits == len(points) + 1  # points + shared baseline
         assert rerun.cache.misses == 0

@@ -60,7 +60,8 @@ class TestGenerationCounting:
         assert engine.trace_store.stores == 2
 
     def test_parallel_ladder_generates_each_trace_once(self, tmp_path):
-        engine = SweepEngine(jobs=2, trace_store_dir=str(tmp_path))
+        engine = SweepEngine(jobs=2, trace_store_dir=str(tmp_path),
+                             allow_oversubscribe=True)
         jobs = _ladder_jobs(["gcc"])
         before = GENERATION_STATS.count
         try:
@@ -171,7 +172,8 @@ class TestTraceStore:
 
 class TestWarmPool:
     def test_pool_persists_across_batches_and_closes(self, tmp_path):
-        engine = SweepEngine(jobs=2, trace_store_dir=str(tmp_path))
+        engine = SweepEngine(jobs=2, trace_store_dir=str(tmp_path),
+                             allow_oversubscribe=True)
         jobs_a = _ladder_jobs(["gcc"])[:4]
         jobs_b = _ladder_jobs(["gcc"])[4:]
         try:
