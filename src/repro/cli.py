@@ -241,6 +241,25 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--corpus", default="tests/fuzz_corpus", metavar="DIR",
                         help="corpus directory of *.json case entries")
 
+    lint = sub.add_parser(
+        "lint", help="run the repo-contract static analysis (repro.lintkit)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="report format (json is the CI artifact form)")
+    lint.add_argument("--output", default=None, metavar="PATH",
+                      help="also write the report to this file")
+    lint.add_argument("--rules", default=None, metavar="CODES",
+                      help="comma-separated rule codes to run "
+                           "(e.g. REP001,REP004); default: all")
+    lint.add_argument("--root", default=None, metavar="DIR",
+                      help="project root to lint (default: this checkout)")
+    lint.add_argument("--update-fingerprints", action="store_true",
+                      help="bless the current semantic-module fingerprints "
+                           "for REP005 (only after golden pins + fuzz "
+                           "corpus prove bit-identity, or with a "
+                           "SIMULATOR_VERSION bump)")
+    lint.add_argument("--show-suppressed", action="store_true",
+                      help="include suppressed findings in text output")
+
     sub.add_parser("table1", help="print the Table 1 baseline parameters")
     sub.add_parser("workloads", help="list the Table 2 workload categories")
     return parser
@@ -447,6 +466,37 @@ def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis over the repo contracts (DESIGN.md § Static
+    guarantees); exit 0 iff no unsuppressed findings."""
+    from repro.lintkit import (build_rules, default_config, render_json,
+                               render_text, update_fingerprints)
+    from repro.lintkit.engine import LintRunner
+
+    config = default_config(args.root)
+    if args.update_fingerprints:
+        path = update_fingerprints(config)
+        print(f"blessed semantic-module fingerprints -> {path}")
+    codes = args.rules.split(",") if args.rules else None
+    try:
+        rules = build_rules(codes)
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    report = LintRunner(config, rules).run()
+    if args.format == "json":
+        text = render_json(report)
+    else:
+        text = render_text(report, show_suppressed=args.show_suppressed)
+    print(text)
+    if args.output:
+        # The artifact is always the JSON form: it is the machine contract
+        # the CI job publishes regardless of what was printed.
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(render_json(report) + "\n")
+    return 0 if report.ok else 1
+
+
 def _cmd_table1(_: argparse.Namespace) -> int:
     rows = [[name, value] for name, value in TABLE_1_PARAMETERS.items()]
     print(format_table(["parameter", "value"], rows,
@@ -470,6 +520,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "fuzz": _cmd_fuzz,
     "fuzz-replay": _cmd_fuzz_replay,
+    "lint": _cmd_lint,
     "table1": _cmd_table1,
     "workloads": _cmd_workloads,
 }

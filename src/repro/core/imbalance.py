@@ -62,8 +62,11 @@ class ImbalanceMonitor:
     narrow_to_wide_nready: int = 0
     wide_occupancy_accum: int = 0
     narrow_occupancy_accum: int = 0
-    _last_wide_occupancy: int = 0
-    _last_narrow_occupancy: int = 0
+    #: documented live-view aliases (REP003): the simulator's sampling
+    #: fast path writes these directly instead of building an
+    #: ImbalanceSample per wide cycle, and the IR heuristics read them
+    last_wide_occupancy: int = 0
+    last_narrow_occupancy: int = 0
 
     # ----------------------------------------------------------------- sample
     def record(self, sample: ImbalanceSample) -> None:
@@ -88,8 +91,8 @@ class ImbalanceMonitor:
         self.narrow_to_wide_nready += min(narrow_ready_blocked, wide_free_slots)
         self.wide_occupancy_accum += wide_occupancy
         self.narrow_occupancy_accum += narrow_occupancy
-        self._last_wide_occupancy = wide_occupancy
-        self._last_narrow_occupancy = narrow_occupancy
+        self.last_wide_occupancy = wide_occupancy
+        self.last_narrow_occupancy = narrow_occupancy
 
     def record_idle_cycles(self, wide_occupancy: int, narrow_occupancy: int,
                            cycles: int) -> None:
@@ -105,8 +108,8 @@ class ImbalanceMonitor:
         self.issue_opportunities += cycles * max(1, wide_occupancy + narrow_occupancy)
         self.wide_occupancy_accum += cycles * wide_occupancy
         self.narrow_occupancy_accum += cycles * narrow_occupancy
-        self._last_wide_occupancy = wide_occupancy
-        self._last_narrow_occupancy = narrow_occupancy
+        self.last_wide_occupancy = wide_occupancy
+        self.last_narrow_occupancy = narrow_occupancy
 
     # ------------------------------------------------------------------ rates
     def wide_to_narrow_imbalance(self) -> float:
@@ -139,16 +142,16 @@ class ImbalanceMonitor:
         """
         wide_capacity = (self.wide_queue_size if self.wide_queue_size is not None
                          else self.queue_size)
-        if self._last_wide_occupancy < 0.75 * wide_capacity:
+        if self.last_wide_occupancy < 0.75 * wide_capacity:
             return False
-        if self._last_narrow_occupancy > 0.5 * self.queue_size:
+        if self.last_narrow_occupancy > 0.5 * self.queue_size:
             return False
-        gap = (self._last_wide_occupancy - self._last_narrow_occupancy) / max(1, self.queue_size)
+        gap = (self.last_wide_occupancy - self.last_narrow_occupancy) / max(1, self.queue_size)
         return gap > self.occupancy_threshold
 
     def helper_overloaded(self) -> bool:
         """Opposite condition: steer narrow work back to the wide cluster (§1, item 5)."""
-        gap = (self._last_narrow_occupancy - self._last_wide_occupancy) / max(1, self.queue_size)
+        gap = (self.last_narrow_occupancy - self.last_wide_occupancy) / max(1, self.queue_size)
         return gap > self.overload_threshold
 
     def reset(self) -> None:
@@ -158,5 +161,5 @@ class ImbalanceMonitor:
         self.narrow_to_wide_nready = 0
         self.wide_occupancy_accum = 0
         self.narrow_occupancy_accum = 0
-        self._last_wide_occupancy = 0
-        self._last_narrow_occupancy = 0
+        self.last_wide_occupancy = 0
+        self.last_narrow_occupancy = 0

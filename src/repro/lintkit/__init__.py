@@ -1,0 +1,32 @@
+"""repro.lintkit — AST-based static analysis for this repo's contracts.
+
+The dynamic nets (golden pins, the fuzz harness, the key-contract
+conformance suite) catch contract breaks after they run; lintkit catches
+them at review time.  Five rules ship: REP001 determinism, REP002
+cache-key completeness, REP003 live-view contract, REP004 hot-loop
+hygiene, REP005 version discipline.  See DESIGN.md § "Static guarantees"
+and ``repro.cli lint``.
+"""
+
+from repro.lintkit.config import LintConfig, default_config
+from repro.lintkit.engine import (FileContext, Finding, LintReport,
+                                  LintRule, LintRunner, ProjectContext)
+from repro.lintkit.reporting import render_json, render_text, report_to_dict
+from repro.lintkit.rules import ALL_RULES, build_rules
+from repro.lintkit.rules.versioning import update_fingerprints
+
+__all__ = [
+    "LintConfig", "default_config",
+    "Finding", "LintRule", "LintRunner", "LintReport",
+    "FileContext", "ProjectContext",
+    "render_text", "render_json", "report_to_dict",
+    "ALL_RULES", "build_rules", "update_fingerprints",
+]
+
+
+def run_lint(config=None, codes=None):
+    """Convenience entry: run the shipped rules, return the report."""
+    if config is None:
+        config = default_config()
+    runner = LintRunner(config, build_rules(codes))
+    return runner.run()

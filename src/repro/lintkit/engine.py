@@ -1,0 +1,259 @@
+"""The lintkit rule engine: findings, rule protocol, contexts, runner.
+
+The engine is deliberately small: it walks the configured source roots,
+parses each python file exactly once, hands the per-file AST to every
+*file* rule and the whole-project view to every *project* rule, then folds
+inline suppressions (see :mod:`repro.lintkit.suppressions`) into the
+resulting findings.  Rules are plain objects satisfying :class:`LintRule`
+— a ``code``/``name``/``description`` triple plus ``check_file`` /
+``check_project`` hooks — so adding a repo contract is one module under
+:mod:`repro.lintkit.rules` and one registry entry.
+
+Nothing here imports the packages under analysis: all five shipped rules
+work from source text and ASTs alone, so the linter can run on a tree that
+does not import (and CI can lint before it builds anything).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.lintkit.config import LintConfig
+from repro.lintkit.suppressions import suppression_map
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or suppressed would-be violation).
+
+    ``path`` is always project-root-relative POSIX form, so reports are
+    stable across machines and the JSON artifact diffs cleanly in CI.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    #: the reason string of the inline suppression that silenced this
+    #: finding (``# lint: disable=RULE(reason)``), when suppressed
+    suppression_reason: Optional[str] = None
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "suppression_reason": self.suppression_reason,
+        }
+
+
+class LintRule:
+    """Base rule: subclasses override ``check_file`` and/or ``check_project``.
+
+    ``code`` is the stable identifier used in reports and suppressions
+    (``REP001``...); ``name`` is a short slug and ``description`` one line
+    for ``lint --list-rules`` style output and the JSON report.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_file(self, ctx: "FileContext") -> Iterable[Finding]:
+        """Per-file pass: called once per parsed python file in scope."""
+        return ()
+
+    def check_project(self, ctx: "ProjectContext") -> Iterable[Finding]:
+        """Whole-project pass: called once after all files are collected."""
+        return ()
+
+    # ------------------------------------------------------------- helpers
+    def finding(self, ctx_path: str, node_or_line, message: str,
+                col: Optional[int] = None) -> Finding:
+        """Build a finding anchored at an AST node or an explicit line."""
+        if hasattr(node_or_line, "lineno"):
+            line = node_or_line.lineno
+            col_offset = getattr(node_or_line, "col_offset", 0)
+        else:
+            line = int(node_or_line)
+            col_offset = 0
+        return Finding(rule=self.code, path=ctx_path, line=line,
+                       col=col if col is not None else col_offset,
+                       message=message)
+
+
+class FileContext:
+    """One parsed python source file, root-relative."""
+
+    def __init__(self, root: Path, relpath: str, source: str,
+                 config: LintConfig) -> None:
+        self.root = root
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.config = config
+        self._tree: Optional[ast.Module] = None
+        self.parse_error: Optional[SyntaxError] = None
+
+    @property
+    def tree(self) -> Optional[ast.Module]:
+        if self._tree is None and self.parse_error is None:
+            try:
+                self._tree = ast.parse(self.source, filename=self.relpath)
+            except SyntaxError as exc:
+                self.parse_error = exc
+        return self._tree
+
+    def line_text(self, lineno: int) -> str:
+        """1-indexed source line (empty string when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class ProjectContext:
+    """The whole-project view handed to project rules."""
+
+    def __init__(self, root: Path, files: Dict[str, FileContext],
+                 config: LintConfig) -> None:
+        self.root = root
+        self.files = files
+        self.config = config
+
+    def context_for(self, relpath: str) -> Optional[FileContext]:
+        """The context of ``relpath``, loading it on demand if out of scope."""
+        ctx = self.files.get(relpath)
+        if ctx is not None:
+            return ctx
+        path = self.root / relpath
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        ctx = FileContext(self.root, relpath, source, self.config)
+        self.files[relpath] = ctx
+        return ctx
+
+
+@dataclass
+class LintReport:
+    """The outcome of one runner pass."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules: List[LintRule] = field(default_factory=list)
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed
+
+
+def iter_python_files(root: Path, roots: Sequence[str]) -> Iterator[str]:
+    """Root-relative POSIX paths of every ``.py`` file under ``roots``.
+
+    Sorted for deterministic report order; ``__pycache__`` and hidden
+    directories are skipped.
+    """
+    seen = []
+    for rel_root in roots:
+        base = root / rel_root
+        if base.is_file() and base.suffix == ".py":
+            seen.append(base.relative_to(root).as_posix())
+            continue
+        if not base.is_dir():
+            continue
+        for path in base.rglob("*.py"):
+            parts = path.relative_to(root).parts
+            if any(part == "__pycache__" or part.startswith(".")
+                   for part in parts):
+                continue
+            seen.append(path.relative_to(root).as_posix())
+    return iter(sorted(set(seen)))
+
+
+class LintRunner:
+    """Walk the tree, run every rule, apply suppressions."""
+
+    def __init__(self, config: LintConfig,
+                 rules: Sequence[LintRule]) -> None:
+        self.config = config
+        self.rules = list(rules)
+
+    def run(self) -> LintReport:
+        root = self.config.project_root
+        files: Dict[str, FileContext] = {}
+        report = LintReport(rules=self.rules)
+        for relpath in iter_python_files(root, self.config.src_roots):
+            try:
+                source = (root / relpath).read_text(encoding="utf-8")
+            except OSError:
+                continue
+            files[relpath] = FileContext(root, relpath, source, self.config)
+        report.files_scanned = len(files)
+
+        raw: List[Finding] = []
+        for ctx in files.values():
+            if ctx.tree is None:
+                raw.append(Finding(
+                    rule="REP000", path=ctx.relpath,
+                    line=ctx.parse_error.lineno or 1, col=0,
+                    message=f"syntax error: {ctx.parse_error.msg}"))
+                continue
+            for rule in self.rules:
+                raw.extend(rule.check_file(ctx))
+        project = ProjectContext(root, files, self.config)
+        for rule in self.rules:
+            raw.extend(rule.check_project(project))
+
+        report.findings = self._apply_suppressions(raw, project)
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return report
+
+    def _apply_suppressions(self, findings: List[Finding],
+                            project: ProjectContext) -> List[Finding]:
+        out: List[Finding] = []
+        maps: Dict[str, dict] = {}
+        for finding in findings:
+            ctx = project.files.get(finding.path)
+            if ctx is None:
+                out.append(finding)
+                continue
+            per_line = maps.get(finding.path)
+            if per_line is None:
+                per_line = suppression_map(ctx.lines)
+                maps[finding.path] = per_line
+            entry = per_line.get(finding.line, {}).get(finding.rule)
+            if entry is None:
+                out.append(finding)
+            elif not entry:
+                # A reason string is mandatory: a bare disable does not
+                # suppress (the contract stays reviewable), and the finding
+                # says why it survived.
+                out.append(replace(
+                    finding,
+                    message=finding.message + "  [suppression ignored: "
+                    "missing reason — use # lint: disable="
+                    f"{finding.rule}(reason)]"))
+            else:
+                out.append(replace(finding, suppressed=True,
+                                   suppression_reason=entry))
+        return out

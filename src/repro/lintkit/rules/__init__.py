@@ -1,0 +1,35 @@
+"""Rule registry: the shipped battery of repo-contract rules."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.lintkit.engine import LintRule
+from repro.lintkit.rules.determinism import DeterminismRule
+from repro.lintkit.rules.cache_key import CacheKeyCompletenessRule
+from repro.lintkit.rules.live_view import LiveViewContractRule
+from repro.lintkit.rules.hot_loop import HotLoopHygieneRule
+from repro.lintkit.rules.versioning import VersionDisciplineRule
+
+ALL_RULES = (
+    DeterminismRule,
+    CacheKeyCompletenessRule,
+    LiveViewContractRule,
+    HotLoopHygieneRule,
+    VersionDisciplineRule,
+)
+
+
+def build_rules(codes: Optional[Sequence[str]] = None) -> List[LintRule]:
+    """Instantiate the registered rules, optionally filtered by code."""
+    rules: List[LintRule] = [cls() for cls in ALL_RULES]
+    if codes is None:
+        return rules
+    wanted = {code.strip().upper() for code in codes if code.strip()}
+    by_code: Dict[str, LintRule] = {rule.code: rule for rule in rules}
+    unknown = wanted - set(by_code)
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(by_code))})")
+    return [rule for rule in rules if rule.code in wanted]

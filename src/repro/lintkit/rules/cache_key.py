@@ -1,0 +1,158 @@
+"""REP002 — cache-key completeness: every field reaches ``to_key_dict``.
+
+The result cache is content-addressed: two runs collide on a key exactly
+when their configs serialize identically through ``to_key_dict()``.  A
+dataclass field that never reaches the key dict is a *stale-hit hazard* —
+changing it silently re-serves old results.  The dynamic conformance
+suite (``tests/test_key_contract.py``) mutates constructible fields and
+checks the key moves; this static rule complements it by covering fields
+the round-trip test cannot construct, and by firing at lint time instead
+of at the first unlucky sweep.
+
+Coverage is judged statically from the class body:
+
+* the class must be a ``@dataclass`` and define ``to_key_dict``;
+* a body of ``asdict(self)`` (or ``dataclasses.asdict(self)``) covers
+  every field by construction;
+* otherwise a field is covered iff ``self.<field>`` is read anywhere in
+  the method, or it appears in the configured exemption table with a
+  documented reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.lintkit.engine import Finding, LintRule, ProjectContext
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> Dict[str, int]:
+    """{field_name: lineno} from class-level annotated assignments."""
+    fields: Dict[str, int] = {}
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        annotation = stmt.annotation
+        base = annotation.value if isinstance(annotation, ast.Subscript) \
+            else annotation
+        if isinstance(base, ast.Name) and base.id == "ClassVar":
+            continue
+        if isinstance(base, ast.Attribute) and base.attr == "ClassVar":
+            continue
+        fields[stmt.target.id] = stmt.lineno
+    return fields
+
+
+def _find_method(node: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for stmt in node.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _uses_asdict(method: ast.FunctionDef) -> bool:
+    for sub in ast.walk(method):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        if name == "asdict":
+            return True
+    return False
+
+
+def _self_reads(method: ast.FunctionDef) -> Set[str]:
+    reads: Set[str] = set()
+    for sub in ast.walk(method):
+        if (isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"):
+            reads.add(sub.attr)
+    return reads
+
+
+class CacheKeyCompletenessRule(LintRule):
+    code = "REP002"
+    name = "cache-key-completeness"
+    description = ("every dataclass field on the key-carrying config "
+                   "types must appear in to_key_dict() or in the "
+                   "documented exemption table")
+
+    def check_project(self, ctx: ProjectContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for relpath, classname in ctx.config.key_dict_classes:
+            file_ctx = ctx.context_for(relpath)
+            if file_ctx is None or file_ctx.tree is None:
+                findings.append(self.finding(
+                    relpath, 1,
+                    f"configured key-dict class {classname} — file "
+                    "missing or unparseable"))
+                continue
+            class_node = None
+            for node in file_ctx.tree.body:
+                if isinstance(node, ast.ClassDef) and node.name == classname:
+                    class_node = node
+                    break
+            if class_node is None:
+                findings.append(self.finding(
+                    relpath, 1,
+                    f"configured key-dict class {classname} not found"))
+                continue
+            findings.extend(self._check_class(relpath, class_node,
+                                              ctx.config.key_dict_exemptions))
+        return findings
+
+    def _check_class(self, relpath: str, node: ast.ClassDef,
+                     exemptions) -> List[Finding]:
+        findings: List[Finding] = []
+        if not _is_dataclass_decorated(node):
+            findings.append(self.finding(
+                relpath, node,
+                f"{node.name} is configured as a key-carrying type but "
+                "is not a @dataclass — field enumeration is undefined"))
+            return findings
+        fields = _dataclass_fields(node)
+        method = _find_method(node, "to_key_dict")
+        if method is None:
+            findings.append(self.finding(
+                relpath, node,
+                f"{node.name} has no to_key_dict() — every config type "
+                "feeding the result cache must define its key contract"))
+            return findings
+        if _uses_asdict(method):
+            return findings  # asdict(self) covers all fields structurally
+        reads = _self_reads(method)
+        exempt = exemptions.get(node.name, {})
+        for field_name, lineno in sorted(fields.items(),
+                                         key=lambda kv: kv[1]):
+            if field_name in reads:
+                continue
+            if field_name in exempt:
+                continue
+            findings.append(self.finding(
+                relpath, lineno,
+                f"{node.name}.{field_name} never reaches to_key_dict() "
+                "and is not in the exemption table — stale cache-hit "
+                "hazard"))
+        for field_name in sorted(exempt):
+            if field_name not in fields:
+                findings.append(self.finding(
+                    relpath, node,
+                    f"exemption table lists {node.name}.{field_name} "
+                    "but the dataclass has no such field — stale "
+                    "exemption"))
+        return findings

@@ -1,0 +1,204 @@
+"""REP001 — determinism: the simulator semantic surface must be replayable.
+
+Two families of hazard inside ``repro.sim`` / ``repro.pipeline`` /
+``repro.core``:
+
+1. *Ambient entropy*: calls that read the wall clock, the OS entropy
+   pool, or the process-global (unseeded) ``random`` state.  All
+   randomness in the simulator flows from explicit ``random.Random(seed)``
+   instances, so ``random.Random(...)`` construction is allowed while
+   ``random.random()`` / ``random.shuffle()`` etc. are not.
+
+2. *Unordered iteration*: ``for``-loops (and comprehension generators)
+   whose iterable is of ``set``/``frozenset`` origin.  Set iteration
+   order depends on insertion history and hash seeding of the values, so
+   any simulator decision derived from it is replay-hostile.  Membership
+   tests, ``len()``, and order-insensitive folds (``sorted``/``min``/
+   ``max``/``sum``/``any``/``all``) over sets stay legal — only raw
+   iteration order escaping into semantics is flagged.
+
+Origin tracking is per-file and deliberately shallow: a name (or
+``self.x`` attribute) is *set-origin* if it is assigned from a ``set``/
+``frozenset`` literal, call, or comprehension anywhere in the same file.
+That catches the realistic hazard (a module growing a set member and
+iterating it) without whole-program inference.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.lintkit.engine import FileContext, Finding, LintRule
+
+#: module-level callables that read ambient entropy / wall-clock
+_BANNED_CALLS = {
+    ("time", "time"), ("time", "time_ns"),
+    ("time", "monotonic"), ("time", "monotonic_ns"),
+    ("time", "perf_counter"), ("time", "perf_counter_ns"),
+    ("time", "process_time"), ("time", "process_time_ns"),
+    ("os", "urandom"), ("os", "getrandom"),
+    ("uuid", "uuid1"), ("uuid", "uuid4"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: the process-global random API is banned; explicit random.Random(seed)
+#: instances are the sanctioned source of randomness
+_RANDOM_ALLOWED = {"Random", "SystemRandom"}
+
+#: order-insensitive consumers: iterating a set *inside* these is fine
+_ORDER_INSENSITIVE = {"sorted", "min", "max", "sum", "any", "all",
+                      "set", "frozenset", "len", "tuple"}
+
+
+def _call_name(node: ast.Call):
+    """(base, attr) for ``base.attr(...)`` or (None, name) for ``name(...)``."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id, func.attr
+    if isinstance(func, ast.Name):
+        return None, func.id
+    return None, None
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Literal / call / comprehension that evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        _base, name = _call_name(node)
+        if name in {"set", "frozenset"}:
+            return True
+    return False
+
+
+def _target_key(node: ast.expr):
+    """A trackable binding target: plain name or ``self.attr``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return f"self.{node.attr}"
+    return None
+
+
+class _SetOrigins(ast.NodeVisitor):
+    """First pass: collect names/attrs bound to set-valued expressions."""
+
+    def __init__(self) -> None:
+        self.origins: Set[str] = set()
+
+    def _record(self, target: ast.expr, value: ast.expr) -> None:
+        key = _target_key(target)
+        if key is not None and _is_set_expr(value):
+            self.origins.add(key)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record(node.target, node.value)
+        # Annotations alone mark set-typed fields too: `seen: set[int]`.
+        key = _target_key(node.target)
+        if key is not None and self._set_annotation(node.annotation):
+            self.origins.add(key)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _set_annotation(annotation: ast.expr) -> bool:
+        if isinstance(annotation, ast.Name):
+            return annotation.id in {"set", "frozenset", "Set", "FrozenSet"}
+        if isinstance(annotation, ast.Subscript):
+            return _SetOrigins._set_annotation(annotation.value)
+        return False
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(node.target, node.value)
+        self.generic_visit(node)
+
+
+class DeterminismRule(LintRule):
+    code = "REP001"
+    name = "determinism"
+    description = ("no ambient entropy (unseeded random, wall clock, "
+                   "os.urandom) and no order-sensitive set/frozenset "
+                   "iteration inside repro.sim / repro.pipeline / "
+                   "repro.core")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not any(ctx.relpath == scope or ctx.relpath.startswith(scope + "/")
+                   for scope in ctx.config.determinism_scopes):
+            return ()
+        tree = ctx.tree
+        if tree is None:
+            return ()
+        findings: List[Finding] = []
+        origins = _SetOrigins()
+        origins.visit(tree)
+        self._scan(tree, ctx, origins.origins, findings)
+        return findings
+
+    # ------------------------------------------------------------ entropy
+    def _check_call(self, node: ast.Call, ctx: FileContext,
+                    findings: List[Finding]) -> None:
+        base, name = _call_name(node)
+        if base == "random" and name not in _RANDOM_ALLOWED:
+            findings.append(self.finding(
+                ctx.relpath, node,
+                f"call to process-global random.{name}() — use an "
+                "explicit random.Random(seed) instance"))
+        elif (base, name) in _BANNED_CALLS:
+            findings.append(self.finding(
+                ctx.relpath, node,
+                f"ambient entropy / wall-clock read {base}.{name}() in "
+                "simulator semantic surface"))
+
+    # ---------------------------------------------------------- iteration
+    def _is_set_valued(self, node: ast.expr, origins: Set[str]) -> bool:
+        if _is_set_expr(node):
+            return True
+        key = _target_key(node)
+        return key is not None and key in origins
+
+    def _flag_iter(self, iter_node: ast.expr, ctx: FileContext,
+                   origins: Set[str], findings: List[Finding],
+                   anchor: ast.AST) -> None:
+        if self._is_set_valued(iter_node, origins):
+            findings.append(self.finding(
+                ctx.relpath, anchor,
+                "iteration over a set/frozenset — order depends on "
+                "insertion history and value hashing; sort it or use an "
+                "insertion-ordered structure"))
+
+    def _scan(self, tree: ast.Module, ctx: FileContext, origins: Set[str],
+              findings: List[Finding]) -> None:
+        comprehensions = (ast.ListComp, ast.SetComp, ast.DictComp,
+                          ast.GeneratorExp)
+        insensitive_iters = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                self._check_call(node, ctx, findings)
+                _base, name = _call_name(node)
+                if name in _ORDER_INSENSITIVE:
+                    for arg in node.args:
+                        insensitive_iters.add(id(arg))
+                        # `sorted(x for x in s)` and friends: the
+                        # comprehension consumes the set order-
+                        # insensitively too.
+                        if isinstance(arg, comprehensions):
+                            for gen in arg.generators:
+                                insensitive_iters.add(id(gen.iter))
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if id(node.iter) not in insensitive_iters:
+                    self._flag_iter(node.iter, ctx, origins, findings, node)
+            elif isinstance(node, comprehensions):
+                for gen in node.generators:
+                    if id(gen.iter) not in insensitive_iters:
+                        self._flag_iter(gen.iter, ctx, origins, findings,
+                                        node)

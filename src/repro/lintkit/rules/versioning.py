@@ -1,0 +1,161 @@
+"""REP005 — version discipline: semantic edits require a version bump.
+
+``SIMULATOR_VERSION`` (``src/repro/sim/cache.py``) is part of every
+result-cache key: bumping it retires all cached results.  The discipline
+is two-sided — *semantic* changes (anything that can move simulated
+numbers) must bump it, while bit-identical refactors must NOT (the golden
+pins prove identity and warm caches survive).
+
+This rule makes the first side mechanical: a checked-in fingerprint file
+records the SHA-256 of every module in the semantic set together with
+the SIMULATOR_VERSION they were blessed under.  When fingerprints drift
+while the version is unchanged, the author must either bump the version
+(numbers moved) or re-bless with ``repro.cli lint --update-fingerprints``
+after demonstrating bit-identity (golden-ladder + energy pins + fuzz
+corpus green).  DESIGN.md § "Static guarantees" documents the workflow.
+
+The version itself is read *statically* (AST of cache.py), so the rule
+works without importing the tree under lint.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.lintkit.config import LintConfig
+from repro.lintkit.engine import Finding, LintRule, ProjectContext
+
+FINGERPRINT_FORMAT = 1
+
+
+def semantic_files(config: LintConfig) -> List[str]:
+    """Sorted root-relative paths matching the semantic-module globs."""
+    root = config.project_root
+    out = set()
+    for pattern in config.semantic_module_globs:
+        for path in root.glob(pattern):
+            if path.is_file():
+                out.add(path.relative_to(root).as_posix())
+    return sorted(out)
+
+
+def file_digest(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def read_simulator_version(config: LintConfig) -> Optional[str]:
+    """Statically read SIMULATOR_VERSION from its source module."""
+    if config.version_source is None:
+        return None
+    relpath, symbol = config.version_source
+    path = config.project_root / relpath
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return None
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == symbol:
+                    if isinstance(node.value, ast.Constant):
+                        return str(node.value.value)
+    return None
+
+
+def current_state(config: LintConfig) -> Dict:
+    return {
+        "format": FINGERPRINT_FORMAT,
+        "simulator_version": read_simulator_version(config),
+        "files": {relpath: file_digest(config.project_root / relpath)
+                  for relpath in semantic_files(config)},
+    }
+
+
+def load_fingerprints(config: LintConfig) -> Optional[Dict]:
+    if config.fingerprint_path is None:
+        return None
+    try:
+        return json.loads(config.fingerprint_path.read_text(
+            encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+def update_fingerprints(config: LintConfig) -> Path:
+    """Bless the current tree: record digests under the current version."""
+    if config.fingerprint_path is None:
+        raise ValueError("no fingerprint path configured")
+    state = current_state(config)
+    config.fingerprint_path.write_text(
+        json.dumps(state, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    return config.fingerprint_path
+
+
+class VersionDisciplineRule(LintRule):
+    code = "REP005"
+    name = "version-discipline"
+    description = ("changes to the fingerprinted semantic modules "
+                   "require a SIMULATOR_VERSION bump or an explicit "
+                   "re-bless via lint --update-fingerprints")
+
+    def check_project(self, ctx: ProjectContext) -> Iterable[Finding]:
+        config = ctx.config
+        if config.fingerprint_path is None or config.version_source is None:
+            return ()
+        findings: List[Finding] = []
+        version = read_simulator_version(config)
+        version_rel, _symbol = config.version_source
+        if version is None:
+            findings.append(self.finding(
+                version_rel, 1,
+                "SIMULATOR_VERSION not found as a literal assignment — "
+                "the cache-key version contract is unreadable"))
+            return findings
+        blessed = load_fingerprints(config)
+        fingerprint_rel = config.fingerprint_path
+        try:
+            fingerprint_rel = fingerprint_rel.relative_to(
+                config.project_root).as_posix()
+        except ValueError:
+            fingerprint_rel = str(fingerprint_rel)
+        if blessed is None:
+            findings.append(self.finding(
+                fingerprint_rel, 1,
+                "semantic-module fingerprint file missing or unreadable "
+                "— run `repro.cli lint --update-fingerprints` to bless "
+                "the current tree"))
+            return findings
+        blessed_version = blessed.get("simulator_version")
+        blessed_files = blessed.get("files", {})
+        current = current_state(config)
+        changed = sorted(
+            relpath for relpath in
+            set(blessed_files) | set(current["files"])
+            if blessed_files.get(relpath) != current["files"].get(relpath))
+        if blessed_version != version:
+            # The version moved: the fingerprints must be re-blessed in
+            # the same change so the next drift is detected against the
+            # new baseline.
+            findings.append(self.finding(
+                fingerprint_rel, 1,
+                f"SIMULATOR_VERSION is {version!r} but fingerprints "
+                f"were blessed under {blessed_version!r} — run "
+                "`repro.cli lint --update-fingerprints`"))
+            return findings
+        for relpath in changed:
+            state = ("added" if relpath not in blessed_files else
+                     "removed" if relpath not in current["files"] else
+                     "modified")
+            findings.append(self.finding(
+                relpath, 1,
+                f"semantic module {state} without a SIMULATOR_VERSION "
+                "bump — if simulated numbers can move, bump the version "
+                "(src/repro/sim/cache.py); if the change is "
+                "bit-identical (golden pins + fuzz corpus green), "
+                "re-bless with `repro.cli lint --update-fingerprints`"))
+        return findings

@@ -1,0 +1,49 @@
+"""Inline suppression parsing: ``# lint: disable=RULE(reason)``.
+
+A suppression lives on the same line as the finding it silences and
+must carry a non-empty reason in parentheses — the engine keeps
+reason-less disables visible (the finding survives, annotated) so every
+suppression in the tree documents *why* the contract is waived. Multiple
+rules may be disabled on one line, comma-separated:
+
+    x = foo()  # lint: disable=REP001(seeded upstream),REP003(owner api)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+#: the whole directive after "lint:" — e.g. "disable=REP001(reason), REP004"
+_DIRECTIVE = re.compile(r"#\s*lint:\s*disable=(?P<body>.+)$")
+#: one rule entry inside the directive body
+_ENTRY = re.compile(r"(?P<code>[A-Z]+\d+)\s*(?:\((?P<reason>[^()]*)\))?")
+
+
+def parse_line(line: str) -> Dict[str, str]:
+    """Suppressions on one source line: ``{code: reason}``.
+
+    A rule listed without a ``(reason)`` (or with an empty one) maps to
+    ``""`` — the engine treats that as *not* suppressing, but reports it
+    so authors learn the required form.
+    """
+    match = _DIRECTIVE.search(line)
+    if not match:
+        return {}
+    out: Dict[str, str] = {}
+    for entry in _ENTRY.finditer(match.group("body")):
+        reason = entry.group("reason")
+        out[entry.group("code")] = (reason or "").strip()
+    return out
+
+
+def suppression_map(lines: List[str]) -> Dict[int, Dict[str, str]]:
+    """Per-line (1-indexed) suppression tables for a whole file."""
+    out: Dict[int, Dict[str, str]] = {}
+    for idx, line in enumerate(lines, start=1):
+        if "lint:" not in line:
+            continue
+        entries = parse_line(line)
+        if entries:
+            out[idx] = entries
+    return out

@@ -134,6 +134,7 @@ class IssueQueue:
         self._capacity = old + grow_by
 
     # ----------------------------------------------------------------- insert
+    # hot-path
     def insert(self, entry: IssueQueueEntry, force: bool = False) -> None:
         """Dispatch an entry into the queue.
 
@@ -147,7 +148,8 @@ class IssueQueue:
             raise RuntimeError("issue queue full")
         uid = entry.uid
         if uid in entries:
-            raise ValueError(f"uid {uid} already in issue queue")
+            raise ValueError(
+                f"uid {uid} already in issue queue")  # lint: disable=REP004(raise-only path: the f-string is built only when the duplicate-uid invariant is already broken)
         if not self._free:
             self._grow()
         slot = self._free.pop()
@@ -165,6 +167,7 @@ class IssueQueue:
             self._ready[uid] = slot
 
     # ----------------------------------------------------------------- wakeup
+    # hot-path
     def wakeup(self, uid: int, count: int = 1) -> None:
         """Mark ``count`` source operands of ``uid`` as ready."""
         slot = self._entries.get(uid)
@@ -181,6 +184,7 @@ class IssueQueue:
         self.payloads[slot].remaining_sources = remaining
 
     # ----------------------------------------------------------------- select
+    # hot-path
     def select(self, max_issue: Optional[int] = None,
                memory_slots: Optional[int] = None) -> List[IssueQueueEntry]:
         """Select up to ``issue_width`` ready entries, oldest first.
@@ -231,6 +235,7 @@ class IssueQueue:
         self.payloads[slot] = None
         self._free.append(slot)
 
+    # hot-path
     def take_slots(self, slots: List[int]) -> List[IssueQueueEntry]:
         """Remove pre-selected ``slots`` (compiled select) and return entries.
 
@@ -285,6 +290,7 @@ class IssueQueue:
         return result
 
     # -------------------------------------------------------------- statistics
+    # hot-path
     def sample_occupancy(self, cycles: int = 1) -> None:
         """Record occupancy and ready-but-unissued counts for ``cycles`` cycles.
 

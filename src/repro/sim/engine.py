@@ -38,7 +38,7 @@ from repro.sim.metrics import SimulationResult
 from repro.sim.simulator import simulate
 from repro.trace.profiles import BenchmarkProfile, get_profile
 from repro.trace.slicing import select_simulation_slice
-from repro.trace.store import TraceStore, trace_key
+from repro.trace.store import TraceStore, profile_key_text, trace_key
 from repro.trace.synthetic import generate_trace
 from repro.trace.trace import Trace
 
@@ -117,7 +117,8 @@ def trace_for_job(job: SweepJob, profile: Optional[BenchmarkProfile] = None,
         profile = get_profile(job.benchmark)
     # The profile content is part of the key so a caller-supplied profile that
     # shadows a registered name cannot collide with it.
-    key = (repr(profile), job.trace_uops, job.seed, job.use_slicing)
+    key = (profile_key_text(profile), job.trace_uops, job.seed,
+           job.use_slicing)
     trace = _trace_memo.get(key)
     if trace is not None:
         # The memo is process-global while stores are per-engine: a trace
@@ -338,7 +339,10 @@ class SweepEngine:
         that differ only in selector or knobs can never alias an entry.
         The power configuration contributes through
         ``PowerConfig.to_key_dict()``: results carry their energy figures,
-        so changed coefficients must change the key too.
+        so changed coefficients must change the key too.  The profile
+        contributes the same way (``BenchmarkProfile.to_key_dict()``, every
+        distribution knob), replacing the earlier ``repr``-based keying
+        whose coverage was implicit.
         """
         if job.policy == "baseline":
             config = baseline_config()
@@ -346,7 +350,8 @@ class SweepEngine:
             config = job.config or self.config
         profile = self._profile_for(job.benchmark)
         power = job.power or self.power
-        return result_key(profile, job.trace_uops, job.seed, job.use_slicing,
+        return result_key(canonical_text(profile.to_key_dict()),
+                          job.trace_uops, job.seed, job.use_slicing,
                           canonical_text(config.to_key_dict()),
                           canonical_text(policy_spec(job.policy).to_key_dict()),
                           canonical_text(power.to_key_dict()))

@@ -155,6 +155,7 @@ class HotState:
         self.cstate = None
 
     # ------------------------------------------------------------- python path
+    # hot-path
     def next_completion(self) -> Optional[int]:
         """Earliest upcoming writeback cycle (lazy-pruned heap head)."""
         heap = self.heap

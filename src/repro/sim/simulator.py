@@ -413,6 +413,7 @@ class HelperClusterSimulator:
             heappop(heap)
         return None
 
+    # hot-path
     def _next_event(self, t: int) -> Tuple[int, bool]:
         """The next fast cycle on which anything can happen, and whether the
         cycles skipped to reach it are idle-sampled.
@@ -499,6 +500,7 @@ class HelperClusterSimulator:
         return packed >> 1, bool(packed & 1)
 
 
+    # hot-path
     def _record_idle_cycles(self, cycles: int) -> None:
         """Fold ``cycles`` skipped no-op cycles into the sampling statistics.
 
@@ -518,6 +520,7 @@ class HelperClusterSimulator:
     # ======================================================================
     # writeback stage
     # ======================================================================
+    # hot-path
     def _writeback(self, t: int) -> None:
         completing = self._completions.pop(t, None)
         if not completing:
@@ -567,6 +570,7 @@ class HelperClusterSimulator:
             if parent.in_rob and parent.uop is not None:
                 self.rob.mark_completed(parent.uop.uid)
 
+    # hot-path
     def _complete_trace_uop(self, dyn: _DynUop, t: int) -> None:
         uop = dyn.uop
         domain = dyn.domain
@@ -788,6 +792,7 @@ class HelperClusterSimulator:
             return []
         return iq.take_slots(slots)
 
+    # hot-path
     def _issue_backend(self, backend: Backend, t: int) -> None:
         slow_cycle = t // self._ratio
         dl0_free = self.memory.dl0_ports - self._dl0_slots.get(slow_cycle, 0)
@@ -840,6 +845,7 @@ class HelperClusterSimulator:
     # ======================================================================
     # commit stage
     # ======================================================================
+    # hot-path
     def _commit(self, t: int) -> None:
         retired = self.rob.commit()
         if not retired:
@@ -880,6 +886,7 @@ class HelperClusterSimulator:
     # ======================================================================
     # dispatch stage
     # ======================================================================
+    # hot-path
     def _dispatch(self, t: int) -> None:
         if self.recovery.dispatch_blocked(t):
             return
@@ -913,6 +920,7 @@ class HelperClusterSimulator:
                 budget -= consumed
 
     # ------------------------------------------------------------ trace uops
+    # hot-path
     def _dispatch_trace_uop(self, fetched: FetchedUop, t: int) -> Optional[int]:
         """Steer, rename and dispatch one trace uop.
 
@@ -959,6 +967,7 @@ class HelperClusterSimulator:
             return None
         return 1
 
+    # hot-path
     def _dispatch_dyn(self, dyn: _DynUop, t: int, fetched: Optional[FetchedUop] = None,
                       allocate_rob: bool = False, force: bool = False) -> bool:
         """Place a dynamic uop into its backend's scheduler, wiring dependences."""
@@ -999,11 +1008,15 @@ class HelperClusterSimulator:
                 self.rename.allocate(uop.dest, uop.uid, dyn.domain,
                                      predicted_narrow, width_bits=width_bits)
                 if decision is not None and decision.via_cr and uop.srcs:
-                    wide_sources = [r for i, r in enumerate(uop.srcs)
-                                    if i < len(uop.src_values)
-                                    and not is_narrow(uop.src_values[i], self._narrow_width)]
-                    if wide_sources:
-                        self.rename.link_upper_bits(uop.dest, wide_sources[0])
+                    # First wide source wins; a first-match loop avoids
+                    # building the full wide-source list per uop.
+                    src_values = uop.src_values
+                    narrow_width = self._narrow_width
+                    for i, r in enumerate(uop.srcs):
+                        if (i < len(src_values)
+                                and not is_narrow(src_values[i], narrow_width)):
+                            self.rename.link_upper_bits(uop.dest, r)
+                            break
             if uop.writes_flags:
                 self.rename.allocate(ArchReg.FLAGS, uop.uid, dyn.domain, True)
             activity.rename_ops += 1
@@ -1037,6 +1050,7 @@ class HelperClusterSimulator:
             cluster.fpu_ops += 1
 
     # -------------------------------------------------------- dependences
+    # hot-path
     def _resolve_dependences(self, dyn: _DynUop, t: int,
                              force: bool = False) -> Optional[int]:
         """Count outstanding sources and generate any demand copies.
@@ -1102,8 +1116,12 @@ class HelperClusterSimulator:
                 if source_domain is None or source_domain == domain:
                     # The producer record says "this cluster" but the value is
                     # only resident elsewhere (e.g. it migrated on recovery).
-                    others = [d for d in slots if d != domain] if slots else []
-                    source_domain = others[0] if others else None
+                    source_domain = None
+                    if slots:
+                        for d in slots:
+                            if d != domain:
+                                source_domain = d
+                                break
                 if source_domain is not None and source_domain != domain:
                     if needed_copies is None:
                         needed_copies = []
@@ -1307,6 +1325,7 @@ class HelperClusterSimulator:
     # ======================================================================
     # wakeup plumbing
     # ======================================================================
+    # hot-path
     def _wake(self, value_uid: Optional[int], domain: ClockDomain) -> None:
         if value_uid is None:
             return
@@ -1348,6 +1367,7 @@ class HelperClusterSimulator:
     # ======================================================================
     # sampling / finalisation
     # ======================================================================
+    # hot-path
     def _sample_imbalance(self, t: int) -> None:
         """Record this cycle's NREADY / occupancy statistics.
 
@@ -1388,8 +1408,8 @@ class HelperClusterSimulator:
             helper_ready if helper_ready < wide_free else wide_free)
         imbalance.wide_occupancy_accum += wide_occupancy
         imbalance.narrow_occupancy_accum += helper_occupancy
-        imbalance._last_wide_occupancy = wide_occupancy
-        imbalance._last_narrow_occupancy = helper_occupancy
+        imbalance.last_wide_occupancy = wide_occupancy
+        imbalance.last_narrow_occupancy = helper_occupancy
         wide_iq.total_occupancy_samples += 1
         wide_iq.occupancy_accum += wide_occupancy
         wide_iq.ready_not_issued_accum += wide_ready_count

@@ -58,7 +58,8 @@ class InstructionMix:
             fp=self.fp / total,
         )
 
-    def as_dict(self) -> Dict[str, float]:
+    def to_key_dict(self) -> Dict[str, float]:
+        """Canonical field dict for cache keys (REP002): every field."""
         return {
             "alu": self.alu,
             "mul": self.mul,
@@ -69,6 +70,9 @@ class InstructionMix:
             "uncond_branch": self.uncond_branch,
             "fp": self.fp,
         }
+
+    def as_dict(self) -> Dict[str, float]:
+        return self.to_key_dict()
 
 
 @dataclass(frozen=True)
@@ -165,6 +169,32 @@ class BenchmarkProfile:
     def scaled(self, **overrides) -> "BenchmarkProfile":
         """Return a copy with selected fields overridden."""
         return replace(self, **overrides)
+
+    def to_key_dict(self) -> Dict[str, object]:
+        """Canonical field dict for cache keys (REP002).
+
+        Every field appears explicitly: the sweep engine's result keys and
+        the trace store's keys hash ``canonical_text(profile.to_key_dict())``,
+        so a field missing here would let two distinct profiles alias one
+        cache entry (stale-hit hazard).  ``mix`` nests its own key dict.
+        """
+        return {
+            "name": self.name,
+            "mix": self.mix.to_key_dict(),
+            "narrow_data_fraction": self.narrow_data_fraction,
+            "narrow_consumer_locality": self.narrow_consumer_locality,
+            "loop_trip_mean": self.loop_trip_mean,
+            "loop_body_size": self.loop_body_size,
+            "dependency_span": self.dependency_span,
+            "aligned_base_fraction": self.aligned_base_fraction,
+            "small_offset_fraction": self.small_offset_fraction,
+            "byte_load_fraction": self.byte_load_fraction,
+            "pointer_arith_fraction": self.pointer_arith_fraction,
+            "width_locality": self.width_locality,
+            "data_width": self.data_width,
+            "static_loops": self.static_loops,
+            "category": self.category,
+        }
 
 
 def _p(name: str, **kwargs) -> BenchmarkProfile:

@@ -19,6 +19,7 @@ performs exactly one generation per distinct trace.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import tempfile
 from pathlib import Path
@@ -32,18 +33,33 @@ from repro.trace.serialization import (
 from repro.trace.trace import Trace
 
 
+def profile_key_text(profile: object) -> str:
+    """Canonical key text of a profile: sorted-key JSON of ``to_key_dict()``.
+
+    Keying on the declared field dict instead of ``repr`` means the key
+    contract is explicit (REP002 statically checks every field reaches
+    ``to_key_dict``) and independent of repr formatting details such as
+    ``repr=False`` fields or float rendering — the same convention as the
+    engine's in-process memo key and the result-cache key.  Objects without
+    ``to_key_dict`` (only exercised by tests) fall back to ``repr``.
+    """
+    to_key = getattr(profile, "to_key_dict", None)
+    if to_key is not None:
+        return json.dumps(to_key(), sort_keys=True, separators=(",", ":"))
+    return repr(profile)
+
+
 def trace_key(profile: object, trace_uops: int, seed: int,
               use_slicing: bool) -> str:
     """Stable content hash of everything that determines a generated trace.
 
-    The profile contributes through its ``repr`` (a dataclass repr covering
-    every distribution parameter), so a caller-supplied profile that shadows
-    a registered name cannot collide with it — the same convention as the
-    engine's in-process memo key and the result-cache key.
+    The profile contributes through :func:`profile_key_text`, so a
+    caller-supplied profile that shadows a registered name cannot collide
+    with it.
     """
     hasher = hashlib.sha256()
     hasher.update(str(BINARY_FORMAT_VERSION).encode("utf-8"))
-    for part in (repr(profile), trace_uops, seed, use_slicing):
+    for part in (profile_key_text(profile), trace_uops, seed, use_slicing):
         hasher.update(b"\x00")
         hasher.update(repr(part).encode("utf-8"))
     return hasher.hexdigest()

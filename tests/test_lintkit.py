@@ -1,0 +1,520 @@
+"""Lintkit rule battery: every rule fires on a bad fixture, stays quiet
+on a good one, and the suppression / fingerprint workflows round-trip.
+
+Fixture trees are written under tmp_path with a narrow LintConfig so each
+rule is exercised in isolation; the final test runs the full shipped
+configuration over this repository and is the tier-1 "lint exits 0" gate.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+from textwrap import dedent
+
+import pytest
+
+from repro.lintkit import (LintConfig, LintRunner, build_rules,
+                           default_config, render_json, render_text,
+                           report_to_dict, run_lint, update_fingerprints)
+from repro.lintkit.rules.determinism import DeterminismRule
+from repro.lintkit.rules.cache_key import CacheKeyCompletenessRule
+from repro.lintkit.rules.live_view import LiveViewContractRule
+from repro.lintkit.rules.hot_loop import HotLoopHygieneRule
+from repro.lintkit.rules.versioning import (VersionDisciplineRule,
+                                            read_simulator_version)
+from repro.lintkit.suppressions import parse_line
+
+
+def write_tree(root: Path, files: dict) -> None:
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(dedent(text), encoding="utf-8")
+
+
+def run_rules(config: LintConfig, rules):
+    return LintRunner(config, rules).run()
+
+
+def codes_at(report, relpath):
+    return [(f.rule, f.line) for f in report.unsuppressed
+            if f.path == relpath]
+
+
+# --------------------------------------------------------------- REP001
+
+class TestDeterminism:
+    def config(self, root: Path) -> LintConfig:
+        return LintConfig(project_root=root, src_roots=["src"],
+                          determinism_scopes=["src/sim"])
+
+    def test_fires_on_ambient_entropy(self, tmp_path):
+        write_tree(tmp_path, {"src/sim/bad.py": """\
+            import random, time, os
+
+            def roll():
+                a = random.random()
+                b = time.time()
+                c = os.urandom(4)
+                return a, b, c
+        """})
+        report = run_rules(self.config(tmp_path), [DeterminismRule()])
+        lines = [f.line for f in report.unsuppressed]
+        assert lines == [4, 5, 6]
+        assert all(f.rule == "REP001" for f in report.unsuppressed)
+
+    def test_fires_on_set_iteration(self, tmp_path):
+        write_tree(tmp_path, {"src/sim/bad.py": """\
+            def f(items):
+                seen = set(items)
+                for x in seen:
+                    print(x)
+                return [y for y in {1, 2, 3}]
+        """})
+        report = run_rules(self.config(tmp_path), [DeterminismRule()])
+        assert [f.line for f in report.unsuppressed] == [3, 5]
+
+    def test_fires_on_self_attribute_set(self, tmp_path):
+        write_tree(tmp_path, {"src/sim/bad.py": """\
+            class Tracker:
+                def __init__(self):
+                    self.seen = set()
+
+                def drain(self):
+                    for x in self.seen:
+                        print(x)
+        """})
+        report = run_rules(self.config(tmp_path), [DeterminismRule()])
+        assert [f.line for f in report.unsuppressed] == [6]
+
+    def test_quiet_on_sanctioned_patterns(self, tmp_path):
+        write_tree(tmp_path, {"src/sim/good.py": """\
+            import random
+
+            def f(items, seed):
+                rng = random.Random(seed)
+                seen = set(items)
+                total = sum(seen)
+                ordered = sorted(x * 2 for x in seen)
+                if 3 in seen and len(seen) > 1:
+                    return rng.randrange(total)
+                return ordered
+        """})
+        report = run_rules(self.config(tmp_path), [DeterminismRule()])
+        assert report.unsuppressed == []
+
+    def test_out_of_scope_files_ignored(self, tmp_path):
+        write_tree(tmp_path, {"src/other/wild.py": """\
+            import time
+
+            def now():
+                return time.time()
+        """})
+        report = run_rules(self.config(tmp_path), [DeterminismRule()])
+        assert report.unsuppressed == []
+
+
+# --------------------------------------------------------------- REP002
+
+class TestCacheKeyCompleteness:
+    def config(self, root: Path, exemptions=None) -> LintConfig:
+        return LintConfig(
+            project_root=root, src_roots=["src"],
+            key_dict_classes=[("src/conf.py", "Spec")],
+            key_dict_exemptions=exemptions or {})
+
+    def test_fires_on_missing_field(self, tmp_path):
+        write_tree(tmp_path, {"src/conf.py": """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class Spec:
+                width: int = 8
+                ratio: int = 2
+                label: str = "x"
+
+                def to_key_dict(self):
+                    return {"width": self.width, "ratio": self.ratio}
+        """})
+        report = run_rules(self.config(tmp_path),
+                           [CacheKeyCompletenessRule()])
+        assert len(report.unsuppressed) == 1
+        finding = report.unsuppressed[0]
+        assert finding.rule == "REP002"
+        assert "Spec.label" in finding.message
+
+    def test_fires_on_missing_to_key_dict(self, tmp_path):
+        write_tree(tmp_path, {"src/conf.py": """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class Spec:
+                width: int = 8
+        """})
+        report = run_rules(self.config(tmp_path),
+                           [CacheKeyCompletenessRule()])
+        assert len(report.unsuppressed) == 1
+        assert "no to_key_dict" in report.unsuppressed[0].message
+
+    def test_asdict_covers_everything(self, tmp_path):
+        write_tree(tmp_path, {"src/conf.py": """\
+            from dataclasses import asdict, dataclass
+
+            @dataclass
+            class Spec:
+                width: int = 8
+                label: str = "x"
+
+                def to_key_dict(self):
+                    return asdict(self)
+        """})
+        report = run_rules(self.config(tmp_path),
+                           [CacheKeyCompletenessRule()])
+        assert report.unsuppressed == []
+
+    def test_exemption_table_honoured(self, tmp_path):
+        write_tree(tmp_path, {"src/conf.py": """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class Spec:
+                width: int = 8
+                label: str = "x"
+
+                def to_key_dict(self):
+                    return {"width": self.width}
+        """})
+        exempt = {"Spec": {"label": "presentation only"}}
+        report = run_rules(self.config(tmp_path, exempt),
+                           [CacheKeyCompletenessRule()])
+        assert report.unsuppressed == []
+
+    def test_stale_exemption_fires(self, tmp_path):
+        write_tree(tmp_path, {"src/conf.py": """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class Spec:
+                width: int = 8
+
+                def to_key_dict(self):
+                    return {"width": self.width}
+        """})
+        exempt = {"Spec": {"gone": "field was deleted"}}
+        report = run_rules(self.config(tmp_path, exempt),
+                           [CacheKeyCompletenessRule()])
+        assert len(report.unsuppressed) == 1
+        assert "stale exemption" in report.unsuppressed[0].message
+
+
+# --------------------------------------------------------------- REP003
+
+class TestLiveViewContract:
+    def test_fires_on_private_cross_object_read(self, tmp_path):
+        write_tree(tmp_path, {"src/sim/hot.py": """\
+            def sample(queue):
+                queue._occupancy += 1
+                return queue.entries
+        """})
+        config = LintConfig(project_root=tmp_path, src_roots=["src"],
+                            live_view_modules=["src/sim/hot.py"])
+        report = run_rules(config, [LiveViewContractRule()])
+        assert codes_at(report, "src/sim/hot.py") == [("REP003", 2)]
+
+    def test_self_and_dunder_reads_allowed(self, tmp_path):
+        write_tree(tmp_path, {"src/sim/hot.py": """\
+            class Sim:
+                def step(self, queue):
+                    self._cycle += 1
+                    return queue.entries, queue.__class__
+        """})
+        config = LintConfig(project_root=tmp_path, src_roots=["src"],
+                            live_view_modules=["src/sim/hot.py"])
+        report = run_rules(config, [LiveViewContractRule()])
+        assert report.unsuppressed == []
+
+    def test_missing_alias_fires(self, tmp_path):
+        write_tree(tmp_path, {"src/pipeline/queue.py": """\
+            class IssueQueue:
+                def __init__(self):
+                    self.entries = {}
+        """})
+        config = LintConfig(
+            project_root=tmp_path, src_roots=["src"],
+            live_view_aliases={"IssueQueue": (
+                "src/pipeline/queue.py", ["entries", "ready_entries"])})
+        report = run_rules(config, [LiveViewContractRule()])
+        assert len(report.unsuppressed) == 1
+        assert "ready_entries" in report.unsuppressed[0].message
+
+    def test_published_alias_satisfies(self, tmp_path):
+        write_tree(tmp_path, {"src/pipeline/queue.py": """\
+            class IssueQueue:
+                def __init__(self):
+                    self.entries = {}
+                    self.ready_entries = {}
+        """})
+        config = LintConfig(
+            project_root=tmp_path, src_roots=["src"],
+            live_view_aliases={"IssueQueue": (
+                "src/pipeline/queue.py", ["entries", "ready_entries"])})
+        report = run_rules(config, [LiveViewContractRule()])
+        assert report.unsuppressed == []
+
+
+# --------------------------------------------------------------- REP004
+
+HOT_BAD = """\
+    class Sim:
+        # hot-path
+        def step(self, uops):
+            ready = [u for u in uops if u.ready]
+            label = f"step {len(ready)}"
+            merged = ready + [None]
+            return label, merged
+
+        def recover(self, uops):
+            return [u for u in uops if not u.squashed]
+"""
+
+
+class TestHotLoopHygiene:
+    def config(self, root: Path) -> LintConfig:
+        return LintConfig(project_root=root, src_roots=["src"],
+                          hot_loop_files=["src/sim/hot.py"])
+
+    def test_fires_inside_tagged_function_only(self, tmp_path):
+        write_tree(tmp_path, {"src/sim/hot.py": HOT_BAD})
+        report = run_rules(self.config(tmp_path), [HotLoopHygieneRule()])
+        lines = [f.line for f in report.unsuppressed]
+        # comprehension, f-string and list + inside step(); the untagged
+        # recover() comprehension is legal.
+        assert lines == [4, 5, 6]
+        assert all(f.rule == "REP004" for f in report.unsuppressed)
+
+    def test_untagged_file_fires_tag_guard(self, tmp_path):
+        write_tree(tmp_path, {"src/sim/hot.py": """\
+            def cold(xs):
+                return [x for x in xs]
+        """})
+        report = run_rules(self.config(tmp_path), [HotLoopHygieneRule()])
+        assert len(report.unsuppressed) == 1
+        assert "no # hot-path function tags" in report.unsuppressed[0].message
+
+    def test_clean_tagged_function_quiet(self, tmp_path):
+        write_tree(tmp_path, {"src/sim/hot.py": """\
+            class Sim:
+                # hot-path
+                def step(self, uops):
+                    count = 0
+                    for u in uops:
+                        if u.ready:
+                            count += 1
+                    return count
+        """})
+        report = run_rules(self.config(tmp_path), [HotLoopHygieneRule()])
+        assert report.unsuppressed == []
+
+
+# ---------------------------------------------------------- suppressions
+
+class TestSuppressions:
+    def test_parse_line_forms(self):
+        assert parse_line("x = 1  # lint: disable=REP001(seeded)") == {
+            "REP001": "seeded"}
+        assert parse_line(
+            "y  # lint: disable=REP001(a), REP004(b c)") == {
+                "REP001": "a", "REP004": "b c"}
+        assert parse_line("z  # lint: disable=REP001") == {"REP001": ""}
+        assert parse_line("plain line") == {}
+
+    def test_suppression_with_reason_silences(self, tmp_path):
+        write_tree(tmp_path, {"src/sim/hot.py": """\
+            # hot-path
+            def step(uops):
+                return [u for u in uops]  # lint: disable=REP004(bench-only fixture)
+        """})
+        config = LintConfig(project_root=tmp_path, src_roots=["src"],
+                            hot_loop_files=["src/sim/hot.py"])
+        report = run_rules(config, [HotLoopHygieneRule()])
+        assert report.unsuppressed == []
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].suppression_reason == \
+            "bench-only fixture"
+        assert report.ok
+
+    def test_reasonless_suppression_does_not_silence(self, tmp_path):
+        write_tree(tmp_path, {"src/sim/hot.py": """\
+            # hot-path
+            def step(uops):
+                return [u for u in uops]  # lint: disable=REP004
+        """})
+        config = LintConfig(project_root=tmp_path, src_roots=["src"],
+                            hot_loop_files=["src/sim/hot.py"])
+        report = run_rules(config, [HotLoopHygieneRule()])
+        assert len(report.unsuppressed) == 1
+        assert "suppression ignored" in report.unsuppressed[0].message
+
+    def test_wrong_rule_suppression_does_not_silence(self, tmp_path):
+        write_tree(tmp_path, {"src/sim/hot.py": """\
+            # hot-path
+            def step(uops):
+                return [u for u in uops]  # lint: disable=REP001(not this rule)
+        """})
+        config = LintConfig(project_root=tmp_path, src_roots=["src"],
+                            hot_loop_files=["src/sim/hot.py"])
+        report = run_rules(config, [HotLoopHygieneRule()])
+        assert len(report.unsuppressed) == 1
+
+
+# --------------------------------------------------------------- REP005
+
+VERSION_MODULE = """\
+    SIMULATOR_VERSION = "{version}"
+"""
+
+SEMANTIC_MODULE = """\
+    def semantics():
+        return {value}
+"""
+
+
+class TestVersionDiscipline:
+    def config(self, root: Path) -> LintConfig:
+        return LintConfig(
+            project_root=root, src_roots=["src"],
+            semantic_module_globs=["src/mod/*.py"],
+            fingerprint_path=root / "fingerprints.json",
+            version_source=("src/mod/version.py", "SIMULATOR_VERSION"))
+
+    def seed(self, root: Path, version="1", value="1") -> LintConfig:
+        write_tree(root, {
+            "src/mod/version.py": VERSION_MODULE.format(version=version),
+            "src/mod/semantics.py": SEMANTIC_MODULE.format(value=value),
+        })
+        return self.config(root)
+
+    def test_missing_fingerprints_fire(self, tmp_path):
+        config = self.seed(tmp_path)
+        report = run_rules(config, [VersionDisciplineRule()])
+        assert len(report.unsuppressed) == 1
+        assert "fingerprint file missing" in report.unsuppressed[0].message
+
+    def test_bless_then_clean(self, tmp_path):
+        config = self.seed(tmp_path)
+        path = update_fingerprints(config)
+        blessed = json.loads(path.read_text())
+        assert blessed["simulator_version"] == "1"
+        assert "src/mod/semantics.py" in blessed["files"]
+        report = run_rules(config, [VersionDisciplineRule()])
+        assert report.unsuppressed == []
+
+    def test_semantic_change_without_bump_fires(self, tmp_path):
+        config = self.seed(tmp_path)
+        update_fingerprints(config)
+        write_tree(tmp_path, {
+            "src/mod/semantics.py": SEMANTIC_MODULE.format(value="2")})
+        report = run_rules(config, [VersionDisciplineRule()])
+        assert len(report.unsuppressed) == 1
+        finding = report.unsuppressed[0]
+        assert finding.path == "src/mod/semantics.py"
+        assert "without a SIMULATOR_VERSION bump" in finding.message
+
+    def test_new_semantic_module_fires(self, tmp_path):
+        config = self.seed(tmp_path)
+        update_fingerprints(config)
+        write_tree(tmp_path, {
+            "src/mod/extra.py": SEMANTIC_MODULE.format(value="3")})
+        report = run_rules(config, [VersionDisciplineRule()])
+        assert [f.path for f in report.unsuppressed] == ["src/mod/extra.py"]
+
+    def test_version_bump_requires_rebless(self, tmp_path):
+        config = self.seed(tmp_path)
+        update_fingerprints(config)
+        write_tree(tmp_path, {
+            "src/mod/version.py": VERSION_MODULE.format(version="2"),
+            "src/mod/semantics.py": SEMANTIC_MODULE.format(value="2"),
+        })
+        report = run_rules(config, [VersionDisciplineRule()])
+        assert len(report.unsuppressed) == 1
+        assert "blessed under" in report.unsuppressed[0].message
+        # Re-blessing under the new version settles the contract.
+        update_fingerprints(config)
+        report = run_rules(config, [VersionDisciplineRule()])
+        assert report.unsuppressed == []
+
+    def test_reads_real_simulator_version(self):
+        version = read_simulator_version(default_config())
+        from repro.sim.cache import SIMULATOR_VERSION
+        assert version == SIMULATOR_VERSION
+
+
+# ------------------------------------------------------------ reporting
+
+class TestReporting:
+    def report(self, tmp_path):
+        write_tree(tmp_path, {"src/sim/hot.py": HOT_BAD})
+        config = LintConfig(project_root=tmp_path, src_roots=["src"],
+                            hot_loop_files=["src/sim/hot.py"])
+        return run_rules(config, [HotLoopHygieneRule()])
+
+    def test_text_report(self, tmp_path):
+        report = self.report(tmp_path)
+        text = render_text(report)
+        assert "src/sim/hot.py:4:" in text
+        assert "REP004" in text
+        assert "3 finding(s)" in text
+
+    def test_json_report_shape(self, tmp_path):
+        report = self.report(tmp_path)
+        data = json.loads(render_json(report))
+        assert data["format"] == 1
+        assert data["summary"]["findings"] == 3
+        assert data["summary"]["ok"] is False
+        assert data["rules"][0]["code"] == "REP004"
+        assert {f["rule"] for f in data["findings"]} == {"REP004"}
+
+    def test_rule_filter_unknown_code_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            build_rules(["REP999"])
+
+    def test_rule_filter_selects(self):
+        rules = build_rules(["REP001", "REP004"])
+        assert sorted(rule.code for rule in rules) == ["REP001", "REP004"]
+
+
+# ----------------------------------------------------- shipped-tree gate
+
+class TestShippedTree:
+    def test_all_five_rules_registered(self):
+        rules = build_rules()
+        assert sorted(rule.code for rule in rules) == [
+            "REP001", "REP002", "REP003", "REP004", "REP005"]
+
+    def test_repo_lints_clean(self):
+        """The tier-1 lint gate: the shipped tree has no unsuppressed
+        findings under the full default configuration (the CI lint job
+        enforces the same through the CLI)."""
+        report = run_lint()
+        assert len(report.rules) == 5
+        messages = [f"{f.location()}: {f.rule}: {f.message}"
+                    for f in report.unsuppressed]
+        assert messages == []
+        # The deliberate raise-path suppression in the scheduler stays
+        # visible in the report, reason attached.
+        assert any(f.rule == "REP004" and f.suppression_reason
+                   for f in report.suppressed)
+
+    def test_cli_lint_exits_zero(self):
+        root = default_config().project_root
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", "--format", "json"],
+            cwd=root, capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        data = json.loads(proc.stdout)
+        assert data["summary"]["ok"] is True
+        assert data["summary"]["rules_active"] == 5
