@@ -17,6 +17,10 @@ policies) under the configurations that matter for sweep throughput:
   scenario records the effective ``jobs`` plus ``jobs_requested``).
 * ``warm_cache``     — warm on-disk result cache: repeat sweeps are served
   from content-addressed entries.
+* ``dispatch_chain`` / ``dispatch_chain_python`` — one helper-cluster run
+  (gcc / IR, no baseline, no sweep engine) per backend: isolates the
+  per-uop dispatch/resolve/wakeup chain the compiled kernels target, which
+  the ladder number dilutes with engine and baseline costs.
 
 CI's perf smoke job sets ``REPRO_BENCH_ENFORCE=1`` to fail on a >25%
 uops/sec regression against the committed JSON (``REPRO_BENCH_TOLERANCE``
@@ -109,6 +113,44 @@ def _run_ladder(tmp_path, label, jobs=1, cache_dir=None, store_dir=None):
     return sweep, scenario
 
 
+def _run_dispatch_chain():
+    """Time the per-uop dispatch/steer/writeback chain in isolation.
+
+    One helper-cluster run (no baseline, no sweep engine) over the gcc
+    profile under the IR policy: dispatch + resolve + wakeup dominate this
+    configuration, so the scenario isolates the compiled dispatch-chain
+    kernels the ladder number dilutes with engine and baseline costs.
+    Min-of-3 discards scheduler blips.
+    """
+    from repro.core.config import helper_cluster_config
+    from repro.core.steering import make_policy
+    from repro.sim.simulator import simulate
+    from repro.trace.synthetic import generate_trace
+
+    profile = SPEC_INT_2000["gcc"]
+    trace = generate_trace(profile, BENCH_UOPS, seed=BENCH_SEED)
+    config = helper_cluster_config()
+    best_wall = None
+    result = None
+    for _ in range(3):
+        start = time.perf_counter()
+        run = simulate(trace, config=config, policy=make_policy("ir"))
+        wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+        if result is None:
+            result = run
+        else:
+            assert (run.ipc, run.fast_cycles) == (result.ipc,
+                                                  result.fast_cycles)
+    scenario = {
+        "wall_s": round(best_wall, 3),
+        "uops_per_sec": round(BENCH_UOPS / best_wall),
+        "backend": detected_backend(),
+    }
+    return result, scenario
+
+
 def test_bench_sim_throughput(tmp_path):
     scenarios = {}
 
@@ -146,6 +188,28 @@ def test_bench_sim_throughput(tmp_path):
             if (key not in scenarios
                     or scenario["wall_s"] < scenarios[key]["wall_s"]):
                 scenarios[key] = scenario
+
+    # -- dispatch-chain microbenchmark: one run, no engine, per backend ------
+    chain_reference = None
+    for key, forced in (("dispatch_chain", None),
+                        ("dispatch_chain_python", "python")):
+        saved_backend = os.environ.get(BACKEND_ENV)
+        if forced:
+            os.environ[BACKEND_ENV] = forced
+        try:
+            chain_result, scenarios[key] = _run_dispatch_chain()
+        finally:
+            if forced is None:
+                pass
+            elif saved_backend is None:
+                os.environ.pop(BACKEND_ENV, None)
+            else:
+                os.environ[BACKEND_ENV] = saved_backend
+        if chain_reference is None:
+            chain_reference = chain_result
+        else:
+            assert (chain_result.ipc, chain_result.fast_cycles) == (
+                chain_reference.ipc, chain_reference.fast_cycles)
 
     # -- fresh process over a warm trace store (seeded by round 0 above) -----
     engine_mod._trace_memo.clear()
@@ -193,7 +257,8 @@ def test_bench_sim_throughput(tmp_path):
     if os.environ.get("REPRO_BENCH_ENFORCE") == "1":
         tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25"))
         old_calibration = committed.get("calibration_ops_per_sec")
-        for key in ("serial_cold", "serial_cold_python"):
+        for key in ("serial_cold", "serial_cold_python",
+                    "dispatch_chain", "dispatch_chain_python"):
             old = committed.get("scenarios", {}).get(key, {})
             old_rate = old.get("uops_per_sec")
             new = scenarios[key]

@@ -11,13 +11,29 @@
  *                      issue-width and DL0 memory-port budgets;
  *   - rob_commit_scan: contiguous-completed head scan of the ROB ring.
  *
- * The kernels mutate nothing except the completion heap's lazy pruning
- * (exactly what the python path does) — all state write-back stays in
- * python, which is how both backends remain bit-identical.  The bound
- * state (a capsule) holds references to long-lived python objects: the
- * calendar dict, the heap list, each cluster's ready dict and array('q')
- * columns.  Buffers of growable arrays are acquired per call, so queue
- * growth on recovery-forced inserts cannot leave dangling pointers.
+ * plus, once bind_uops() extends the state, the per-uop dispatch chain
+ * (python fallbacks in repro.sim.simulator are the semantic source of
+ * truth for all three):
+ *
+ *   - wakeup_waiters:  walk-and-free a producer's waiter list, decrement
+ *                      consumer source counts on the scheduler columns;
+ *   - resolve_deps:    per-source availability scan over the copy
+ *                      engine's value lanes with waiter-list appends;
+ *   - dispatch_uop /   the per-uop dispatch tail (resolve + ROB ring
+ *     dispatch_batch:  allocate + scheduler column insert + stat lanes),
+ *                      batched across a recovery re-dispatch burst.
+ *
+ * The original kernels mutate nothing except the completion heap's lazy
+ * pruning; the dispatch-chain kernels write exactly the columns, dicts
+ * and payload lists their python fallbacks write, in the same order.
+ * Whenever a call would need to *grow* anything (scheduler free list
+ * empty, waiter pool out of nodes, value lanes not yet sized) or inject
+ * copy uops, it commits nothing and punts back to the python fallback —
+ * growth and copy injection stay in python.  The bound state (a capsule)
+ * holds references to long-lived python objects: the calendar dict, the
+ * heap list, each cluster's ready dict and array('q') columns.  Buffers
+ * of growable arrays are acquired per call, so in-place extension of any
+ * column cannot leave dangling pointers.
  */
 
 #define PY_SSIZE_T_CLEAN
@@ -38,6 +54,36 @@ typedef struct {
     long long ratio;
     long long rob_size;
     long long commit_width;
+    /* ---- dispatch-chain state, populated by bind_uops() ------------- */
+    int uops_bound;
+    PyObject *dyn_flags;     /* array('q'): DynTable flags column          */
+    PyObject *dyn_domain;    /* array('q'): DynTable domain column         */
+    PyObject *node_dyn;      /* array('q'): WaiterPool node dyn slots      */
+    PyObject *node_next;     /* array('q'): WaiterPool node links          */
+    PyObject *pool_ctrl;     /* array('q'): [free head, live count]        */
+    PyObject *value_heads;   /* array('q'): per (uid, domain) list heads   */
+    PyObject *value_tails;   /* array('q'): per (uid, domain) list tails   */
+    PyObject *avail;         /* array('q'): CopyEngine avail_lanes         */
+    PyObject *avail_order;   /* array('q'): CopyEngine avail_order_lanes   */
+    PyObject *avail_counts;  /* array('q'): CopyEngine avail_count_lanes   */
+    PyObject *pending;       /* array('b'): CopyEngine pending_lanes       */
+    PyObject *prefetched;    /* array('b'): CopyEngine prefetched_lanes    */
+    PyObject *copied;        /* array('b'): CopyEngine copied_lanes        */
+    PyObject *engine_stats;  /* array('q'): [useful prefetches, active]    */
+    PyObject *rob_uid;       /* array('q'): ROB uid ring                   */
+    PyObject *rob_seq;       /* array('q'): ROB seq ring                   */
+    PyObject *rob_dyn;       /* array('q'): ROB dyn-slot ring              */
+    PyObject *rob_ctrl;      /* array('q'): [head, count]                  */
+    PyObject *rob_by_uid;    /* dict: uid -> ring slot                     */
+    PyObject *rob_payloads;  /* list: ring payloads                        */
+    PyObject *entries_list;  /* list of per-cluster entries dicts          */
+    PyObject *remaining_list;/* list of per-cluster array('q') columns     */
+    PyObject *uids_list;     /* list of per-cluster array('q') columns     */
+    PyObject *payloads_list; /* list of per-cluster payload lists          */
+    PyObject *free_lists;    /* list of per-cluster free-slot lists        */
+    PyObject *qctrl_list;    /* list of per-cluster array('q') [order]     */
+    PyObject *hot_stats;     /* array('q'): dispatch stat lanes            */
+    long long *qsizes;       /* per-cluster logical scheduler capacity     */
 } CoreState;
 
 static void
@@ -52,6 +98,34 @@ state_destructor(PyObject *capsule)
     Py_XDECREF(st->agekey_list);
     Py_XDECREF(st->mem_list);
     Py_XDECREF(st->rob_state);
+    Py_XDECREF(st->dyn_flags);
+    Py_XDECREF(st->dyn_domain);
+    Py_XDECREF(st->node_dyn);
+    Py_XDECREF(st->node_next);
+    Py_XDECREF(st->pool_ctrl);
+    Py_XDECREF(st->value_heads);
+    Py_XDECREF(st->value_tails);
+    Py_XDECREF(st->avail);
+    Py_XDECREF(st->avail_order);
+    Py_XDECREF(st->avail_counts);
+    Py_XDECREF(st->pending);
+    Py_XDECREF(st->prefetched);
+    Py_XDECREF(st->copied);
+    Py_XDECREF(st->engine_stats);
+    Py_XDECREF(st->rob_uid);
+    Py_XDECREF(st->rob_seq);
+    Py_XDECREF(st->rob_dyn);
+    Py_XDECREF(st->rob_ctrl);
+    Py_XDECREF(st->rob_by_uid);
+    Py_XDECREF(st->rob_payloads);
+    Py_XDECREF(st->entries_list);
+    Py_XDECREF(st->remaining_list);
+    Py_XDECREF(st->uids_list);
+    Py_XDECREF(st->payloads_list);
+    Py_XDECREF(st->free_lists);
+    Py_XDECREF(st->qctrl_list);
+    Py_XDECREF(st->hot_stats);
+    free(st->qsizes);
     free(st->periods);
     free(st);
 }
@@ -445,6 +519,770 @@ k_rob_commit_scan(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
     return PyLong_FromLongLong(retirable);
 }
 
+
+/* ================================================================== */
+/* Per-uop dispatch chain (bind_uops + wakeup_waiters + resolve_deps  */
+/* + dispatch_uop / dispatch_batch).                                  */
+/* ================================================================== */
+
+/* DynTable flag bits and waiter-punt limits; the python constants in
+ * repro.sim.hotstate are the source of truth (asserted by the lintkit
+ * fingerprint tests whenever the hot state changes). */
+#define DYN_F_SQUASHED 2
+#define DYN_F_IN_ROB 8
+#define ORDER_BITS 32
+#define MAX_SOURCES 32
+
+/* bind_uops(state, ...29 objects...) — extend an existing capsule with
+ * the dispatch-chain bindings.  Idempotent per capsule: rebinding
+ * replaces the previous references. */
+static PyObject *
+k_bind_uops(PyObject *self, PyObject *args)
+{
+    PyObject *capsule;
+    PyObject *o[28];
+    PyObject *qsizes_obj;
+
+    if (!PyArg_ParseTuple(args,
+                          "OOOOOOOOOOOOOOOOOOOOOOOOOOOOO",
+                          &capsule,
+                          &o[0], &o[1],                  /* dyn flags/domain */
+                          &o[2], &o[3], &o[4],           /* pool nodes/ctrl  */
+                          &o[5], &o[6],                  /* value head/tail  */
+                          &o[7], &o[8], &o[9],           /* avail/order/cnt  */
+                          &o[10], &o[11], &o[12],        /* pend/pre/copied  */
+                          &o[13],                        /* engine stats     */
+                          &o[14], &o[15], &o[16], &o[17],/* rob rings + ctrl */
+                          &o[18], &o[19],                /* by_uid, payloads */
+                          &o[20], &o[21], &o[22],        /* entries/rem/uids */
+                          &o[23], &o[24], &o[25],        /* payl/free/qctrl  */
+                          &o[26],                        /* hot stat lanes   */
+                          &qsizes_obj))
+        return NULL;
+
+    CoreState *st = get_state(capsule);
+    if (st == NULL)
+        return NULL;
+
+    Py_buffer qview;
+    if (PyObject_GetBuffer(qsizes_obj, &qview, PyBUF_SIMPLE) < 0)
+        return NULL;
+    if ((Py_ssize_t)(qview.len / sizeof(long long)) < st->n_clusters) {
+        PyBuffer_Release(&qview);
+        PyErr_SetString(PyExc_ValueError, "qsizes shorter than cluster list");
+        return NULL;
+    }
+    long long *qsizes =
+        (long long *)malloc(sizeof(long long) * (size_t)st->n_clusters);
+    if (qsizes == NULL) {
+        PyBuffer_Release(&qview);
+        return PyErr_NoMemory();
+    }
+    memcpy(qsizes, qview.buf, sizeof(long long) * (size_t)st->n_clusters);
+    PyBuffer_Release(&qview);
+    free(st->qsizes);
+    st->qsizes = qsizes;
+
+    PyObject **slots[] = {
+        &st->dyn_flags, &st->dyn_domain,
+        &st->node_dyn, &st->node_next, &st->pool_ctrl,
+        &st->value_heads, &st->value_tails,
+        &st->avail, &st->avail_order, &st->avail_counts,
+        &st->pending, &st->prefetched, &st->copied,
+        &st->engine_stats,
+        &st->rob_uid, &st->rob_seq, &st->rob_dyn, &st->rob_ctrl,
+        &st->rob_by_uid, &st->rob_payloads,
+        &st->entries_list, &st->remaining_list, &st->uids_list,
+        &st->payloads_list, &st->free_lists, &st->qctrl_list,
+        &st->hot_stats,
+    };
+    for (size_t i = 0; i < sizeof(slots) / sizeof(slots[0]); i++) {
+        Py_INCREF(o[i]);
+        Py_XDECREF(*slots[i]);
+        *slots[i] = o[i];
+    }
+    st->uops_bound = 1;
+    Py_RETURN_NONE;
+}
+
+/* Buffer bundle for the dispatch-chain kernels.  Growable arrays are
+ * (re)acquired per call — python-side in-place extension keeps object
+ * identity but may move the storage. */
+typedef struct {
+    Py_buffer views[16];
+    int n_views;
+    long long *dyn_flags, *dyn_domain;
+    long long *node_dyn, *node_next, *pool_ctrl, *vheads, *vtails;
+    long long *avail, *order, *counts;
+    signed char *pending, *pre, *copied;
+    long long *estats;
+    long long *rob_dyn;
+    long long cap;          /* engine capacity in uids (len of counts)    */
+    long long ncap;         /* waiter-pool node capacity                  */
+    long long vlanes;       /* value head/tail lane count                 */
+} ChainBufs;
+
+static void
+chain_release(ChainBufs *b)
+{
+    for (int i = 0; i < b->n_views; i++)
+        PyBuffer_Release(&b->views[i]);
+    b->n_views = 0;
+}
+
+static int
+chain_grab(ChainBufs *b, PyObject *obj, void **out)
+{
+    if (PyObject_GetBuffer(obj, &b->views[b->n_views], PyBUF_SIMPLE) < 0)
+        return -1;
+    *out = b->views[b->n_views].buf;
+    b->n_views += 1;
+    return 0;
+}
+
+/* Acquire everything resolve/dispatch need.  Returns 0 or -1. */
+static int
+chain_acquire(CoreState *st, ChainBufs *b)
+{
+    b->n_views = 0;
+    if (chain_grab(b, st->dyn_flags, (void **)&b->dyn_flags) < 0
+        || chain_grab(b, st->dyn_domain, (void **)&b->dyn_domain) < 0
+        || chain_grab(b, st->node_dyn, (void **)&b->node_dyn) < 0
+        || chain_grab(b, st->node_next, (void **)&b->node_next) < 0
+        || chain_grab(b, st->pool_ctrl, (void **)&b->pool_ctrl) < 0
+        || chain_grab(b, st->value_heads, (void **)&b->vheads) < 0
+        || chain_grab(b, st->value_tails, (void **)&b->vtails) < 0
+        || chain_grab(b, st->avail, (void **)&b->avail) < 0
+        || chain_grab(b, st->avail_order, (void **)&b->order) < 0
+        || chain_grab(b, st->avail_counts, (void **)&b->counts) < 0
+        || chain_grab(b, st->pending, (void **)&b->pending) < 0
+        || chain_grab(b, st->prefetched, (void **)&b->pre) < 0
+        || chain_grab(b, st->copied, (void **)&b->copied) < 0
+        || chain_grab(b, st->engine_stats, (void **)&b->estats) < 0
+        || chain_grab(b, st->rob_dyn, (void **)&b->rob_dyn) < 0) {
+        chain_release(b);
+        return -1;
+    }
+    b->cap = (long long)(b->views[9].len / sizeof(long long));
+    b->ncap = (long long)(b->views[2].len / sizeof(long long));
+    b->vlanes = (long long)(b->views[5].len / sizeof(long long));
+    return 0;
+}
+
+/* The dependence-resolution scan (fallback: _resolve_dependences).
+ *
+ * Returns the outstanding-source count (>= 0) with the dyn appended to
+ * every still-in-flight producer's waiter list, RESOLVE_PUNT when the
+ * call must be redone in python (a demand copy is needed, or the waiter
+ * pool / value lanes would have to grow), or RESOLVE_ERR.  Punting is
+ * side-effect-free except for prefetch consumption, which the python
+ * rescan cannot double-count (the lane bit is already cleared). */
+#define RESOLVE_PUNT (-1)
+#define RESOLVE_ERR (-2)
+
+static long long
+resolve_core(CoreState *st, ChainBufs *b, long long dyn_id,
+             PyObject *producers, long long t, long long domain)
+{
+    PyObject *fast = PySequence_Fast(producers, "producers not a sequence");
+    if (fast == NULL)
+        return RESOLVE_ERR;
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(fast);
+    if (n == 0) {
+        Py_DECREF(fast);
+        return 0;
+    }
+    if (n > MAX_SOURCES) {
+        Py_DECREF(fast);
+        return RESOLVE_PUNT;
+    }
+    PyObject **items = PySequence_Fast_ITEMS(fast);
+    long long D = (long long)st->n_clusters;
+
+    /* Waiter appends must not grow anything: every producer uid needs an
+     * indexable lane and the pool needs one free node per source. */
+    long long max_uid = -1;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        long long uid = PyLong_AsLongLong(items[i]);
+        if (uid == -1 && PyErr_Occurred()) {
+            Py_DECREF(fast);
+            return RESOLVE_ERR;
+        }
+        if (uid > max_uid)
+            max_uid = uid;
+    }
+    if (max_uid * D + D > b->vlanes
+        || b->ncap - b->pool_ctrl[1] < (long long)n) {
+        Py_DECREF(fast);
+        return RESOLVE_PUNT;
+    }
+
+    long long deps[MAX_SOURCES];
+    Py_ssize_t ndeps = 0;
+    long long outstanding = 0;
+
+    for (Py_ssize_t i = 0; i < n; i++) {
+        long long uid = PyLong_AsLongLong(items[i]);
+        long long base, lane, avail_here;
+        int known;
+        if (uid < b->cap) {
+            base = uid * D;
+            lane = base + domain;
+            known = b->counts[uid] > 0;
+            avail_here = b->avail[lane];
+        } else {
+            base = lane = -1;
+            known = 0;
+            avail_here = -1;
+        }
+        if (avail_here >= 0 && avail_here <= t) {
+            if (b->pre[lane]) {
+                /* consumed prefetch: count it and keep the CP bit trained */
+                b->estats[0] += 1;
+                b->pre[lane] = 0;
+                b->estats[1] -= 1;
+                b->copied[uid] = 1;
+            }
+            continue;
+        }
+        PyObject *key = PyLong_FromLongLong(uid);
+        if (key == NULL)
+            goto err;
+        PyObject *slotobj = PyDict_GetItemWithError(st->rob_by_uid, key);
+        Py_DECREF(key);
+        long long producer_domain = -1;
+        if (slotobj != NULL) {
+            long long rslot = PyLong_AsLongLong(slotobj);
+            if (rslot == -1 && PyErr_Occurred())
+                goto err;
+            long long ds = b->rob_dyn[rslot];
+            if (ds >= 0)
+                producer_domain = b->dyn_domain[ds];
+        } else if (PyErr_Occurred()) {
+            goto err;
+        }
+        if (producer_domain < 0 && !known)
+            continue;           /* retired before tracking / trace live-in */
+        int copy_pending = lane >= 0 && b->pending[lane];
+        if (copy_pending && b->pre[lane]) {
+            b->estats[0] += 1;
+            b->pre[lane] = 0;
+            b->estats[1] -= 1;
+            b->copied[uid] = 1;
+        }
+        if (avail_here < 0 && !copy_pending) {
+            long long source_domain = producer_domain;
+            if (source_domain < 0 || source_domain == domain) {
+                source_domain = -1;
+                if (known) {
+                    long long best_order = -1;
+                    for (long long d = 0; d < D; d++) {
+                        if (d != domain && b->avail[base + d] >= 0) {
+                            long long o = b->order[base + d];
+                            if (best_order < 0 || o < best_order) {
+                                best_order = o;
+                                source_domain = d;
+                            }
+                        }
+                    }
+                }
+            }
+            if (source_domain >= 0 && source_domain != domain) {
+                /* demand copy needed: punt before any waiter append */
+                Py_DECREF(fast);
+                return RESOLVE_PUNT;
+            }
+        }
+        deps[ndeps++] = uid;
+        outstanding += 1;
+    }
+    Py_DECREF(fast);
+
+    /* FIFO tail-appends, one pre-reserved free node per dependence. */
+    for (Py_ssize_t j = 0; j < ndeps; j++) {
+        long long node = b->pool_ctrl[0];
+        b->pool_ctrl[0] = b->node_next[node];
+        b->node_dyn[node] = dyn_id;
+        b->node_next[node] = -1;
+        b->pool_ctrl[1] += 1;
+        long long lane = deps[j] * D + domain;
+        long long tail = b->vtails[lane];
+        if (tail < 0)
+            b->vheads[lane] = node;
+        else
+            b->node_next[tail] = node;
+        b->vtails[lane] = node;
+    }
+    return outstanding;
+
+err:
+    Py_DECREF(fast);
+    return RESOLVE_ERR;
+}
+
+/* resolve_deps(state, dyn_id, producers, t) -> outstanding | None.
+ * None = punt: the caller must rerun the python fallback. */
+static PyObject *
+k_resolve_deps(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 4) {
+        PyErr_SetString(PyExc_TypeError,
+                        "resolve_deps(state, dyn_id, producers, t)");
+        return NULL;
+    }
+    CoreState *st = get_state(args[0]);
+    if (st == NULL)
+        return NULL;
+    if (!st->uops_bound) {
+        PyErr_SetString(PyExc_RuntimeError, "bind_uops() not called");
+        return NULL;
+    }
+    long long dyn_id = PyLong_AsLongLong(args[1]);
+    long long t = PyLong_AsLongLong(args[3]);
+    if (PyErr_Occurred())
+        return NULL;
+
+    ChainBufs bufs;
+    if (chain_acquire(st, &bufs) < 0)
+        return NULL;
+    long long domain = bufs.dyn_domain[dyn_id];
+    long long r = resolve_core(st, &bufs, dyn_id, args[2], t, domain);
+    chain_release(&bufs);
+    if (r == RESOLVE_ERR)
+        return NULL;
+    if (r == RESOLVE_PUNT)
+        Py_RETURN_NONE;
+    return PyLong_FromLongLong(r);
+}
+
+/* wakeup_waiters(state, value_uid, domain) -> None.
+ * Walk (and free) the (value_uid, domain) waiter list, decrementing each
+ * non-squashed waiter's remaining-source count on its scheduler columns
+ * and marking ready at zero (fallback: _wake_python). */
+static PyObject *
+k_wakeup_waiters(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "wakeup_waiters(state, value_uid, domain)");
+        return NULL;
+    }
+    CoreState *st = get_state(args[0]);
+    if (st == NULL)
+        return NULL;
+    if (!st->uops_bound) {
+        PyErr_SetString(PyExc_RuntimeError, "bind_uops() not called");
+        return NULL;
+    }
+    long long uid = PyLong_AsLongLong(args[1]);
+    long long domain = PyLong_AsLongLong(args[2]);
+    if (PyErr_Occurred())
+        return NULL;
+    if (uid < 0)
+        Py_RETURN_NONE;
+
+    long long D = (long long)st->n_clusters;
+    Py_buffer views[7];
+    int nv = 0;
+    long long *vheads, *vtails, *node_dyn, *node_next, *pool_ctrl;
+    long long *flags, *domcol;
+    PyObject *result = NULL;
+
+#define GRAB(obj, ptr)                                                   \
+    do {                                                                 \
+        if (PyObject_GetBuffer((obj), &views[nv], PyBUF_SIMPLE) < 0)     \
+            goto done;                                                   \
+        (ptr) = (long long *)views[nv].buf;                              \
+        nv += 1;                                                         \
+    } while (0)
+
+    GRAB(st->value_heads, vheads);
+    GRAB(st->value_tails, vtails);
+    GRAB(st->node_dyn, node_dyn);
+    GRAB(st->node_next, node_next);
+    GRAB(st->pool_ctrl, pool_ctrl);
+    GRAB(st->dyn_flags, flags);
+    GRAB(st->dyn_domain, domcol);
+#undef GRAB
+
+    {
+        long long lane = uid * D + domain;
+        if (lane >= (long long)(views[0].len / sizeof(long long))) {
+            result = Py_None;
+            Py_INCREF(result);
+            goto done;
+        }
+        long long node = vheads[lane];
+        if (node < 0) {
+            result = Py_None;
+            Py_INCREF(result);
+            goto done;
+        }
+        vheads[lane] = -1;
+        vtails[lane] = -1;
+        while (node >= 0) {
+            long long nxt = node_next[node];
+            long long d = node_dyn[node];
+            node_next[node] = pool_ctrl[0];
+            node_dyn[node] = -1;
+            pool_ctrl[0] = node;
+            pool_ctrl[1] -= 1;
+            node = nxt;
+            if (flags[d] & DYN_F_SQUASHED)
+                continue;
+            long long cluster = domcol[d];
+            PyObject *entries = PyList_GET_ITEM(st->entries_list, cluster);
+            PyObject *key = PyLong_FromLongLong(d);
+            if (key == NULL)
+                goto done;
+            PyObject *slotobj = PyDict_GetItemWithError(entries, key);
+            if (slotobj == NULL) {
+                Py_DECREF(key);
+                if (PyErr_Occurred())
+                    goto done;
+                continue;       /* already issued (e.g. forced re-insert) */
+            }
+            long long slot = PyLong_AsLongLong(slotobj);
+            if (slot == -1 && PyErr_Occurred()) {
+                Py_DECREF(key);
+                goto done;
+            }
+            /* remaining column: re-acquired per wake (it can grow) */
+            Py_buffer rview;
+            if (PyObject_GetBuffer(
+                    PyList_GET_ITEM(st->remaining_list, cluster),
+                    &rview, PyBUF_SIMPLE) < 0) {
+                Py_DECREF(key);
+                goto done;
+            }
+            long long *remaining = (long long *)rview.buf;
+            long long rem = remaining[slot] - 1;
+            if (rem <= 0) {
+                rem = 0;
+                PyObject *ready = PyList_GET_ITEM(st->ready_list, cluster);
+                if (PyDict_SetItem(ready, key, slotobj) < 0) {
+                    PyBuffer_Release(&rview);
+                    Py_DECREF(key);
+                    goto done;
+                }
+            }
+            remaining[slot] = rem;
+            PyBuffer_Release(&rview);
+            Py_DECREF(key);
+        }
+        result = Py_None;
+        Py_INCREF(result);
+    }
+
+done:
+    for (int i = 0; i < nv; i++)
+        PyBuffer_Release(&views[i]);
+    return result;
+}
+
+/* The per-uop dispatch tail (fallback: _dispatch_tail_python): resolve
+ * dependences, allocate the ROB ring slot, insert into the scheduler
+ * columns, bump the stat lanes.  Returns 1 = dispatched, 0 = punt
+ * (commits nothing; caller reruns the python fallback), -1 = error. */
+static int
+dispatch_one(CoreState *st, ChainBufs *b, PyObject *dyn, long long dyn_id,
+             long long uop_uid, long long seq, long long cluster,
+             int is_memory, long long unit_kind, PyObject *producers,
+             long long t, int allocate_rob, int force)
+{
+    if (cluster < 0 || cluster >= st->n_clusters) {
+        PyErr_SetString(PyExc_IndexError, "cluster index out of range");
+        return -1;
+    }
+    PyObject *entries = PyList_GET_ITEM(st->entries_list, cluster);
+    PyObject *free_list = PyList_GET_ITEM(st->free_lists, cluster);
+    if (!force && PyDict_GET_SIZE(entries) >= st->qsizes[cluster])
+        return 0;               /* full: python raises the contract error */
+    if (PyList_GET_SIZE(free_list) == 0)
+        return 0;               /* physical growth needed: python grows   */
+
+    PyObject *dyn_key = PyLong_FromLongLong(dyn_id);
+    if (dyn_key == NULL)
+        return -1;
+    int dup = PyDict_Contains(entries, dyn_key);
+    if (dup != 0) {
+        Py_DECREF(dyn_key);
+        return dup < 0 ? -1 : 0;    /* duplicate uid: python raises */
+    }
+
+    Py_buffer rob_views[4];
+    int n_rob_views = 0;
+    long long *rob_ctrl = NULL, *rob_uid = NULL, *rob_seqc = NULL,
+              *rob_dync = NULL;
+    long long head = 0, count = 0;
+    if (allocate_rob) {
+#define RGRAB(obj, ptr)                                                    \
+        do {                                                               \
+            if (PyObject_GetBuffer((obj), &rob_views[n_rob_views],         \
+                                   PyBUF_SIMPLE) < 0) {                    \
+                Py_DECREF(dyn_key);                                        \
+                for (int i = 0; i < n_rob_views; i++)                      \
+                    PyBuffer_Release(&rob_views[i]);                       \
+                return -1;                                                 \
+            }                                                              \
+            (ptr) = (long long *)rob_views[n_rob_views].buf;               \
+            n_rob_views += 1;                                              \
+        } while (0)
+        RGRAB(st->rob_ctrl, rob_ctrl);
+        RGRAB(st->rob_uid, rob_uid);
+        RGRAB(st->rob_seq, rob_seqc);
+        RGRAB(st->rob_dyn, rob_dync);
+#undef RGRAB
+        head = rob_ctrl[0];
+        count = rob_ctrl[1];
+        if (count >= st->rob_size
+            || (count
+                && seq <= rob_seqc[(head + count - 1) % st->rob_size])) {
+            /* capacity / program-order violation: python raises */
+            Py_DECREF(dyn_key);
+            for (int i = 0; i < n_rob_views; i++)
+                PyBuffer_Release(&rob_views[i]);
+            return 0;
+        }
+    }
+
+    long long domain = b->dyn_domain[dyn_id];
+    long long outstanding = resolve_core(st, b, dyn_id, producers, t, domain);
+    if (outstanding < 0) {
+        Py_DECREF(dyn_key);
+        for (int i = 0; i < n_rob_views; i++)
+            PyBuffer_Release(&rob_views[i]);
+        return outstanding == RESOLVE_PUNT ? 0 : -1;
+    }
+
+    /* Point of no return: every write below is unconditional in the
+     * fallback once resolve succeeds. */
+    int rc = -1;
+    Py_buffer hview;
+    long long *hstats = NULL;
+    if (PyObject_GetBuffer(st->hot_stats, &hview, PyBUF_SIMPLE) < 0)
+        goto out;
+    hstats = (long long *)hview.buf;
+
+    if (allocate_rob) {
+        long long slot = (head + count) % st->rob_size;
+        rob_uid[slot] = uop_uid;
+        rob_seqc[slot] = seq;
+        rob_dync[slot] = dyn_id;
+        /* state ring: shared with the commit-scan kernel binding */
+        Py_buffer sview;
+        if (PyObject_GetBuffer(st->rob_state, &sview, PyBUF_SIMPLE) < 0)
+            goto out_h;
+        ((long long *)sview.buf)[slot] = 0;
+        PyBuffer_Release(&sview);
+        Py_INCREF(dyn);
+        if (PyList_SetItem(st->rob_payloads, slot, dyn) < 0)
+            goto out_h;
+        PyObject *uid_key = PyLong_FromLongLong(uop_uid);
+        PyObject *slot_obj = PyLong_FromLongLong(slot);
+        if (uid_key == NULL || slot_obj == NULL
+            || PyDict_SetItem(st->rob_by_uid, uid_key, slot_obj) < 0) {
+            Py_XDECREF(uid_key);
+            Py_XDECREF(slot_obj);
+            goto out_h;
+        }
+        Py_DECREF(uid_key);
+        Py_DECREF(slot_obj);
+        rob_ctrl[1] = count + 1;
+        b->dyn_flags[dyn_id] |= DYN_F_IN_ROB;
+        hstats[6 * st->n_clusters] += 1;              /* rob_ops lane */
+    }
+
+    /* Scheduler column insert (fallback: IssueQueue.insert_uop). */
+    {
+        Py_ssize_t nfree = PyList_GET_SIZE(free_list);
+        PyObject *slot_obj = PyList_GET_ITEM(free_list, nfree - 1);
+        long long qslot = PyLong_AsLongLong(slot_obj);
+        if (qslot == -1 && PyErr_Occurred())
+            goto out_h;
+        Py_INCREF(slot_obj);
+        if (PyList_SetSlice(free_list, nfree - 1, nfree, NULL) < 0) {
+            Py_DECREF(slot_obj);
+            goto out_h;
+        }
+        Py_buffer qviews[5];
+        int nq = 0;
+        long long *agekey = NULL, *remaining = NULL, *mem = NULL,
+                  *uids = NULL, *qctrl = NULL;
+#define QGRAB(obj, ptr)                                                    \
+        do {                                                               \
+            if (PyObject_GetBuffer((obj), &qviews[nq], PyBUF_SIMPLE) < 0) {\
+                Py_DECREF(slot_obj);                                       \
+                for (int i = 0; i < nq; i++)                               \
+                    PyBuffer_Release(&qviews[i]);                          \
+                goto out_h;                                                \
+            }                                                              \
+            (ptr) = (long long *)qviews[nq].buf;                           \
+            nq += 1;                                                       \
+        } while (0)
+        QGRAB(PyList_GET_ITEM(st->agekey_list, cluster), agekey);
+        QGRAB(PyList_GET_ITEM(st->remaining_list, cluster), remaining);
+        QGRAB(PyList_GET_ITEM(st->mem_list, cluster), mem);
+        QGRAB(PyList_GET_ITEM(st->uids_list, cluster), uids);
+        QGRAB(PyList_GET_ITEM(st->qctrl_list, cluster), qctrl);
+#undef QGRAB
+        long long order = qctrl[0];
+        qctrl[0] = order + 1;
+        agekey[qslot] = (seq << ORDER_BITS) | order;
+        remaining[qslot] = outstanding;
+        mem[qslot] = is_memory ? 1 : 0;
+        uids[qslot] = dyn_id;
+        for (int i = 0; i < nq; i++)
+            PyBuffer_Release(&qviews[i]);
+        PyObject *qpayloads = PyList_GET_ITEM(st->payloads_list, cluster);
+        Py_INCREF(dyn);
+        if (PyList_SetItem(qpayloads, qslot, dyn) < 0) {
+            Py_DECREF(slot_obj);
+            goto out_h;
+        }
+        if (PyDict_SetItem(entries, dyn_key, slot_obj) < 0) {
+            Py_DECREF(slot_obj);
+            goto out_h;
+        }
+        if (outstanding == 0) {
+            PyObject *ready = PyList_GET_ITEM(st->ready_list, cluster);
+            if (PyDict_SetItem(ready, dyn_key, slot_obj) < 0) {
+                Py_DECREF(slot_obj);
+                goto out_h;
+            }
+        }
+        Py_DECREF(slot_obj);
+    }
+
+    /* Dispatch accounting (fallback: stats + _account_dispatch). */
+    {
+        long long base = cluster * 6;
+        hstats[base] += 1;          /* scheduler op           */
+        hstats[base + 1] += 3;      /* regfile accesses       */
+        if (unit_kind >= 0 && unit_kind <= 2)
+            hstats[base + 2 + unit_kind] += 1;
+        hstats[base + 5] += 1;      /* dispatched             */
+    }
+    rc = 1;
+
+out_h:
+    PyBuffer_Release(&hview);
+out:
+    Py_DECREF(dyn_key);
+    for (int i = 0; i < n_rob_views; i++)
+        PyBuffer_Release(&rob_views[i]);
+    return rc;
+}
+
+/* dispatch_uop(state, dyn, dyn_id, uop_uid, seq, cluster, is_memory,
+ *              unit_kind, producers, t, allocate_rob, force) -> 1 | 0 */
+static PyObject *
+k_dispatch_uop(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 12) {
+        PyErr_SetString(PyExc_TypeError,
+                        "dispatch_uop(state, dyn, dyn_id, uop_uid, seq, "
+                        "cluster, is_memory, unit_kind, producers, t, "
+                        "allocate_rob, force)");
+        return NULL;
+    }
+    CoreState *st = get_state(args[0]);
+    if (st == NULL)
+        return NULL;
+    if (!st->uops_bound) {
+        PyErr_SetString(PyExc_RuntimeError, "bind_uops() not called");
+        return NULL;
+    }
+    long long dyn_id = PyLong_AsLongLong(args[2]);
+    long long uop_uid = PyLong_AsLongLong(args[3]);
+    long long seq = PyLong_AsLongLong(args[4]);
+    long long cluster = PyLong_AsLongLong(args[5]);
+    int is_memory = PyObject_IsTrue(args[6]);
+    long long unit_kind = PyLong_AsLongLong(args[7]);
+    long long t = PyLong_AsLongLong(args[9]);
+    int allocate_rob = PyObject_IsTrue(args[10]);
+    int force = PyObject_IsTrue(args[11]);
+    if (PyErr_Occurred() || is_memory < 0 || allocate_rob < 0 || force < 0)
+        return NULL;
+
+    ChainBufs bufs;
+    if (chain_acquire(st, &bufs) < 0)
+        return NULL;
+    int rc = dispatch_one(st, &bufs, args[1], dyn_id, uop_uid, seq, cluster,
+                          is_memory, unit_kind, args[8], t, allocate_rob,
+                          force);
+    chain_release(&bufs);
+    if (rc < 0)
+        return NULL;
+    return PyLong_FromLong(rc);
+}
+
+/* dispatch_batch(state, items, t) -> number of items fully dispatched.
+ *
+ * ``items`` is a recovery re-dispatch burst: a list of
+ * (dyn, dyn_id, uop_uid, seq, cluster, is_memory, unit_kind, producers)
+ * tuples, already steered and forced (allocate_rob is false for the
+ * whole burst — the squashed uops keep their original ROB entries).
+ * Stops at the first punt; the caller finishes that uop (and anything
+ * after it) through the python fallback. */
+static PyObject *
+k_dispatch_batch(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError, "dispatch_batch(state, items, t)");
+        return NULL;
+    }
+    CoreState *st = get_state(args[0]);
+    if (st == NULL)
+        return NULL;
+    if (!st->uops_bound) {
+        PyErr_SetString(PyExc_RuntimeError, "bind_uops() not called");
+        return NULL;
+    }
+    if (!PyList_Check(args[1])) {
+        PyErr_SetString(PyExc_TypeError, "items must be a list of tuples");
+        return NULL;
+    }
+    long long t = PyLong_AsLongLong(args[2]);
+    if (PyErr_Occurred())
+        return NULL;
+
+    Py_ssize_t n = PyList_GET_SIZE(args[1]);
+    Py_ssize_t done = 0;
+    for (; done < n; done++) {
+        PyObject *item = PyList_GET_ITEM(args[1], done);
+        if (!PyTuple_Check(item) || PyTuple_GET_SIZE(item) != 8) {
+            PyErr_SetString(PyExc_TypeError,
+                            "item must be (dyn, dyn_id, uop_uid, seq, "
+                            "cluster, is_memory, unit_kind, producers)");
+            return NULL;
+        }
+        long long dyn_id = PyLong_AsLongLong(PyTuple_GET_ITEM(item, 1));
+        long long uop_uid = PyLong_AsLongLong(PyTuple_GET_ITEM(item, 2));
+        long long seq = PyLong_AsLongLong(PyTuple_GET_ITEM(item, 3));
+        long long cluster = PyLong_AsLongLong(PyTuple_GET_ITEM(item, 4));
+        int is_memory = PyObject_IsTrue(PyTuple_GET_ITEM(item, 5));
+        long long unit_kind = PyLong_AsLongLong(PyTuple_GET_ITEM(item, 6));
+        if (PyErr_Occurred() || is_memory < 0)
+            return NULL;
+        /* Buffers are (re)acquired per uop: a punt boundary hands
+         * control back to python, which may grow the columns. */
+        ChainBufs bufs;
+        if (chain_acquire(st, &bufs) < 0)
+            return NULL;
+        int rc = dispatch_one(st, &bufs, PyTuple_GET_ITEM(item, 0), dyn_id,
+                              uop_uid, seq, cluster, is_memory, unit_kind,
+                              PyTuple_GET_ITEM(item, 7), t,
+                              /*allocate_rob=*/0, /*force=*/1);
+        chain_release(&bufs);
+        if (rc < 0)
+            return NULL;
+        if (rc == 0)
+            break;
+    }
+    return PyLong_FromSsize_t(done);
+}
+
 /* ---------------------------------------------------------------- module */
 
 static PyMethodDef corekernel_methods[] = {
@@ -457,6 +1295,17 @@ static PyMethodDef corekernel_methods[] = {
      "select_slots(state, cluster, budget, mem_budget) -> [slot, ...]"},
     {"rob_commit_scan", (PyCFunction)k_rob_commit_scan, METH_FASTCALL,
      "rob_commit_scan(state, head, count) -> retirable entry count"},
+    {"bind_uops", k_bind_uops, METH_VARARGS,
+     "bind_uops(state, ...dispatch-chain columns...) -> None"},
+    {"resolve_deps", (PyCFunction)k_resolve_deps, METH_FASTCALL,
+     "resolve_deps(state, dyn_id, producers, t) -> outstanding | None"},
+    {"wakeup_waiters", (PyCFunction)k_wakeup_waiters, METH_FASTCALL,
+     "wakeup_waiters(state, value_uid, domain) -> None"},
+    {"dispatch_uop", (PyCFunction)k_dispatch_uop, METH_FASTCALL,
+     "dispatch_uop(state, dyn, dyn_id, uop_uid, seq, cluster, is_memory, "
+     "unit_kind, producers, t, allocate_rob, force) -> 1 | 0"},
+    {"dispatch_batch", (PyCFunction)k_dispatch_batch, METH_FASTCALL,
+     "dispatch_batch(state, items, t) -> items dispatched before punt"},
     {NULL, NULL, 0, NULL},
 };
 

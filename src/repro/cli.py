@@ -37,6 +37,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from contextlib import contextmanager
 from typing import List, Optional, Sequence
 
 from repro.analysis.carry import analyze_carry
@@ -136,6 +137,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--policy", default="ir", choices=all_policies)
     run.add_argument("--uops", type=int, default=20_000)
     run.add_argument("--seed", type=int, default=2006)
+    run.add_argument("--profile", default=None, choices=["cprofile", "timers"],
+                     help="profile the pair of runs: 'cprofile' dumps the "
+                          "top functions by cumulative time, 'timers' stamps "
+                          "per-phase (dispatch/issue/writeback/commit) "
+                          "wall-clock counters into the footer")
     _add_backend_flag(run)
 
     ladder = sub.add_parser("ladder", help="run the cumulative policy ladder")
@@ -265,11 +271,82 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+_PROFILE_PHASES = ("dispatch", "issue", "writeback", "commit")
+
+
+@contextmanager
+def _phase_timers():
+    """Accumulate wall-clock per pipeline phase for ``run --profile timers``.
+
+    Wraps the simulator's phase methods at class level for the duration of
+    the context, so the counters cover every simulator constructed inside it
+    (the monolithic baseline included) and the hot loop carries zero
+    instrumentation cost when not profiling.
+    """
+    from time import perf_counter
+
+    from repro.sim.simulator import HelperClusterSimulator
+
+    counters = {name: [0.0, 0] for name in _PROFILE_PHASES}
+    saved = {}
+
+    def wrap(name, fn):
+        cell = counters[name]
+
+        def timed(*call_args):
+            t0 = perf_counter()
+            try:
+                return fn(*call_args)
+            finally:
+                cell[0] += perf_counter() - t0
+                cell[1] += 1
+
+        return timed
+
+    try:
+        for name in _PROFILE_PHASES:
+            # The event wheel drives issue per backend, not through the
+            # reference loop's _issue wrapper, so time the per-backend hook.
+            attr = "_issue_backend" if name == "issue" else f"_{name}"
+            saved[attr] = getattr(HelperClusterSimulator, attr)
+            setattr(HelperClusterSimulator, attr, wrap(name, saved[attr]))
+        yield counters
+    finally:
+        for attr, fn in saved.items():
+            setattr(HelperClusterSimulator, attr, fn)
+
+
+def _print_phase_footer(counters) -> None:
+    total = sum(cell[0] for cell in counters.values())
+    rows = [[name, cell[0] * 1e3, cell[1],
+             (cell[0] / total * 100.0) if total else 0.0]
+            for name, cell in counters.items()]
+    print()
+    print(format_table(["phase", "wall (ms)", "calls", "% of timed"], rows,
+                       title="Per-phase wall clock (baseline + helper runs)",
+                       float_format="{:.2f}"))
+    print(f"backend: {detected_backend()}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     profile = get_profile(args.benchmark)
     trace = generate_trace(profile, args.uops, seed=args.seed)
-    base, helper, gain = baseline_pair(trace, args.policy,
-                                       helper_config=helper_cluster_config())
+    phase_counters = profiler = None
+    if args.profile == "timers":
+        with _phase_timers() as phase_counters:
+            base, helper, gain = baseline_pair(
+                trace, args.policy, helper_config=helper_cluster_config())
+    elif args.profile == "cprofile":
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        base, helper, gain = baseline_pair(trace, args.policy,
+                                           helper_config=helper_cluster_config())
+        profiler.disable()
+    else:
+        base, helper, gain = baseline_pair(trace, args.policy,
+                                           helper_config=helper_cluster_config())
     rows = [
         ["baseline IPC", base.ipc],
         ["helper IPC", helper.ipc],
@@ -284,6 +361,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(format_table(["metric", "value"], rows,
                        title=f"{args.benchmark} / {args.policy} ({args.uops} uops)",
                        float_format="{:.2f}"))
+    if phase_counters is not None:
+        _print_phase_footer(phase_counters)
+    if profiler is not None:
+        import io
+        import pstats
+
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+        print()
+        print(stream.getvalue().rstrip())
+        print(f"backend: {detected_backend()}")
     return 0
 
 

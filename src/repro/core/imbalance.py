@@ -2,10 +2,10 @@
 
 Following Parcerisa & González, the workload imbalance at a given instant is
 the number of *ready* instructions that cannot issue in their own cluster but
-could have issued in the other cluster (which has spare issue slots).  If the
-helper cluster is underutilised there is wide-to-narrow imbalance (ready wide
-work that the idle narrow cluster could have absorbed); if it is overutilised
-the narrow-to-wide imbalance dominates.
+could have issued in another cluster with spare issue slots.  If the helper
+clusters are underutilised there is wide-to-narrow imbalance (ready wide
+work that an idle helper could have absorbed); if they are overutilised the
+narrow-to-wide imbalance dominates.
 
 The monitor also tracks the issue-queue occupancy discrepancy, which is the
 signal the IR splitting heuristic actually uses at dispatch time ("whenever

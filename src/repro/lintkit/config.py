@@ -103,9 +103,24 @@ def default_config(root: Optional[Path] = None) -> LintConfig:
         ],
         live_view_aliases={
             "IssueQueue": ("src/repro/pipeline/scheduler.py",
-                           ["entries", "ready_entries"]),
+                           ["entries", "ready_entries", "free_stack"]),
+            # SoA value lanes (uid*num_domains+domain indexed) read directly
+            # by the dependence-resolution fast path and the compiled
+            # resolve_deps kernel.
             "CopyEngine": ("src/repro/core/copy_engine.py",
-                           ["availability_map", "pending_map"]),
+                           ["avail_lanes", "avail_order_lanes",
+                            "avail_count_lanes", "pending_lanes",
+                            "prefetched_lanes", "copied_lanes",
+                            "stat_lanes"]),
+            # Per-uop SoA columns of the dispatch chain; the compiled
+            # kernels re-derive lane bounds from these buffers' lengths.
+            "DynTable": ("src/repro/sim/hotstate.py",
+                         ["seq", "domain", "flags", "value_uid", "pnarrow",
+                          "kindcol", "opcode", "unit"]),
+            "WaiterPool": ("src/repro/sim/hotstate.py",
+                           ["node_dyn", "node_next", "value_heads",
+                            "value_tails", "chunk_heads", "chunk_tails",
+                            "ctrl"]),
             "ReorderBuffer": ("src/repro/pipeline/rob.py", ["by_uid"]),
             "RenameTable": ("src/repro/pipeline/rename.py", ["table"]),
             "ImbalanceMonitor": ("src/repro/core/imbalance.py",

@@ -50,10 +50,15 @@ class ReorderBuffer:
         self.seq_ring = array("q", bytes(8 * size))
         #: completion state per ring slot (see ``_STATE_*``)
         self.state_ring = array("q", bytes(8 * size))
+        #: dyn slot (DynTable index) per ring slot, -1 when the payload is
+        #: not a simulator dyn record; the compiled ``resolve_deps`` kernel
+        #: resolves producer clusters through it
+        self.dyn_ring = array("q", b"\xff" * (8 * size))
         #: simulator payload per ring slot (None when the slot is free)
         self.payload_ring: List[object] = [None] * size
-        self._head = 0
-        self._count = 0
+        #: ring control block shared with the compiled dispatch kernel:
+        #: slot 0 = head index, slot 1 = occupancy count
+        self.ctrl = array("q", bytes(16))
         self._by_uid: dict[int, int] = {}
         #: Public live view of the uid index, mapping uid -> ring slot (the
         #: simulator resolves producer clusters per source operand through
@@ -73,26 +78,36 @@ class ReorderBuffer:
         self._scan_state = cstate
 
     # --------------------------------------------------------------- capacity
+    @property
+    def _head(self) -> int:
+        return self.ctrl[0]
+
+    @property
+    def _count(self) -> int:
+        return self.ctrl[1]
+
     def __len__(self) -> int:
-        return self._count
+        return self.ctrl[1]
 
     @property
     def free_slots(self) -> int:
-        return self.size - self._count
+        return self.size - self.ctrl[1]
 
     def is_full(self) -> bool:
-        return self._count >= self.size
+        return self.ctrl[1] >= self.size
 
     def is_empty(self) -> bool:
-        return self._count == 0
+        return self.ctrl[1] == 0
 
     # ---------------------------------------------------------------- allocate
-    def allocate(self, uid: int, seq: int, payload: object = None) -> None:
+    def allocate(self, uid: int, seq: int, payload: object = None,
+                 dyn_slot: int = -1) -> None:
         """Allocate an entry at the tail.  Raises if the ROB is full."""
-        count = self._count
+        ctrl = self.ctrl
+        count = ctrl[1]
         if count >= self.size:
             raise RuntimeError("ROB full")
-        head = self._head
+        head = ctrl[0]
         size = self.size
         if count and seq <= self.seq_ring[(head + count - 1) % size]:
             raise ValueError("ROB allocations must be in program order")
@@ -100,9 +115,10 @@ class ReorderBuffer:
         self.uid_ring[slot] = uid
         self.seq_ring[slot] = seq
         self.state_ring[slot] = 0
+        self.dyn_ring[slot] = dyn_slot
         self.payload_ring[slot] = payload
         self._by_uid[uid] = slot
-        self._count = count + 1
+        ctrl[1] = count + 1
 
     # ---------------------------------------------------------------- complete
     def mark_completed(self, uid: int) -> None:
@@ -127,10 +143,11 @@ class ReorderBuffer:
     # ------------------------------------------------------------------ commit
     def commit_scan(self) -> int:
         """Number of contiguous completed head entries retirable this cycle."""
+        ctrl = self.ctrl
         if self._scan_kernel is not None:
-            return self._scan_kernel(self._scan_state, self._head, self._count)
-        head = self._head
-        count = self._count
+            return self._scan_kernel(self._scan_state, ctrl[0], ctrl[1])
+        head = ctrl[0]
+        count = ctrl[1]
         size = self.size
         state = self.state_ring
         limit = count if count < self.commit_width else self.commit_width
@@ -150,7 +167,8 @@ class ReorderBuffer:
             retirable = self.commit_scan()
         if retirable == 0:
             return []
-        head = self._head
+        ctrl = self.ctrl
+        head = ctrl[0]
         size = self.size
         uid_ring = self.uid_ring
         seq_ring = self.seq_ring
@@ -171,20 +189,21 @@ class ReorderBuffer:
             if not squashed:
                 committed += 1
         self.committed += committed
-        self._head = (head + retirable) % size
-        self._count -= retirable
+        ctrl[0] = (head + retirable) % size
+        ctrl[1] -= retirable
         return retired
 
     def head_seq(self) -> Optional[int]:
         """Sequence number of the oldest in-flight uop (None when empty)."""
-        return self.seq_ring[self._head] if self._count else None
+        ctrl = self.ctrl
+        return self.seq_ring[ctrl[0]] if ctrl[1] else None
 
     def occupancy(self) -> int:
-        return self._count
+        return self.ctrl[1]
 
     def reset(self) -> None:
-        self._head = 0
-        self._count = 0
+        self.ctrl[0] = 0
+        self.ctrl[1] = 0
         self.payload_ring[:] = [None] * self.size
         self._by_uid.clear()
         self.committed = 0

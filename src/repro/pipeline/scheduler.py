@@ -70,8 +70,9 @@ class IssueQueue:
         self.size = size
         self.issue_width = issue_width
         self.memory_ports = memory_ports
-        #: dispatch-order counter; stamped onto entries at insert
-        self._order_counter = 0
+        #: control block shared with the compiled dispatch kernel:
+        #: slot 0 is the dispatch-order counter stamped at insert
+        self.ctrl = array("q", bytes(8))
         # ---- struct-of-arrays storage, indexed by slot -------------------
         # Capacity starts at ``size`` and doubles on forced (recovery)
         # inserts past the architectural size; ``size`` stays the logical
@@ -86,8 +87,11 @@ class IssueQueue:
         self.mem_flags = array("q", bytes(8 * capacity))
         #: uid stored in each slot (valid only for occupied slots)
         self.uids = array("q", bytes(8 * capacity))
-        #: carrier objects per slot (None when the slot is free)
-        self.payloads: List[Optional[IssueQueueEntry]] = [None] * capacity
+        #: carrier objects per slot (None when the slot is free).  Legacy
+        #: ``insert`` stores the :class:`IssueQueueEntry` itself; the
+        #: simulator's ``insert_uop`` fast path stores its dyn record
+        #: directly and entries are materialised on the removal paths.
+        self.payloads: List[object] = [None] * capacity
         self._free = list(range(capacity - 1, -1, -1))
         #: uid -> slot for every queued entry
         self._entries: Dict[int, int] = {}
@@ -102,6 +106,11 @@ class IssueQueue:
         #: hot-state wake sequence in :mod:`repro.sim.simulator`).
         self.entries = self._entries
         self.ready_entries = self._ready
+        #: Live view of the free-slot stack (the compiled dispatch kernel
+        #: pops from its tail exactly like :meth:`insert_uop`; it punts
+        #: back to python when the stack is empty, so physical growth only
+        #: ever happens through :meth:`_grow`).
+        self.free_stack = self._free
         # Statistics for imbalance measurement.
         self.total_occupancy_samples = 0
         self.occupancy_accum = 0
@@ -125,10 +134,10 @@ class IssueQueue:
         """Double the physical slot capacity (forced inserts only)."""
         old = self._capacity
         grow_by = old
-        self.agekey.extend(bytes(8 * grow_by))
-        self.remaining.extend(bytes(8 * grow_by))
-        self.mem_flags.extend(bytes(8 * grow_by))
-        self.uids.extend(bytes(8 * grow_by))
+        self.agekey.extend(array("q", bytes(8 * grow_by)))
+        self.remaining.extend(array("q", bytes(8 * grow_by)))
+        self.mem_flags.extend(array("q", bytes(8 * grow_by)))
+        self.uids.extend(array("q", bytes(8 * grow_by)))
         self.payloads.extend([None] * grow_by)
         self._free.extend(range(old + grow_by - 1, old - 1, -1))
         self._capacity = old + grow_by
@@ -153,9 +162,10 @@ class IssueQueue:
         if not self._free:
             self._grow()
         slot = self._free.pop()
-        order = self._order_counter
+        ctrl = self.ctrl
+        order = ctrl[0]
         entry.order = order
-        self._order_counter = order + 1
+        ctrl[0] = order + 1
         self.agekey[slot] = (entry.seq << ORDER_BITS) | order
         remaining = entry.remaining_sources
         self.remaining[slot] = remaining
@@ -165,6 +175,49 @@ class IssueQueue:
         entries[uid] = slot
         if remaining == 0:
             self._ready[uid] = slot
+
+    # hot-path
+    def insert_uop(self, uid: int, seq: int, remaining: int, is_memory: bool,
+                   payload: object, force: bool = False) -> None:
+        """Column-direct dispatch: :meth:`insert` without the entry object.
+
+        The simulator's hot path stores its dyn record as the payload; an
+        :class:`IssueQueueEntry` is materialised only if the slot leaves
+        through one of the object-returning removal paths.  Identical
+        bookkeeping to :meth:`insert` — including the order stamp taken on
+        *every* insert (forced re-inserts restamp, preserving the legacy
+        tie-break behaviour).
+        """
+        entries = self._entries
+        if len(entries) >= self.size and not force:
+            raise RuntimeError("issue queue full")
+        if uid in entries:
+            raise ValueError(
+                f"uid {uid} already in issue queue")  # lint: disable=REP004(raise-only path: the f-string is built only when the duplicate-uid invariant is already broken)
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        ctrl = self.ctrl
+        order = ctrl[0]
+        ctrl[0] = order + 1
+        self.agekey[slot] = (seq << ORDER_BITS) | order
+        self.remaining[slot] = remaining
+        self.mem_flags[slot] = 1 if is_memory else 0
+        self.uids[slot] = uid
+        self.payloads[slot] = payload
+        entries[uid] = slot
+        if remaining == 0:
+            self._ready[uid] = slot
+
+    def _materialise(self, slot: int, remaining: int) -> IssueQueueEntry:
+        """Wrap a raw-payload slot in an entry for the object-returning API."""
+        agekey = self.agekey[slot]
+        return IssueQueueEntry(
+            uid=self.uids[slot], seq=agekey >> ORDER_BITS,
+            remaining_sources=remaining, fu_latency=0,
+            is_memory=bool(self.mem_flags[slot]),
+            payload=self.payloads[slot],
+            order=agekey & ((1 << ORDER_BITS) - 1))
 
     # ----------------------------------------------------------------- wakeup
     # hot-path
@@ -180,8 +233,11 @@ class IssueQueue:
         self.remaining[slot] = remaining
         # Keep the carrier coherent for external observers; the simulator's
         # inlined wake path skips this and relies on the removal-path
-        # write-back instead.
-        self.payloads[slot].remaining_sources = remaining
+        # write-back instead.  Raw payloads (``insert_uop``) have no carrier
+        # to sync — the columns are the only truth for them.
+        payload = self.payloads[slot]
+        if type(payload) is IssueQueueEntry:
+            payload.remaining_sources = remaining
 
     # ----------------------------------------------------------------- select
     # hot-path
@@ -208,6 +264,8 @@ class IssueQueue:
             if mem_flags[slot] and mem_budget <= 0:
                 return []
             entry = payloads[slot]
+            if type(entry) is not IssueQueueEntry:
+                entry = self._materialise(slot, 0)
             self._remove(uid, slot)
             entry.remaining_sources = 0
             return [entry]
@@ -222,12 +280,54 @@ class IssueQueue:
                     continue
                 mem_budget -= 1
             entry = payloads[slot]
+            if type(entry) is not IssueQueueEntry:
+                entry = self._materialise(slot, 0)
             entry.remaining_sources = 0
             selected.append(entry)
             taken += 1
         for entry in selected:
             self._remove(entry.uid, self._entries[entry.uid])
         return selected
+
+    # hot-path
+    def select_raw(self, memory_slots: Optional[int] = None) -> List[object]:
+        """:meth:`select` returning the slot payloads directly (no entry
+        materialisation) — the simulator's issue loop reads everything it
+        needs from its own dyn record.  Selection semantics are identical
+        to :meth:`select` with the default budget."""
+        ready = self._ready
+        if not ready:
+            return []
+        budget = self.issue_width
+        mem_budget = memory_slots if memory_slots is not None else (
+            self.memory_ports if self.memory_ports is not None else budget)
+        payloads = self.payloads
+        mem_flags = self.mem_flags
+        if len(ready) == 1:
+            uid, slot = next(iter(ready.items()))
+            if mem_flags[slot] and mem_budget <= 0:
+                return []
+            payload = payloads[slot]
+            self._remove(uid, slot)
+            return [payload]
+        slots = sorted(ready.values(), key=self.agekey.__getitem__)
+        picked: List[int] = []
+        taken = 0
+        for slot in slots:
+            if taken >= budget:
+                break
+            if mem_flags[slot]:
+                if mem_budget <= 0:
+                    continue
+                mem_budget -= 1
+            picked.append(slot)
+            taken += 1
+        uids = self.uids
+        out: List[object] = []
+        for slot in picked:
+            out.append(payloads[slot])
+            self._remove(uids[slot], slot)
+        return out
 
     def _remove(self, uid: int, slot: int) -> None:
         del self._entries[uid]
@@ -244,12 +344,26 @@ class IssueQueue:
         mirrors :meth:`select`'s removal exactly.
         """
         payloads = self.payloads
+        uids = self.uids
         out: List[IssueQueueEntry] = []
         for slot in slots:
             entry = payloads[slot]
+            if type(entry) is not IssueQueueEntry:
+                entry = self._materialise(slot, 0)
             entry.remaining_sources = 0
-            self._remove(entry.uid, slot)
+            self._remove(uids[slot], slot)
             out.append(entry)
+        return out
+
+    # hot-path
+    def take_slots_raw(self, slots: List[int]) -> List[object]:
+        """:meth:`take_slots` returning the payloads directly."""
+        payloads = self.payloads
+        uids = self.uids
+        out: List[object] = []
+        for slot in slots:
+            out.append(payloads[slot])
+            self._remove(uids[slot], slot)
         return out
 
     # ------------------------------------------------------------------ flush
@@ -267,11 +381,15 @@ class IssueQueue:
         doomed.sort(key=agekey.__getitem__)
         remaining = self.remaining
         payloads = self.payloads
+        uids = self.uids
         result: List[IssueQueueEntry] = []
         for slot in doomed:
             entry = payloads[slot]
-            entry.remaining_sources = remaining[slot]
-            self._remove(entry.uid, slot)
+            if type(entry) is not IssueQueueEntry:
+                entry = self._materialise(slot, remaining[slot])
+            else:
+                entry.remaining_sources = remaining[slot]
+            self._remove(uids[slot], slot)
             result.append(entry)
         return result
 
@@ -281,11 +399,15 @@ class IssueQueue:
         slots = sorted(self._entries.values(), key=agekey.__getitem__)
         remaining = self.remaining
         payloads = self.payloads
+        uids = self.uids
         result: List[IssueQueueEntry] = []
         for slot in slots:
             entry = payloads[slot]
-            entry.remaining_sources = remaining[slot]
-            self._remove(entry.uid, slot)
+            if type(entry) is not IssueQueueEntry:
+                entry = self._materialise(slot, remaining[slot])
+            else:
+                entry.remaining_sources = remaining[slot]
+            self._remove(uids[slot], slot)
             result.append(entry)
         return result
 

@@ -124,10 +124,266 @@ def detected_backend() -> str:
     return resolve_backend()[0]
 
 
+class DynTable:
+    """Struct-of-arrays columns for per-in-flight-uop dispatch state.
+
+    Indexed by ``dyn_id`` — the simulator's dense, monotonically increasing
+    dynamic-uop counter, so slots are append-only and never recycled within
+    a run (a few MB per million dynamic uops; no free-list bugs).  The hot
+    scalar fields of the simulator's ``_DynUop`` record live *only* here;
+    the carrier object keeps the cold object references and exposes these
+    columns through properties for the cold paths.
+
+    Column layout per slot: ``seq`` / ``domain`` / ``value_uid`` (-1 = no
+    produced value) / ``pnarrow`` (-1 unknown, 0 wide, 1 narrow) /
+    ``opcode`` and ``unit`` enum codes / ``kindcol`` (0 trace, 1 copy,
+    2 chunk) / ``flags`` bitset (:data:`F_COMPLETED` …).
+    """
+
+    __slots__ = ("seq", "domain", "flags", "value_uid", "pnarrow",
+                 "kindcol", "opcode", "unit", "cap")
+
+    def __init__(self, cap: int = 1024) -> None:
+        self.cap = cap
+        self.seq = array("q", bytes(8 * cap))
+        self.domain = array("q", bytes(8 * cap))
+        self.flags = array("q", bytes(8 * cap))
+        self.value_uid = array("q", b"\xff" * (8 * cap))
+        self.pnarrow = array("q", b"\xff" * (8 * cap))
+        self.kindcol = array("q", bytes(8 * cap))
+        self.opcode = array("q", bytes(8 * cap))
+        self.unit = array("q", bytes(8 * cap))
+
+    def ensure(self, dyn_id: int) -> None:
+        """Grow the columns so ``dyn_id`` is indexable."""
+        cap = self.cap
+        if dyn_id < cap:
+            return
+        new_cap = cap
+        while dyn_id >= new_cap:
+            new_cap *= 2
+        grow = new_cap - cap
+        self.seq.extend(array("q", bytes(8 * grow)))
+        self.domain.extend(array("q", bytes(8 * grow)))
+        self.flags.extend(array("q", bytes(8 * grow)))
+        self.value_uid.extend(array("q", b"\xff" * (8 * grow)))
+        self.pnarrow.extend(array("q", b"\xff" * (8 * grow)))
+        self.kindcol.extend(array("q", bytes(8 * grow)))
+        self.opcode.extend(array("q", bytes(8 * grow)))
+        self.unit.extend(array("q", bytes(8 * grow)))
+        self.cap = new_cap
+
+
+#: ``DynTable.flags`` bits.
+F_COMPLETED = 1
+F_SQUASHED = 2
+F_ISSUED = 4
+F_IN_ROB = 8
+F_REPLICATE_LOAD = 16
+F_LAST_CHUNK = 32
+
+#: ``DynTable.kindcol`` codes.
+KIND_TRACE = 0
+KIND_COPY = 1
+KIND_CHUNK = 2
+
+
+class WaiterPool:
+    """Per-producer waiter lists as intrusive linked lists over array slots.
+
+    Replaces the old ``{(value_uid, domain): [dyn, ...]}`` dict-of-lists:
+    each producer key owns a FIFO singly-linked list whose nodes live in two
+    parallel ``array('q')`` columns (``node_dyn`` — the waiting dyn slot,
+    ``node_next`` — next node or -1).  Value keys index head/tail lanes by
+    ``value_uid * num_domains + domain``; chunk-chain keys (the old
+    ``("chunk", dyn_id)`` tuples) index per-dyn-slot lanes.  Walking a list
+    (wakeup) frees its nodes onto an internal free list, so steady-state
+    node storage is bounded by the in-flight dependence count.
+    """
+
+    __slots__ = ("node_dyn", "node_next", "ctrl",
+                 "value_heads", "value_tails", "chunk_heads", "chunk_tails",
+                 "num_domains", "vcap", "ccap")
+
+    def __init__(self, num_domains: int, vcap: int = 1024,
+                 ccap: int = 1024) -> None:
+        self.num_domains = num_domains
+        self.node_dyn = array("q")
+        self.node_next = array("q")
+        #: control block shared with the compiled wakeup kernel:
+        #: slot 0 = free-list head (-1 = empty), slot 1 = live node count
+        self.ctrl = array("q", [-1, 0])
+        self.vcap = vcap
+        self.ccap = ccap
+        self.value_heads = array("q", b"\xff" * (8 * vcap * num_domains))
+        self.value_tails = array("q", b"\xff" * (8 * vcap * num_domains))
+        self.chunk_heads = array("q", b"\xff" * (8 * ccap))
+        self.chunk_tails = array("q", b"\xff" * (8 * ccap))
+
+    def ensure_value(self, value_uid: int) -> None:
+        cap = self.vcap
+        if value_uid < cap:
+            return
+        new_cap = cap
+        while value_uid >= new_cap:
+            new_cap *= 2
+        grow = (new_cap - cap) * self.num_domains
+        self.value_heads.extend(array("q", b"\xff" * (8 * grow)))
+        self.value_tails.extend(array("q", b"\xff" * (8 * grow)))
+        self.vcap = new_cap
+
+    def ensure_chunk(self, dyn_id: int) -> None:
+        cap = self.ccap
+        if dyn_id < cap:
+            return
+        new_cap = cap
+        while dyn_id >= new_cap:
+            new_cap *= 2
+        grow = new_cap - cap
+        self.chunk_heads.extend(array("q", b"\xff" * (8 * grow)))
+        self.chunk_tails.extend(array("q", b"\xff" * (8 * grow)))
+        self.ccap = new_cap
+
+    def reserve(self, count: int) -> None:
+        """Pre-grow the node free list so the next ``count`` appends cannot
+        reallocate (the compiled kernels append but never grow)."""
+        ctrl = self.ctrl
+        free = ctrl[0]
+        available = 0
+        node_next = self.node_next
+        while free >= 0 and available < count:
+            available += 1
+            free = node_next[free]
+        node_dyn = self.node_dyn
+        while available < count:
+            slot = len(node_dyn)
+            node_dyn.append(-1)
+            node_next.append(ctrl[0])
+            ctrl[0] = slot
+            available += 1
+
+    # hot-path
+    def _alloc_node(self, dyn_id: int) -> int:
+        ctrl = self.ctrl
+        slot = ctrl[0]
+        node_next = self.node_next
+        if slot >= 0:
+            ctrl[0] = node_next[slot]
+            self.node_dyn[slot] = dyn_id
+            node_next[slot] = -1
+        else:
+            slot = len(self.node_dyn)
+            self.node_dyn.append(dyn_id)
+            node_next.append(-1)
+        ctrl[1] += 1
+        return slot
+
+    # hot-path
+    def append_value(self, value_uid: int, domain: int, dyn_id: int) -> None:
+        """Append ``dyn_id`` to the (value_uid, domain) waiter list."""
+        self.ensure_value(value_uid)
+        lane = value_uid * self.num_domains + domain
+        node = self._alloc_node(dyn_id)
+        tails = self.value_tails
+        tail = tails[lane]
+        if tail < 0:
+            self.value_heads[lane] = node
+        else:
+            self.node_next[tail] = node
+        tails[lane] = node
+
+    # hot-path
+    def append_chunk(self, prev_dyn_id: int, dyn_id: int) -> None:
+        """Append ``dyn_id`` to the chunk-chain list of ``prev_dyn_id``."""
+        self.ensure_chunk(prev_dyn_id)
+        node = self._alloc_node(dyn_id)
+        tails = self.chunk_tails
+        tail = tails[prev_dyn_id]
+        if tail < 0:
+            self.chunk_heads[prev_dyn_id] = node
+        else:
+            self.node_next[tail] = node
+        tails[prev_dyn_id] = node
+
+    # hot-path
+    def free_node(self, node: int) -> None:
+        """Return a walked node to the free list (wakeup walks call this
+        per node after reading ``node_next``)."""
+        ctrl = self.ctrl
+        self.node_next[node] = ctrl[0]
+        self.node_dyn[node] = -1
+        ctrl[0] = node
+        ctrl[1] -= 1
+
+    def drop_squashed(self, value_uid: int, domain: int, flags) -> None:
+        """Free the (value_uid, domain) list's squashed-dyn nodes.
+
+        Recovery calls this for each cancelled copy's destination lane: the
+        copy will never deliver, so the lane may never be walked again and
+        its squashed waiters would otherwise strand their nodes forever.
+        Surviving (non-squashed) waiters are relinked in FIFO order.
+        """
+        if value_uid >= self.vcap:
+            return
+        lane = value_uid * self.num_domains + domain
+        node = self.value_heads[lane]
+        if node < 0:
+            return
+        node_dyn = self.node_dyn
+        node_next = self.node_next
+        head = tail = -1
+        while node >= 0:
+            nxt = node_next[node]
+            if flags[node_dyn[node]] & F_SQUASHED:
+                self.free_node(node)
+            else:
+                node_next[node] = -1
+                if tail < 0:
+                    head = node
+                else:
+                    node_next[tail] = node
+                tail = node
+            node = nxt
+        self.value_heads[lane] = head
+        self.value_tails[lane] = tail
+
+    def drop_squashed_chunk(self, prev_dyn_id: int, flags) -> None:
+        """Chunk-lane counterpart of :meth:`drop_squashed`: free squashed
+        waiters chained on ``prev_dyn_id``, which will never complete."""
+        if prev_dyn_id >= self.ccap:
+            return
+        node = self.chunk_heads[prev_dyn_id]
+        if node < 0:
+            return
+        node_dyn = self.node_dyn
+        node_next = self.node_next
+        head = tail = -1
+        while node >= 0:
+            nxt = node_next[node]
+            if flags[node_dyn[node]] & F_SQUASHED:
+                self.free_node(node)
+            else:
+                node_next[node] = -1
+                if tail < 0:
+                    head = node
+                else:
+                    node_next[tail] = node
+                tail = node
+            node = nxt
+        self.chunk_heads[prev_dyn_id] = head
+        self.chunk_tails[prev_dyn_id] = tail
+
+    def stranded_nodes(self) -> int:
+        """Live (allocated, unwalked) node count — zero once every producer
+        list has been woken or the machine drained (property-test hook)."""
+        return self.ctrl[1]
+
+
 class HotState:
     """The simulator's hot state, aggregated behind one binding point.
 
-    Owns the completion calendar and references every cluster's scheduler
+    Owns the completion calendar, the per-uop :class:`DynTable` columns and
+    the :class:`WaiterPool`, and references every cluster's scheduler
     columns and the ROB ring; see the module docstring for the layout.
     The API is deliberately narrow — the simulator reads/writes the
     calendar through the aliased ``completions`` / ``heap`` attributes and
@@ -136,7 +392,7 @@ class HotState:
     """
 
     __slots__ = ("completions", "heap", "queues", "rob", "periods", "ratio",
-                 "kernel", "cstate")
+                 "kernel", "cstate", "dyn", "waiters", "stat_lanes")
 
     def __init__(self, queues, rob, periods, ratio: int) -> None:
         #: completion calendar: fast cycle -> bucket of completing dyn uops
@@ -151,6 +407,16 @@ class HotState:
         #: per-cluster clock periods in fast cycles
         self.periods = array("q", periods)
         self.ratio = ratio
+        #: per-uop dispatch-state columns, indexed by dyn_id
+        self.dyn = DynTable()
+        #: per-producer waiter lists over the dyn slots
+        self.waiters = WaiterPool(num_domains=len(self.queues))
+        #: dispatch-accounting counters the batch kernel increments; layout
+        #: is ``cluster * 6 + [scheduler, regfile, alu, agu, fpu,
+        #: dispatched]`` followed by two global slots ``[rob_ops,
+        #: rename_ops]``; folded into the Python-level activity records by
+        #: the simulator's ``_finalise``.
+        self.stat_lanes = array("q", bytes(8 * (6 * len(self.queues) + 2)))
         self.kernel = None
         self.cstate = None
 
@@ -193,3 +459,39 @@ class HotState:
         # call while this binding is alive (call sites are unchanged, so
         # test spies on ``rob.commit`` keep working).
         self.rob.bind_scan_kernel(kernel.rob_commit_scan, self.cstate)
+
+    def bind_uops(self, kernel, engine) -> None:
+        """Extend the compiled binding with the dispatch-chain columns.
+
+        Hands the extension every structure the ``resolve_deps`` /
+        ``wakeup_waiters`` / ``dispatch_uop`` / ``dispatch_batch`` kernels
+        touch: the DynTable flag/domain columns, the waiter pool, the copy
+        engine's value lanes, the ROB ring and each scheduler's insert-side
+        columns.  All growable arrays extend in place (object identity is
+        stable), and the extension re-acquires their buffers per call.
+        Requires :meth:`bind_kernel` to have built ``cstate`` first.
+        """
+        dyn = self.dyn
+        pool = self.waiters
+        rob = self.rob
+        queues = self.queues
+        kernel.bind_uops(
+            self.cstate,
+            dyn.flags, dyn.domain,
+            pool.node_dyn, pool.node_next, pool.ctrl,
+            pool.value_heads, pool.value_tails,
+            engine.avail_lanes, engine.avail_order_lanes,
+            engine.avail_count_lanes,
+            engine.pending_lanes, engine.prefetched_lanes,
+            engine.copied_lanes, engine.stat_lanes,
+            rob.uid_ring, rob.seq_ring, rob.dyn_ring, rob.ctrl,
+            rob.by_uid, rob.payload_ring,
+            [q.entries for q in queues],
+            [q.remaining for q in queues],
+            [q.uids for q in queues],
+            [q.payloads for q in queues],
+            [q.free_stack for q in queues],
+            [q.ctrl for q in queues],
+            self.stat_lanes,
+            array("q", [q.size for q in queues]),
+        )
