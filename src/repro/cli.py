@@ -83,14 +83,52 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                         help="worker processes (1 = serial, 0 = one per CPU; "
                              "requests past the CPU count are clamped)")
     parser.add_argument("--cache-dir", default=None,
-                        help="directory for the on-disk result cache")
+                        help="directory for the on-disk result cache (also "
+                             "enables checkpoint/resume: an interrupted "
+                             "campaign picks up from its completed results)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass cache reads (entries are still refreshed)")
+    parser.add_argument("--attempts", type=int, default=None, metavar="N",
+                        help="supervised attempts per job before it is "
+                             "quarantined (default 3)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock deadline base (scaled by "
+                             "trace length; an expired job is retried)")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="deterministic fault-injection plan for chaos "
+                             "testing (repro.faultkit spec, e.g. "
+                             "'seed=7,crash=0.2,hang=0.1'; mirrors "
+                             "REPRO_FAULTS)")
     _add_backend_flag(parser)
 
 
+def _runner_kwargs(args: argparse.Namespace) -> dict:
+    """ExperimentRunner kwargs shared by the sweep-shaped subcommands."""
+    kwargs = dict(trace_uops=args.uops, seed=args.seed, jobs=args.jobs,
+                  cache_dir=args.cache_dir, use_cache=not args.no_cache)
+    if getattr(args, "faults", None):
+        from repro.faultkit import FaultPlan
+
+        kwargs["faults"] = FaultPlan.parse(args.faults)
+    overrides = {}
+    if getattr(args, "attempts", None) is not None:
+        overrides["max_attempts"] = args.attempts
+    if getattr(args, "job_timeout", None) is not None:
+        overrides["timeout_base"] = args.job_timeout
+    if overrides:
+        from dataclasses import replace
+
+        from repro.sim.supervise import SupervisorPolicy
+
+        kwargs["supervisor"] = replace(SupervisorPolicy(), **overrides)
+    return kwargs
+
+
 def _print_engine_footer(runner) -> None:
-    """Sweep-table footer: resolved backend, cache stats, worker clamp."""
+    """Sweep-table footer: resolved backend, cache stats, worker clamp,
+    and — when anything supervision-worthy happened — the supervision line
+    (retries, timeouts, degraded backends, quarantined jobs, resume)."""
     line = f"backend: {detected_backend()}"
     if runner.cache is not None:
         line += " · " + cache_stats_line(runner.cache, runner.engine.trace_store,
@@ -100,6 +138,18 @@ def _print_engine_footer(runner) -> None:
                  f"{runner.engine.jobs_clamped_from}: the host has "
                  f"{runner.engine.jobs} usable CPU(s))")
     print(line)
+    supervision = runner.report.summary_line()
+    if supervision:
+        print(supervision)
+    if runner.report.quarantined:
+        print(f"quarantined jobs written to {runner.engine.quarantine_path}",
+              file=sys.stderr)
+
+
+def _engine_exit(runner) -> int:
+    """Exit code of a supervised campaign: 3 when any job was quarantined
+    (results above are the surviving cells), 0 otherwise."""
+    return 3 if runner.report.quarantined else 0
 
 
 def _parse_mixed_shapes(text: str) -> List[tuple]:
@@ -241,6 +291,12 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--skip-store-checks", action="store_true",
                       help="skip the ResultCache/TraceStore round-trip "
                            "checks (faster campaigns)")
+    fuzz.add_argument("--engine-faults", type=int, default=0, metavar="N",
+                      help="instead of differential cases, run N seeded "
+                           "chaos scenarios through the supervised engine "
+                           "(repro.fuzz.enginefaults): surviving results "
+                           "must match a fault-free serial run; divergences "
+                           "land in the corpus as engine-fault entries")
 
     replay = sub.add_parser(
         "fuzz-replay", help="replay a fuzz corpus directory (tier-1 gate)")
@@ -378,9 +434,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _run_engine_sweep(args: argparse.Namespace, policies: List[str]):
     """Run the sweep through an ExperimentRunner, returning (sweep, runner)."""
-    runner = ExperimentRunner(trace_uops=args.uops, seed=args.seed,
-                              jobs=args.jobs, cache_dir=args.cache_dir,
-                              use_cache=not args.no_cache)
+    runner = ExperimentRunner(**_runner_kwargs(args))
     names = args.benchmarks or list(SPEC_INT_NAMES)
     profiles = [get_profile(name) for name in names]
     return runner.run_suite(profiles, policies), runner
@@ -395,7 +449,7 @@ def _cmd_ladder(args: argparse.Namespace) -> int:
         print(format_policy_table(sweep, policy))
         print()
     _print_engine_footer(runner)
-    return 0
+    return _engine_exit(runner)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -419,7 +473,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"\nwrote {args.csv}")
     print()
     _print_engine_footer(runner)
-    return 0
+    return _engine_exit(runner)
 
 
 def _cmd_sweep_table2(args: argparse.Namespace) -> int:
@@ -428,9 +482,7 @@ def _cmd_sweep_table2(args: argparse.Namespace) -> int:
     if len(policies) != 1:
         print("--suite table2 takes exactly one policy", file=sys.stderr)
         return 2
-    runner = ExperimentRunner(trace_uops=args.uops, seed=args.seed,
-                              jobs=args.jobs, cache_dir=args.cache_dir,
-                              use_cache=not args.no_cache)
+    runner = ExperimentRunner(**_runner_kwargs(args))
     sweep = runner.run_workload_suite(
         policy=policies[0], categories=args.categories,
         apps_per_category=args.apps_per_category)
@@ -447,13 +499,11 @@ def _cmd_sweep_table2(args: argparse.Namespace) -> int:
         print(f"\nwrote {args.csv}")
     print()
     _print_engine_footer(runner)
-    return 0
+    return _engine_exit(runner)
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(trace_uops=args.uops, seed=args.seed,
-                              jobs=args.jobs, cache_dir=args.cache_dir,
-                              use_cache=not args.no_cache)
+    runner = ExperimentRunner(**_runner_kwargs(args))
     points = build_topology_grid(args.widths, args.ratios, args.helpers)
     for shapes in args.mixed or []:
         points.append(mixed_topology_point(shapes))
@@ -470,7 +520,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         print(f"\nwrote {args.csv}")
     print()
     _print_engine_footer(runner)
-    return 0
+    return _engine_exit(runner)
 
 
 def _cmd_energy(args: argparse.Namespace) -> int:
@@ -484,14 +534,16 @@ def _cmd_energy(args: argparse.Namespace) -> int:
         rows = [[b, sweep.results[b].by_policy[args.policy].energy,
                  sweep.results[b].baseline.energy,
                  sweep.results[b].ed2_improvement(args.policy)]
-                for b in sweep.benchmarks]
+                for b in sweep.benchmarks
+                if b in sweep.results
+                and args.policy in sweep.results[b].by_policy]
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(to_csv(["benchmark", "energy", "baseline_energy",
                                  "ed2_gain"], rows) + "\n")
         print(f"\nwrote {args.csv}")
     print()
     _print_engine_footer(runner)
-    return 0
+    return _engine_exit(runner)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -520,6 +572,22 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     """Differential fuzzing campaign (see DESIGN.md § Differential fuzzing)."""
     from repro.fuzz import run_campaign
 
+    if args.engine_faults:
+        from repro.fuzz import run_engine_fault_campaign
+
+        campaign = run_engine_fault_campaign(
+            args.engine_faults, seed=args.seed, corpus_dir=args.corpus,
+            time_budget=args.time_budget, max_failures=args.max_failures,
+            log=print)
+        print(f"\n{campaign.cases_run} chaos cases in "
+              f"{campaign.elapsed:.1f}s ({campaign.stop_reason}); "
+              f"{len(campaign.reports)} failure(s)")
+        if campaign.artifacts:
+            print("divergence corpus entries:")
+            for path in campaign.artifacts:
+                print(f"  {path}")
+        return 0 if campaign.ok else 1
+
     campaign = run_campaign(
         args.cases, seed=args.seed, shrink=args.shrink, out_dir=args.out,
         corpus_dir=args.corpus, time_budget=args.time_budget,
@@ -536,10 +604,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
     """Replay every committed corpus entry; any failure is a regression."""
-    from repro.fuzz import load_corpus_dir, run_case
+    from repro.fuzz import (load_corpus_dir, load_engine_corpus_dir,
+                            run_case, run_engine_fault_case)
 
     entries = load_corpus_dir(args.corpus)
-    if not entries:
+    engine_entries = load_engine_corpus_dir(args.corpus)
+    if not entries and not engine_entries:
         print(f"no corpus entries under {args.corpus}", file=sys.stderr)
         return 2
     failed = 0
@@ -550,7 +620,15 @@ def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
         for failure in report.failures:
             failed += 1
             print(f"     {failure}")
-    print(f"\n{len(entries)} corpus entries, "
+    for name, engine_case in engine_entries:
+        report = run_engine_fault_case(engine_case)
+        status = "ok  " if report.ok else "FAIL"
+        print(f"{status} {name}: {engine_case.label()} "
+              f"({report.elapsed:.2f}s)")
+        for failure in report.failures:
+            failed += 1
+            print(f"     {failure}")
+    print(f"\n{len(entries) + len(engine_entries)} corpus entries, "
           f"{failed if failed else 'no'} failure(s)")
     return 1 if failed else 0
 

@@ -31,9 +31,25 @@ from repro.fuzz.harness import (
     write_corpus_entry,
     write_repro_script,
 )
+from repro.fuzz.enginefaults import (
+    EngineFaultCase,
+    EngineFaultReport,
+    generate_engine_case,
+    load_engine_corpus_dir,
+    run_engine_fault_campaign,
+    run_engine_fault_case,
+    write_engine_corpus_entry,
+)
 from repro.fuzz.invariants import CommitOrderRecorder, check_result_invariants
 
 __all__ = [
+    "EngineFaultCase",
+    "EngineFaultReport",
+    "generate_engine_case",
+    "load_engine_corpus_dir",
+    "run_engine_fault_campaign",
+    "run_engine_fault_case",
+    "write_engine_corpus_entry",
     "CASE_FORMAT",
     "FuzzCase",
     "case_from_dict",

@@ -355,6 +355,10 @@ def load_corpus_dir(directory) -> List[Tuple[str, FuzzCase]]:
         return entries
     for path in sorted(directory.glob("*.json")):
         data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("kind"):
+            # Typed entries (e.g. "engine-fault") have their own loader:
+            # repro.fuzz.enginefaults.load_engine_corpus_dir.
+            continue
         entries.append((data.get("name", path.stem),
                         case_from_dict(data["case"])))
     return entries

@@ -87,6 +87,13 @@ class ResultCache:
         self.stores = 0
         #: entries dropped because the digest or key did not verify
         self.corrupt_drops = 0
+        #: corrupt-dropped slots that were subsequently rewritten with a
+        #: fresh result (the "delete-and-rewrite" heal: the same corruption
+        #: is never re-parsed, and the footer reports ``corrupt: N healed``)
+        self.healed = 0
+        #: keys whose on-disk entry was dropped as corrupt and not yet
+        #: rewritten (drives the ``healed`` accounting)
+        self._corrupt_keys: set = set()
         #: of the hits, how many were served from the in-process memo
         #: without touching (or re-decoding) the on-disk entry
         self.memo_hits = 0
@@ -124,6 +131,7 @@ class ResultCache:
         if result is None:
             # Corrupt or stale: remove so the slot is rewritten cleanly.
             self.corrupt_drops += 1
+            self._corrupt_keys.add(key)
             self.misses += 1
             try:
                 path.unlink()
@@ -194,9 +202,48 @@ class ResultCache:
             return
         self.stores += 1
         self.bytes_written += len(header) + 1 + len(payload)
+        if key in self._corrupt_keys:
+            # This slot previously held a corrupt entry: the rewrite heals
+            # it (delete happened at detection time; this is the rewrite).
+            self._corrupt_keys.discard(key)
+            self.healed += 1
         # A just-stored result is the freshest possible entry: serve later
         # loads of the same key from memory instead of round-tripping disk.
         self._memoise(key, result)
+
+    # ------------------------------------------------------------------ verify
+    def verify(self, key: str,
+               result: Optional[SimulationResult] = None) -> bool:
+        """Re-read and digest-check the on-disk entry for ``key``.
+
+        Bypasses the memo deliberately — the point is to check what a
+        *future process* will read.  A failing entry is dropped (counted in
+        ``corrupt_drops``) and, when ``result`` is supplied, immediately
+        rewritten (counted in ``healed``).  Returns True when the on-disk
+        entry verified on first read; the supervised engine calls this
+        after every store so corruption that lands during a campaign is
+        healed before the campaign ends.
+        """
+        if not self.enabled:
+            return True
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            blob = None
+        if blob is not None:
+            self.bytes_read += len(blob)
+            if self._decode(key, blob) is not None:
+                return True
+        self.corrupt_drops += 1
+        self._corrupt_keys.add(key)
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        if result is not None:
+            self.store(key, result)
+        return False
 
     # -------------------------------------------------------------- reporting
     def stats(self) -> dict:
@@ -205,6 +252,7 @@ class ResultCache:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt_drops": self.corrupt_drops,
+            "healed": self.healed,
             "memo_hits": self.memo_hits,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,

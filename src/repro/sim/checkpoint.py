@@ -1,0 +1,145 @@
+"""Campaign checkpointing and the quarantine ledger.
+
+The content-addressed :class:`~repro.sim.cache.ResultCache` already makes
+re-submitting a finished job idempotent; the checkpoint makes the campaign's
+progress *explicit and reportable*: an append-only JSONL file of completed
+job keys that survives interruption (each line is one ``fsync``-free append;
+a torn final line from a crash mid-write is detected and ignored on load).
+A resumed sweep reports ``resumed=N`` for jobs whose key is both
+checkpointed and served from the cache — and recomputes any checkpointed
+job whose cache entry has meanwhile been lost or corrupted, correcting the
+record as it goes (the cache stays the source of truth for *data*; the
+checkpoint only witnesses *progress*).
+
+The quarantine ledger (``failed-jobs.json``) is the other half of the
+contract: a job that fails every supervised attempt is recorded — with its
+full attempt history — instead of aborting the campaign, in a replayable
+form (the job fields reconstruct a :class:`~repro.sim.engine.SweepJob`
+verbatim).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Checkpoint line format; bump when the line layout changes.
+CHECKPOINT_FORMAT = 1
+
+#: Quarantine file format; bump when the record layout changes.
+QUARANTINE_FORMAT = 1
+
+
+def job_to_dict(job) -> dict:
+    """The replayable identity of a SweepJob (per-job config elided —
+    grid jobs are re-keyed by their result key, which covers it)."""
+    return {
+        "benchmark": job.benchmark,
+        "policy": job.policy,
+        "trace_uops": job.trace_uops,
+        "seed": job.seed,
+        "use_slicing": job.use_slicing,
+    }
+
+
+class CampaignCheckpoint:
+    """Append-only record of completed (and quarantined) job keys."""
+
+    def __init__(self, path: os.PathLike | str) -> None:
+        self.path = Path(path)
+        #: key -> replayable job identity dict
+        self.completed: Dict[str, dict] = {}
+        #: key -> quarantine record (cleared when the job later completes)
+        self.quarantined: Dict[str, dict] = {}
+        #: lines dropped on load because they did not parse (torn tail
+        #: from an interrupted append, or foreign garbage)
+        self.dropped_lines = 0
+        self._load()
+
+    # -------------------------------------------------------------- loading
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                # A torn append (interrupt mid-write) only ever damages the
+                # final line; anything unparseable is simply not progress.
+                self.dropped_lines += 1
+                continue
+            if not isinstance(record, dict) or "key" not in record:
+                self.dropped_lines += 1
+                continue
+            key = record["key"]
+            if record.get("kind") == "quarantined":
+                self.quarantined[key] = record
+            else:
+                self.completed[key] = record.get("job", {})
+                self.quarantined.pop(key, None)
+
+    # ------------------------------------------------------------ appending
+    def _append(self, record: dict) -> None:
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:
+            # Checkpointing is best-effort by design: an unwritable
+            # checkpoint degrades resume reporting, never the sweep.
+            pass
+
+    def mark_completed(self, key: str, job) -> None:
+        if key in self.completed:
+            return
+        self.completed[key] = job_to_dict(job)
+        self.quarantined.pop(key, None)
+        self._append({"format": CHECKPOINT_FORMAT, "kind": "completed",
+                      "key": key, "job": job_to_dict(job)})
+
+    def mark_quarantined(self, key: str, job, attempts: List[dict]) -> None:
+        record = {"format": CHECKPOINT_FORMAT, "kind": "quarantined",
+                  "key": key, "job": job_to_dict(job), "attempts": attempts}
+        self.quarantined[key] = record
+        self._append(record)
+
+
+def write_quarantine_file(path: os.PathLike | str,
+                          records: List[dict]) -> Optional[Path]:
+    """Write the replayable ``failed-jobs.json`` ledger (best effort).
+
+    ``records`` are supervision quarantine records: ``{"job": {...},
+    "key": ..., "attempts": [...]}``.  Returns the path written, or None
+    when the location is unusable.
+    """
+    path = Path(path)
+    payload = {
+        "format": QUARANTINE_FORMAT,
+        "jobs": records,
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    except OSError:
+        return None
+    return path
+
+
+def load_quarantine_file(path: os.PathLike | str) -> List[dict]:
+    """Load a ``failed-jobs.json`` ledger; [] when absent or unreadable."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return []
+    if not isinstance(data, dict) or data.get("format") != QUARANTINE_FORMAT:
+        return []
+    jobs = data.get("jobs")
+    return jobs if isinstance(jobs, list) else []

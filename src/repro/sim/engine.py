@@ -22,20 +22,26 @@ parallel path produces identical sweeps regardless of worker scheduling.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import shutil
 import tempfile
 import weakref
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import MachineConfig, baseline_config, helper_cluster_config
 from repro.core.steering import make_policy, policy_spec
+from repro.faultkit import FaultInjector, FaultPlan, maybe_inject
 from repro.power.wattch import PowerConfig
 from repro.sim.cache import ResultCache, canonical_text, result_key
+from repro.sim.checkpoint import (CampaignCheckpoint, job_to_dict,
+                                  write_quarantine_file)
 from repro.sim.metrics import SimulationResult
 from repro.sim.simulator import simulate
+from repro.sim.supervise import JobSupervisor, SupervisorPolicy, SweepReport
 from repro.trace.profiles import BenchmarkProfile, get_profile
 from repro.trace.slicing import select_simulation_slice
 from repro.trace.store import TraceStore, profile_key_text, trace_key
@@ -54,11 +60,24 @@ _trace_memo: Dict[Tuple[str, int, int, bool], Trace] = {}
 #: traces from disk instead of re-deriving them.
 _worker_store: Optional[TraceStore] = None
 
+#: Fault plan bound to this process when it is a pool worker (set by
+#: :func:`_pool_init`); None outside chaos scenarios.
+_worker_plan: Optional[FaultPlan] = None
 
-def _pool_init(store_dir: Optional[str]) -> None:
-    """Pool-worker initializer: seed the per-worker trace-store binding."""
-    global _worker_store
+#: Claim directory bound to this process when it is a pool worker —
+#: ``<trace-store>/claims/<pid>`` names the job a worker is executing so
+#: the supervisor can attribute a worker death (SIGKILL, segfault) to the
+#: job that caused it and charge only that job an attempt.
+_worker_claims_dir: Optional[str] = None
+
+
+def _pool_init(store_dir: Optional[str], plan_text: str = "") -> None:
+    """Pool-worker initializer: bind the trace store and fault plan."""
+    global _worker_store, _worker_plan, _worker_claims_dir
     _worker_store = TraceStore(store_dir) if store_dir else None
+    _worker_plan = FaultPlan.parse(plan_text) if plan_text else None
+    _worker_claims_dir = (str(Path(store_dir) / "claims")
+                          if store_dir else None)
 
 
 @dataclass(frozen=True)
@@ -158,7 +177,8 @@ def trace_for_job(job: SweepJob, profile: Optional[BenchmarkProfile] = None,
 def execute_job(job: SweepJob, config: MachineConfig,
                 profile: Optional[BenchmarkProfile] = None,
                 spec=None, power: Optional[PowerConfig] = None,
-                store: Optional[TraceStore] = None) -> SimulationResult:
+                store: Optional[TraceStore] = None,
+                backend: Optional[str] = None) -> SimulationResult:
     """Run one job to completion (trace generation included).
 
     The job's own ``config`` wins over the engine-supplied one; the baseline
@@ -168,18 +188,54 @@ def execute_job(job: SweepJob, config: MachineConfig,
     omitted, the name is resolved against this process's registry.
     ``power`` supplies the energy coefficients (job-carried config wins);
     ``store`` is the cross-job trace store consulted before generating.
+    ``backend`` forces the hot-state backend for this attempt (bit-identical
+    by contract; the supervisor uses it to degrade compiled -> python).
     """
     trace = trace_for_job(job, profile, store)
     policy = make_policy(spec if spec is not None else job.policy)
     power = job.power or power
     if job.policy == "baseline":
         return simulate(trace, config=baseline_config(), policy=policy,
-                        power=power)
+                        power=power, backend=backend)
     return simulate(trace, config=job.config or config, policy=policy,
-                    power=power)
+                    power=power, backend=backend)
 
 
-def _pool_worker(task: bytes) -> bytes:
+def _claim_path() -> Optional[Path]:
+    return (Path(_worker_claims_dir) / str(os.getpid())
+            if _worker_claims_dir else None)
+
+
+def _write_claim(token: str, attempt: int) -> None:
+    """Record which job this worker is executing (crash attribution).
+
+    Written *before* fault injection and execution; removed on any outcome
+    the worker survives to report.  A worker that dies mid-job (SIGKILL,
+    segfault) leaves its claim behind, and the dead pid's claim file is
+    exactly how the supervisor knows which in-flight job to charge.
+    """
+    path = _claim_path()
+    if path is None:
+        return
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"token": token, "attempt": attempt}),
+                        encoding="utf-8")
+    except OSError:
+        pass  # attribution degrades gracefully; supervision still works
+
+
+def _remove_claim() -> None:
+    path = _claim_path()
+    if path is None:
+        return
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
+def _supervised_worker(task: bytes) -> bytes:
     """Pool entry point; pickled tuples keep the Pool API version-stable.
 
     The parent resolves each job's policy name to its PolicySpec and ships
@@ -188,11 +244,24 @@ def _pool_worker(task: bytes) -> bytes:
     child's freshly-imported registry only holds the built-in specs.
     Traces come from the worker's memo (inherited on fork), the trace store
     bound by :func:`_pool_init`, or are generated as a last resort.
+
+    The worker never lets an exception escape to the pool machinery: any
+    failure is reported as an ``("error", message)`` outcome so the parent
+    supervisor — not ``multiprocessing``'s error plumbing — owns retry,
+    degradation and quarantine decisions.
     """
-    job, config, profile, spec, power = pickle.loads(task)
-    result = execute_job(job, config, profile, spec=spec, power=power,
-                         store=_worker_store)
-    return pickle.dumps((job, result), protocol=pickle.HIGHEST_PROTOCOL)
+    job, config, profile, spec, power, backend, attempt, token = (
+        pickle.loads(task))
+    _write_claim(token, attempt)
+    try:
+        maybe_inject(_worker_plan, token, attempt, backend, in_worker=True)
+        result = execute_job(job, config, profile, spec=spec, power=power,
+                             store=_worker_store, backend=backend)
+        outcome: Tuple = ("ok", result)
+    except Exception as exc:  # noqa: BLE001 — every failure is reportable
+        outcome = ("error", f"{type(exc).__name__}: {exc}")
+    _remove_claim()
+    return pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 def available_cpus() -> int:
@@ -210,12 +279,41 @@ def default_jobs() -> int:
     return available_cpus()
 
 
+def _stop_pool(pool, grace: float = 5.0) -> None:
+    """Tear a (possibly wedged) pool down without blocking the parent.
+
+    A SIGKILLed worker can die *holding the task queue's reader lock*, and
+    ``Pool.terminate`` drains that queue under the same lock — calling it
+    directly on such a pool wedges the parent forever.  So: kill the worker
+    processes first (no child outlives the pool), then run terminate+join
+    on a daemon thread with a grace period; a pool that still refuses to
+    die is abandoned — its handler threads are daemonic — never waited on.
+    """
+    import threading
+
+    for proc in list(getattr(pool, "_pool", ()) or ()):
+        try:
+            if proc.exitcode is None:
+                proc.kill()
+        except Exception:  # noqa: BLE001 — racing a dying worker is fine
+            pass
+
+    def _teardown() -> None:
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:  # noqa: BLE001 — a broken pool may refuse both
+            pass
+
+    thread = threading.Thread(target=_teardown, daemon=True,
+                              name="repro-pool-teardown")
+    thread.start()
+    thread.join(grace)
+
+
 def _terminate_pool(pool) -> None:
     """Engine-finalizer hook: tear the warm pool down without blocking."""
-    try:
-        pool.terminate()
-    except Exception:
-        pass
+    _stop_pool(pool, grace=1.0)
 
 
 class SweepEngine:
@@ -250,13 +348,35 @@ class SweepEngine:
         parent-generated traces from it instead of re-deriving them.  Point
         it at a persistent directory (the CLI uses ``<cache-dir>/traces``)
         and repeated sweeps skip generation entirely.
+    supervisor:
+        :class:`~repro.sim.supervise.SupervisorPolicy` governing per-job
+        deadlines, retries/backoff, degradation and pool respawn; the
+        default policy retries twice with exponential backoff.  A fault
+        plan's supervision overrides (``deadline=``, ``attempts=``, …) are
+        applied on top.
+    faults:
+        :class:`~repro.faultkit.FaultPlan` to inject deterministic faults
+        (chaos testing); ``None`` reads ``REPRO_FAULTS`` from the
+        environment, which is empty outside chaos scenarios.
+    checkpoint_path:
+        Append-only campaign checkpoint (JSONL).  Completed job keys are
+        recorded as they land, so an interrupted campaign resumes from its
+        completed results (``resumed=N`` in the supervision footer) — the
+        CLI uses ``<cache-dir>/checkpoint.jsonl``.
+    quarantine_path:
+        Where to write the replayable ``failed-jobs.json`` ledger when any
+        job exhausts its attempts.
     """
 
     def __init__(self, config: Optional[MachineConfig] = None, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
                  power: Optional[PowerConfig] = None,
                  trace_store_dir: Optional[str] = None,
-                 allow_oversubscribe: bool = False) -> None:
+                 allow_oversubscribe: bool = False,
+                 supervisor: Optional[SupervisorPolicy] = None,
+                 faults: Optional[FaultPlan] = None,
+                 checkpoint_path: Optional[str] = None,
+                 quarantine_path: Optional[str] = None) -> None:
         self.config = config or helper_cluster_config()
         requested = default_jobs() if jobs == 0 else max(1, jobs)
         #: the originally requested worker count when the engine clamped it
@@ -283,6 +403,24 @@ class SweepEngine:
         #: real cost when every figure of a benchmark session runs a sweep)
         self._pool = None
         self._pool_finalizer: Optional[weakref.finalize] = None
+        # ---- supervision / fault-tolerance state -------------------------
+        if faults is None:
+            faults = FaultPlan.from_env()
+        #: active fault plan (None outside chaos scenarios)
+        self.faults = faults
+        #: retry/deadline policy, with the plan's overrides applied
+        self.supervisor_policy = (supervisor or SupervisorPolicy()
+                                  ).with_plan(faults)
+        #: parent-side artifact/interrupt injector (None without a plan)
+        self.injector = FaultInjector(faults) if faults is not None else None
+        #: supervision outcome, accumulated across this engine's batches
+        self.report = SweepReport()
+        #: campaign checkpoint (None = not checkpointing)
+        self.checkpoint = (CampaignCheckpoint(checkpoint_path)
+                           if checkpoint_path else None)
+        #: where the quarantine ledger is written (None = nowhere)
+        self.quarantine_path = (Path(quarantine_path)
+                                if quarantine_path else None)
 
     # ------------------------------------------------------------------ pool
     def _ensure_pool(self):
@@ -290,12 +428,61 @@ class SweepEngine:
         if self._pool is None:
             import multiprocessing
 
+            plan_text = self.faults.to_text() if self.faults else ""
             self._pool = multiprocessing.Pool(
                 processes=self.jobs, initializer=_pool_init,
-                initargs=(str(self.trace_store.store_dir),))
+                initargs=(str(self.trace_store.store_dir), plan_text))
             self._pool_finalizer = weakref.finalize(
                 self, _terminate_pool, self._pool)
         return self._pool
+
+    def _respawn_pool(self):
+        """Terminate the cached pool and spawn a fresh one.
+
+        This is how a dead worker (SIGKILL/segfault) or a wedged pool
+        (``BrokenPipeError`` on submit) is recovered without wedging
+        ``_ensure_pool``'s cache: the broken pool is dropped wholesale and
+        the next ``_ensure_pool`` call builds a replacement.
+        """
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            _stop_pool(pool)
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+        return self._ensure_pool()
+
+    # ---------------------------------------------------------------- claims
+    @property
+    def claims_dir(self) -> Path:
+        """Scratch directory of worker claim files (crash attribution)."""
+        return Path(self.trace_store.store_dir) / "claims"
+
+    def _read_claims(self, pids) -> Dict[int, str]:
+        """Job tokens claimed by the given (dead) worker pids."""
+        claims: Dict[int, str] = {}
+        for pid in pids:
+            try:
+                record = json.loads(
+                    (self.claims_dir / str(pid)).read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            token = record.get("token") if isinstance(record, dict) else None
+            if token:
+                claims[pid] = token
+        return claims
+
+    def _clear_claims(self) -> None:
+        """Drop stale claim files (after a respawn killed all workers)."""
+        try:
+            entries = list(self.claims_dir.iterdir())
+        except OSError:
+            return
+        for path in entries:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def close(self) -> None:
         """Release the engine's pooled resources (idempotent).
@@ -311,11 +498,11 @@ class SweepEngine:
         """
         if self._pool is not None:
             pool, self._pool = self._pool, None
-            pool.terminate()
-            pool.join()
+            _stop_pool(pool)
             if self._pool_finalizer is not None:
                 self._pool_finalizer.detach()
                 self._pool_finalizer = None
+        self._clear_claims()
         if self._store_cleanup is not None:
             cleanup, self._store_cleanup = self._store_cleanup, None
             cleanup()  # a dead finalizer is a no-op, so this is idempotent
@@ -368,48 +555,155 @@ class SweepEngine:
         return profile
 
     # ------------------------------------------------------------------- run
+    def token_for(self, job: SweepJob, key: Optional[str] = None) -> str:
+        """Human-legible job identity for supervision and fault decisions.
+
+        The 12-hex-digit result-key prefix distinguishes topology-grid
+        points that share a benchmark and policy (a grid fans out over
+        job-carried configs, which the benchmark:policy pair alone cannot
+        see).
+        """
+        prefix = f"{job.benchmark}:{job.policy}"
+        return f"{prefix}:{key[:12]}" if key else prefix
+
     def run_jobs(self, sweep_jobs: Sequence[SweepJob],
                  use_cache: bool = True) -> Dict[SweepJob, SimulationResult]:
         """Execute a batch of jobs and return ``{job: result}``.
 
-        Cached results are served first; the remainder runs serially or on a
-        pool.  The returned mapping is keyed (and therefore ordered) by the
-        input job list, independent of worker completion order.
+        Cached results are served first; the remainder runs under the
+        :class:`~repro.sim.supervise.JobSupervisor` — serially in-process
+        or fanned out over the warm pool — with per-job deadlines, retry,
+        degradation and quarantine.  A quarantined job is simply absent
+        from the returned mapping (its record lands in
+        ``self.report.quarantined`` and the quarantine ledger); the
+        returned mapping is keyed (and therefore ordered) by the input job
+        list, independent of worker completion order.
         """
         results: Dict[SweepJob, SimulationResult] = {}
         pending: List[SweepJob] = []
         keys: Dict[SweepJob, str] = {}
         seen: set = set()
+        need_keys = (self.cache is not None or self.checkpoint is not None
+                     or self.faults is not None)
         for job in sweep_jobs:
             if job in seen:
                 continue  # duplicate job in the batch
             seen.add(job)
+            if need_keys:
+                keys[job] = self.key_for(job)
             if self.cache is not None and use_cache:
-                key = self.key_for(job)
-                keys[job] = key
+                key = keys[job]
                 cached = self.cache.load(key)
                 if cached is not None:
                     results[job] = cached
+                    self.report.cache_hits += 1
+                    if self.checkpoint is not None:
+                        if key in self.checkpoint.completed:
+                            # The explicit resume contract: this job was
+                            # completed by an earlier (interrupted) run and
+                            # is served without touching a worker.
+                            self.report.resumed += 1
+                        else:
+                            self.checkpoint.mark_completed(key, job)
                     continue
             pending.append(job)
 
-        if len(pending) > 1 and self.jobs > 1:
-            computed = self._run_parallel(pending)
-        else:
-            computed = {job: execute_job(job, self.config,
-                                         self._profile_for(job.benchmark),
-                                         power=self.power,
-                                         store=self.trace_store)
-                        for job in pending}
-
-        for job, result in computed.items():
-            if self.cache is not None:
-                self.cache.store(keys.get(job) or self.key_for(job), result)
-            results[job] = result
+        if pending:
+            self._run_supervised(pending, keys, results)
         return {job: results[job] for job in sweep_jobs if job in results}
 
-    def _run_parallel(self, pending: Sequence[SweepJob]
-                      ) -> Dict[SweepJob, SimulationResult]:
+    def _run_supervised(self, pending: Sequence[SweepJob],
+                        keys: Dict[SweepJob, str],
+                        results: Dict[SweepJob, SimulationResult]) -> None:
+        """Drive ``pending`` through the supervisor into ``results``.
+
+        Completion is incremental: each job is cached, verified and
+        checkpointed from the parent as it settles, so an interruption
+        (KeyboardInterrupt included) loses only in-flight work and the
+        next invocation resumes from everything that finished.
+        """
+
+        def token_for(job: SweepJob) -> str:
+            return self.token_for(job, keys.get(job))
+
+        def key_of(job: SweepJob) -> str:
+            key = keys.get(job)
+            if key is None:
+                key = self.key_for(job)
+                keys[job] = key
+            return key
+
+        def on_complete(job: SweepJob, result: SimulationResult) -> None:
+            results[job] = result
+            self.report.computed += 1
+            if self.cache is not None:
+                key = key_of(job)
+                self.cache.store(key, result)
+                if self.injector is not None:
+                    self.injector.corrupt_result_entry(self.cache, key)
+                if self.supervisor_policy.verify_stores:
+                    # Verify-after-write: re-read and digest-check the
+                    # entry, rewriting it when it fails — corruption that
+                    # happens during the campaign is healed before the
+                    # campaign ends, so a resumed run starts clean.
+                    if not self.cache.verify(key, result):
+                        self.report.store_repairs += 1
+            if self.checkpoint is not None:
+                self.checkpoint.mark_completed(key_of(job), job)
+            if self.injector is not None:
+                self.injector.after_completion()
+
+        def on_quarantine(job: SweepJob, failures) -> None:
+            record = {"job": job_to_dict(job), "key": key_of(job),
+                      "attempts": [f.to_dict() for f in failures]}
+            self.report.quarantined.append(record)
+            if self.checkpoint is not None:
+                self.checkpoint.mark_quarantined(record["key"], job,
+                                                 record["attempts"])
+
+        supervisor = JobSupervisor(self, self.supervisor_policy, self.faults,
+                                   self.report)
+        try:
+            if len(pending) > 1 and self.jobs > 1:
+                self._prepare_traces(pending)
+                supervisor.run_parallel(pending, token_for, on_complete,
+                                        on_quarantine)
+            else:
+                supervisor.run_serial(pending, token_for, on_complete,
+                                      on_quarantine)
+        except BaseException:
+            # Pool teardown and temp-dir cleanup must run on *every* exit —
+            # KeyboardInterrupt included — or an aborted campaign leaks its
+            # pool and wedges the next one.  Completed work is already
+            # cached and checkpointed, so nothing durable is lost.
+            self.close()
+            raise
+        finally:
+            if self.injector is not None:
+                self.report.merge_faults(self.injector.fired)
+            if self.report.quarantined and self.quarantine_path is not None:
+                write_quarantine_file(self.quarantine_path,
+                                      self.report.quarantined)
+
+    def _execute_supervised(self, job: SweepJob,
+                            backend: Optional[str] = None) -> SimulationResult:
+        """One in-process job attempt (the supervisor's serial primitive)."""
+        return execute_job(job, self.config,
+                           self._profile_for(job.benchmark),
+                           power=self.power, store=self.trace_store,
+                           backend=backend)
+
+    def _task_blob(self, job: SweepJob, backend: Optional[str],
+                   attempt: int, token: str) -> bytes:
+        """Serialise one job attempt for the pool worker protocol."""
+        return pickle.dumps((job, job.config or self.config,
+                             self._profile_for(job.benchmark),
+                             policy_spec(job.policy),
+                             job.power or self.power,
+                             backend, attempt, token),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _prepare_traces(self, pending: Sequence[SweepJob]) -> None:
         # Generate each distinct (profile, length, seed, slicing) trace once
         # in the parent before fanning out: fork-started workers inherit the
         # memo for free, spawn-started (and warm-restart) workers re-hydrate
@@ -421,25 +715,16 @@ class SweepEngine:
             if trace_tuple in seen_traces:
                 continue
             seen_traces.add(trace_tuple)
-            trace_for_job(job, self._profile_for(job.benchmark),
-                          self.trace_store)
-
-        # Adjacent jobs share a benchmark (the builders emit them grouped),
-        # so contiguous chunks let each worker reuse its memoised trace.
-        tasks = [pickle.dumps((job, job.config or self.config,
-                               self._profile_for(job.benchmark),
-                               policy_spec(job.policy),
-                               job.power or self.power),
-                              protocol=pickle.HIGHEST_PROTOCOL)
-                 for job in pending]
-        workers = min(self.jobs, len(tasks))
-        chunksize = max(1, len(tasks) // (workers * 2))
-        computed: Dict[SweepJob, SimulationResult] = {}
-        pool = self._ensure_pool()
-        for blob in pool.imap(_pool_worker, tasks, chunksize=chunksize):
-            job, result = pickle.loads(blob)
-            computed[job] = result
-        return computed
+            profile = self._profile_for(job.benchmark)
+            trace_for_job(job, profile, self.trace_store)
+            if self.injector is not None and self.trace_store.enabled:
+                # Chaos: truncate the just-stored trace entry so workers
+                # exercise the store's corruption-heal path (detect,
+                # unlink, re-derive, re-store).
+                store_key = trace_key(profile, job.trace_uops, job.seed,
+                                      job.use_slicing)
+                self.injector.corrupt_trace_entry(self.trace_store,
+                                                  store_key)
 
     # ----------------------------------------------------------------- sweeps
     def build_suite_jobs(self, profiles: Iterable[BenchmarkProfile],
@@ -465,7 +750,14 @@ class SweepEngine:
     def run_suite(self, profiles: Iterable[BenchmarkProfile],
                   policies: Sequence[str], trace_uops: int, seed: int,
                   use_slicing: bool = False, use_cache: bool = True):
-        """Run a benchmarks x policies sweep into a ``PolicySweepResult``."""
+        """Run a benchmarks x policies sweep into a ``PolicySweepResult``.
+
+        Quarantined jobs (every supervised attempt failed) are simply
+        absent: a missing policy result drops that cell, and a missing
+        baseline drops the whole benchmark (nothing can be normalised
+        without it).  The supervision report records what was dropped — a
+        campaign with failures still reports every surviving number.
+        """
         from repro.sim.experiment import BenchmarkResult, PolicySweepResult
 
         profiles = list(profiles)
@@ -478,11 +770,17 @@ class SweepEngine:
             benchmarks=[p.name for p in profiles])
         for profile in profiles:
             seed_for_bench = job_seed(seed, profile.name)
-            baseline = results[SweepJob(profile.name, "baseline", trace_uops,
-                                        seed_for_bench, use_slicing)]
+            baseline = results.get(SweepJob(profile.name, "baseline",
+                                            trace_uops, seed_for_bench,
+                                            use_slicing))
+            if baseline is None:
+                sweep.benchmarks.remove(profile.name)
+                continue
             bench = BenchmarkResult(benchmark=profile.name, baseline=baseline)
             for name in sweep.policies:
-                bench.by_policy[name] = results[SweepJob(
-                    profile.name, name, trace_uops, seed_for_bench, use_slicing)]
+                result = results.get(SweepJob(profile.name, name, trace_uops,
+                                              seed_for_bench, use_slicing))
+                if result is not None:
+                    bench.by_policy[name] = result
             sweep.results[profile.name] = bench
         return sweep

@@ -77,36 +77,51 @@ class BenchmarkResult:
 
 @dataclass
 class PolicySweepResult:
-    """Results of a sweep over benchmarks x policies."""
+    """Results of a sweep over benchmarks x policies.
+
+    Cells may be missing when a supervised campaign quarantined a job (see
+    :meth:`SweepEngine.run_suite`); aggregates and series are computed over
+    the surviving cells, so a campaign with failures still reports every
+    number it did produce.
+    """
 
     policies: List[str]
     benchmarks: List[str]
     results: Dict[str, BenchmarkResult] = field(default_factory=dict)
 
+    def _cells(self, policy: str):
+        """Benchmark results that actually hold ``policy`` (in order)."""
+        for name in self.benchmarks:
+            bench = self.results.get(name)
+            if bench is not None and policy in bench.by_policy:
+                yield bench
+
     def mean_speedup(self, policy: str) -> float:
-        values = [self.results[b].speedup(policy) for b in self.benchmarks]
+        values = [bench.speedup(policy) for bench in self._cells(policy)]
         return sum(values) / len(values) if values else 0.0
 
     def mean_helper_fraction(self, policy: str) -> float:
-        values = [self.results[b].by_policy[policy].helper_fraction
-                  for b in self.benchmarks]
+        values = [bench.by_policy[policy].helper_fraction
+                  for bench in self._cells(policy)]
         return sum(values) / len(values) if values else 0.0
 
     def mean_copy_fraction(self, policy: str) -> float:
-        values = [self.results[b].by_policy[policy].copy_fraction
-                  for b in self.benchmarks]
+        values = [bench.by_policy[policy].copy_fraction
+                  for bench in self._cells(policy)]
         return sum(values) / len(values) if values else 0.0
 
     def speedup_series(self, policy: str) -> Dict[str, float]:
-        return {b: self.results[b].speedup(policy) for b in self.benchmarks}
+        return {bench.benchmark: bench.speedup(policy)
+                for bench in self._cells(policy)}
 
     def mean_ed2_improvement(self, policy: str) -> float:
-        values = [self.results[b].ed2_improvement(policy) for b in self.benchmarks]
+        values = [bench.ed2_improvement(policy)
+                  for bench in self._cells(policy)]
         return sum(values) / len(values) if values else 0.0
 
     def ed2_series(self, policy: str) -> Dict[str, float]:
-        return {b: self.results[b].ed2_improvement(policy)
-                for b in self.benchmarks}
+        return {bench.benchmark: bench.ed2_improvement(policy)
+                for bench in self._cells(policy)}
 
 
 @dataclass(frozen=True)
@@ -183,6 +198,17 @@ class TopologySweepResult:
     #: (point name, benchmark) -> result
     results: Dict[Tuple[str, str], SimulationResult] = field(default_factory=dict)
 
+    def _bench_cells(self, point: str):
+        """Benchmarks with both a baseline and this point's result.
+
+        A supervised campaign may quarantine individual grid cells;
+        aggregates are over the surviving ones.
+        """
+        for name in self.benchmarks:
+            if (name in self.baselines
+                    and (point, name) in self.results):
+                yield name
+
     def result(self, point: str, benchmark: str) -> SimulationResult:
         return self.results[(point, benchmark)]
 
@@ -190,15 +216,17 @@ class TopologySweepResult:
         return speedup(self.baselines[benchmark], self.results[(point, benchmark)])
 
     def mean_speedup(self, point: str) -> float:
-        values = [self.speedup(point, b) for b in self.benchmarks]
+        values = [self.speedup(point, b) for b in self._bench_cells(point)]
         return sum(values) / len(values) if values else 0.0
 
     def mean_helper_fraction(self, point: str) -> float:
-        values = [self.results[(point, b)].helper_fraction for b in self.benchmarks]
+        values = [self.results[(point, b)].helper_fraction
+                  for b in self._bench_cells(point)]
         return sum(values) / len(values) if values else 0.0
 
     def mean_copy_fraction(self, point: str) -> float:
-        values = [self.results[(point, b)].copy_fraction for b in self.benchmarks]
+        values = [self.results[(point, b)].copy_fraction
+                  for b in self._bench_cells(point)]
         return sum(values) / len(values) if values else 0.0
 
     def ed2_improvement(self, point: str, benchmark: str) -> float:
@@ -207,11 +235,13 @@ class TopologySweepResult:
                                      self.results[(point, benchmark)])
 
     def mean_ed2_improvement(self, point: str) -> float:
-        values = [self.ed2_improvement(point, b) for b in self.benchmarks]
+        values = [self.ed2_improvement(point, b)
+                  for b in self._bench_cells(point)]
         return sum(values) / len(values) if values else 0.0
 
     def mean_energy(self, point: str) -> float:
-        values = [self.results[(point, b)].energy for b in self.benchmarks]
+        values = [self.results[(point, b)].energy
+                  for b in self._bench_cells(point)]
         return sum(values) / len(values) if values else 0.0
 
     def best_point(self) -> TopologyPoint:
@@ -233,23 +263,29 @@ class WorkloadSweepResult:
     #: app name -> policy result
     by_app: Dict[str, SimulationResult] = field(default_factory=dict)
 
+    def _live_apps(self) -> List[WorkloadApp]:
+        """Apps with both a baseline and a policy result (a supervised
+        campaign may have quarantined either half of a pair)."""
+        return [app for app in self.apps
+                if app.name in self.baselines and app.name in self.by_app]
+
     def speedup(self, app_name: str) -> float:
         return speedup(self.baselines[app_name], self.by_app[app_name])
 
     def speedups(self) -> Dict[str, float]:
-        return {app.name: self.speedup(app.name) for app in self.apps}
+        return {app.name: self.speedup(app.name) for app in self._live_apps()}
 
     def ed2_improvement(self, app_name: str) -> float:
         return _safe_ed2_improvement(self.baselines[app_name],
                                      self.by_app[app_name])
 
     def mean_ed2_improvement(self) -> float:
-        values = [self.ed2_improvement(app.name) for app in self.apps]
+        values = [self.ed2_improvement(app.name) for app in self._live_apps()]
         return sum(values) / len(values) if values else 0.0
 
     def category_speedups(self) -> Dict[str, List[float]]:
         by_category: Dict[str, List[float]] = {}
-        for app in self.apps:
+        for app in self._live_apps():
             by_category.setdefault(app.category, []).append(self.speedup(app.name))
         return by_category
 
@@ -258,12 +294,13 @@ class WorkloadSweepResult:
                 for category, values in self.category_speedups().items()}
 
     def mean_speedup(self) -> float:
-        values = [self.speedup(app.name) for app in self.apps]
+        values = [self.speedup(app.name) for app in self._live_apps()]
         return sum(values) / len(values) if values else 0.0
 
     def s_curve(self) -> List[float]:
         """Per-app performance sorted ascending, baseline = 1 (Figure 14)."""
-        return sorted(1.0 + self.speedup(app.name) for app in self.apps)
+        return sorted(1.0 + self.speedup(app.name)
+                      for app in self._live_apps())
 
 
 class ExperimentRunner:
@@ -283,6 +320,18 @@ class ExperimentRunner:
     power:
         Energy-coefficient configuration for every run (baselines included);
         ``PowerConfig(enabled=False)`` turns energy accounting off.
+    supervisor / faults:
+        Passed through to the engine (retry/deadline policy and the
+        deterministic fault plan; see :mod:`repro.sim.supervise` and
+        :mod:`repro.faultkit`).
+    checkpoint_path / quarantine_path:
+        Campaign checkpoint (JSONL) and the replayable ``failed-jobs.json``
+        ledger.  Both default to living next to the result cache when a
+        ``cache_dir`` is configured (``<cache-dir>/checkpoint.jsonl`` /
+        ``<cache-dir>/failed-jobs.json``) — a cached campaign is resumable
+        and quarantine-accountable by default; without a cache dir the
+        quarantine ledger falls back to ``./failed-jobs.json`` and
+        checkpointing is off (there is no durable store to resume from).
     """
 
     def __init__(self, trace_uops: int = DEFAULT_TRACE_UOPS, seed: int = 2006,
@@ -292,7 +341,10 @@ class ExperimentRunner:
                  use_cache: bool = True,
                  power: Optional[PowerConfig] = None,
                  trace_store_dir: Optional[str] = None,
-                 allow_oversubscribe: bool = False) -> None:
+                 allow_oversubscribe: bool = False,
+                 supervisor=None, faults=None,
+                 checkpoint_path: Optional[str] = None,
+                 quarantine_path: Optional[str] = None) -> None:
         if trace_uops <= 0:
             raise ValueError("trace_uops must be positive")
         self.trace_uops = trace_uops
@@ -306,11 +358,24 @@ class ExperimentRunner:
             # A persistent result cache gets a persistent sibling trace
             # store: warm directories skip generation as well as simulation.
             trace_store_dir = os.path.join(str(cache_dir), "traces")
+        if checkpoint_path is None and cache_dir:
+            checkpoint_path = os.path.join(str(cache_dir), "checkpoint.jsonl")
+        if quarantine_path is None:
+            quarantine_path = (os.path.join(str(cache_dir), "failed-jobs.json")
+                               if cache_dir else "failed-jobs.json")
         self.engine = SweepEngine(config=self.config, jobs=jobs,
                                   cache=self.cache, power=self.power,
                                   trace_store_dir=trace_store_dir,
-                                  allow_oversubscribe=allow_oversubscribe)
+                                  allow_oversubscribe=allow_oversubscribe,
+                                  supervisor=supervisor, faults=faults,
+                                  checkpoint_path=checkpoint_path,
+                                  quarantine_path=quarantine_path)
         self._baselines: Dict[str, SimulationResult] = {}
+
+    @property
+    def report(self):
+        """The engine's supervision report (retries, degradations, …)."""
+        return self.engine.report
 
     # ------------------------------------------------------------------ jobs
     def _job(self, profile: BenchmarkProfile, policy: str) -> SweepJob:
@@ -329,9 +394,19 @@ class ExperimentRunner:
         key = f"{profile.name}:{self.seed}:{self.trace_uops}:{self.use_slicing}"
         if key not in self._baselines:
             job = self._job(profile, "baseline")
-            self._baselines[key] = self.engine.run_jobs(
-                [job], use_cache=self.use_cache)[job]
+            self._baselines[key] = self._single_result(job)
         return self._baselines[key]
+
+    def _single_result(self, job: SweepJob) -> SimulationResult:
+        """Run one job; a quarantined single job is a hard error (there is
+        no partial campaign to salvage when the caller asked for exactly
+        this result)."""
+        results = self.engine.run_jobs([job], use_cache=self.use_cache)
+        if job not in results:
+            raise RuntimeError(
+                f"job {job.benchmark}:{job.policy} failed all supervised "
+                f"attempts (quarantined); see the failed-jobs ledger")
+        return results[job]
 
     # ------------------------------------------------------------------- runs
     def run_policy(self, profile: BenchmarkProfile, policy_name: str,
@@ -345,7 +420,7 @@ class ExperimentRunner:
             return simulate(self.trace_for(profile), config=config,
                             policy=make_policy(policy_name), power=self.power)
         job = self._job(profile, policy_name)
-        return self.engine.run_jobs([job], use_cache=self.use_cache)[job]
+        return self._single_result(job)
 
     def run_benchmark(self, profile: BenchmarkProfile,
                       policies: Sequence[str]) -> BenchmarkResult:
@@ -391,15 +466,21 @@ class ExperimentRunner:
         sweep = TopologySweepResult(policy=policy,
                                     benchmarks=[p.name for p in profiles],
                                     points=list(points))
+        # Quarantined cells are simply absent; the aggregates skip them
+        # (and the supervision report records what was dropped).
         for profile in profiles:
             seed_for_bench = job_seed(self.seed, profile.name)
-            sweep.baselines[profile.name] = results[SweepJob(
+            baseline = results.get(SweepJob(
                 profile.name, "baseline", self.trace_uops, seed_for_bench,
-                self.use_slicing)]
+                self.use_slicing))
+            if baseline is not None:
+                sweep.baselines[profile.name] = baseline
             for point in points:
-                sweep.results[(point.name, profile.name)] = results[SweepJob(
+                result = results.get(SweepJob(
                     profile.name, policy, self.trace_uops, seed_for_bench,
-                    self.use_slicing, config=point.config)]
+                    self.use_slicing, config=point.config))
+                if result is not None:
+                    sweep.results[(point.name, profile.name)] = result
         return sweep
 
     # ----------------------------------------------------- workload suite
@@ -429,11 +510,16 @@ class ExperimentRunner:
 
         sweep = WorkloadSweepResult(policy=policy, apps=apps)
         for app in apps:
-            sweep.baselines[app.name] = results[SweepJob(
+            baseline = results.get(SweepJob(
                 app.name, "baseline", self.trace_uops, app.seed,
-                self.use_slicing)]
-            sweep.by_app[app.name] = results[SweepJob(
-                app.name, policy, self.trace_uops, app.seed, self.use_slicing)]
+                self.use_slicing))
+            if baseline is not None:
+                sweep.baselines[app.name] = baseline
+            result = results.get(SweepJob(
+                app.name, policy, self.trace_uops, app.seed,
+                self.use_slicing))
+            if result is not None:
+                sweep.by_app[app.name] = result
         return sweep
 
 

@@ -88,14 +88,27 @@ def mean_cluster_energy_text(results: Sequence[SimulationResult]) -> str:
     return " ".join(parts)
 
 
+def _policy_cells(sweep: PolicySweepResult, policy: str):
+    """(benchmark result, policy result) pairs that actually exist.
+
+    A supervised campaign may quarantine individual jobs; reporting renders
+    every surviving cell instead of crashing on the missing ones.
+    """
+    cells = []
+    for benchmark in sweep.benchmarks:
+        bench = sweep.results.get(benchmark)
+        if bench is not None and policy in bench.by_policy:
+            cells.append((bench, bench.by_policy[policy]))
+    return cells
+
+
 def results_to_rows(sweep: PolicySweepResult, policy: str) -> List[List[object]]:
     """Rows of per-benchmark metrics for one policy (Figures 6-9, 12)."""
     rows: List[List[object]] = []
-    for benchmark in sweep.benchmarks:
-        bench = sweep.results[benchmark]
-        result = bench.by_policy[policy]
+    cells = _policy_cells(sweep, policy)
+    for bench, result in cells:
         rows.append([
-            benchmark,
+            bench.benchmark,
             bench.speedup(policy) * 100.0,
             result.helper_fraction * 100.0,
             result.copy_fraction * 100.0,
@@ -108,11 +121,10 @@ def results_to_rows(sweep: PolicySweepResult, policy: str) -> List[List[object]]
         sweep.mean_speedup(policy) * 100.0,
         sweep.mean_helper_fraction(policy) * 100.0,
         sweep.mean_copy_fraction(policy) * 100.0,
-        sum(sweep.results[b].by_policy[policy].prediction.accuracy
-            for b in sweep.benchmarks) / max(1, len(sweep.benchmarks)) * 100.0,
+        sum(result.prediction.accuracy for _, result in cells)
+        / max(1, len(cells)) * 100.0,
         sweep.mean_ed2_improvement(policy) * 100.0,
-        mean_cluster_energy_text([sweep.results[b].by_policy[policy]
-                                  for b in sweep.benchmarks]),
+        mean_cluster_energy_text([result for _, result in cells]),
     ])
     return rows
 
@@ -129,10 +141,9 @@ def format_policy_table(sweep: PolicySweepResult, policy: str,
 
 def _sweep_selector(sweep: PolicySweepResult, policy: str) -> str:
     """The selector name a policy's runs steered under (self-description)."""
-    for benchmark in sweep.benchmarks:
-        selector = sweep.results[benchmark].by_policy[policy].selector
-        if selector:
-            return selector
+    for _, result in _policy_cells(sweep, policy):
+        if result.selector:
+            return result.selector
     return "-"
 
 
@@ -149,8 +160,8 @@ def format_ladder_summary(sweep: PolicySweepResult, title: str = "Policy ladder"
             sweep.mean_helper_fraction(policy) * 100.0,
             sweep.mean_copy_fraction(policy) * 100.0,
             sweep.mean_ed2_improvement(policy) * 100.0,
-            mean_cluster_energy_text([sweep.results[b].by_policy[policy]
-                                      for b in sweep.benchmarks]),
+            mean_cluster_energy_text([result for _, result
+                                      in _policy_cells(sweep, policy)]),
         ])
     return format_table(headers, rows, title=title, float_format="{:.2f}")
 
@@ -168,9 +179,13 @@ def sweep_to_csv(sweep: PolicySweepResult) -> str:
                "ed2_gain"]
     rows: List[List[object]] = []
     for benchmark in sweep.benchmarks:
-        bench = sweep.results[benchmark]
+        bench = sweep.results.get(benchmark)
+        if bench is None:
+            continue  # the whole benchmark was quarantined
         for policy in sweep.policies:
-            result = bench.by_policy[policy]
+            result = bench.by_policy.get(policy)
+            if result is None:
+                continue  # this cell was quarantined
             rows.append([
                 benchmark, policy, result.selector or "-",
                 bench.speedup(policy), result.ipc,
@@ -213,7 +228,8 @@ def format_topology_table(sweep: TopologySweepResult,
             sweep.mean_copy_fraction(point.name) * 100.0,
             sweep.mean_ed2_improvement(point.name) * 100.0,
             mean_cluster_energy_text([sweep.result(point.name, b)
-                                      for b in sweep.benchmarks]),
+                                      for b in sweep.benchmarks
+                                      if (point.name, b) in sweep.results]),
             " ".join(markers),
         ])
     try:
@@ -235,7 +251,7 @@ def topology_sweep_to_csv(sweep: TopologySweepResult) -> str:
                "energy", "ed2", "ed2_gain", "cluster_energy"]
     rows: List[List[object]] = []
     for point in sweep.points:
-        for benchmark in sweep.benchmarks:
+        for benchmark in sweep._bench_cells(point.name):
             result = sweep.result(point.name, benchmark)
             rows.append([
                 point.name, point.describe(), benchmark,
@@ -257,25 +273,24 @@ def format_energy_table(sweep: PolicySweepResult, policy: str,
     rows: List[List[object]] = []
     energy_ratios: List[float] = []
     delay_ratios: List[float] = []
-    for benchmark in sweep.benchmarks:
-        bench = sweep.results[benchmark]
-        base, candidate = bench.baseline, bench.by_policy[policy]
+    cells = _policy_cells(sweep, policy)
+    for bench, candidate in cells:
+        base = bench.baseline
         energy_ratio = candidate.energy / base.energy if base.energy else 0.0
         delay_ratio = (candidate.slow_cycles / base.slow_cycles
                        if base.slow_cycles else 0.0)
         energy_ratios.append(energy_ratio)
         delay_ratios.append(delay_ratio)
         rows.append([
-            benchmark, energy_ratio, delay_ratio,
+            bench.benchmark, energy_ratio, delay_ratio,
             bench.ed2_improvement(policy) * 100.0,
             cluster_energy_text(candidate),
         ])
-    count = max(1, len(sweep.benchmarks))
+    count = max(1, len(cells))
     rows.append([
         "AVG", sum(energy_ratios) / count, sum(delay_ratios) / count,
         sweep.mean_ed2_improvement(policy) * 100.0,
-        mean_cluster_energy_text([sweep.results[b].by_policy[policy]
-                                  for b in sweep.benchmarks]),
+        mean_cluster_energy_text([result for _, result in cells]),
     ])
     try:
         policy_label = f"{policy}/{policy_spec(policy).selector}"
@@ -353,7 +368,8 @@ def cache_stats_line(cache, trace_store=None, engine=None) -> str:
     parts.append(f"misses={stats['misses']}")
     parts.append(f"stores={stats['stores']}")
     if stats.get("corrupt_drops"):
-        parts.append(f"corrupt_drops={stats['corrupt_drops']}")
+        parts.append(f"corrupt: {stats['corrupt_drops']} dropped, "
+                     f"{stats.get('healed', 0)} healed")
     parts.append(f"read={_format_bytes(stats.get('bytes_read', 0))}")
     parts.append(f"written={_format_bytes(stats.get('bytes_written', 0))}")
     line = " ".join(parts)
@@ -361,6 +377,9 @@ def cache_stats_line(cache, trace_store=None, engine=None) -> str:
         tstats = trace_store.stats()
         line += (f" · traces: hits={tstats['hits']} "
                  f"stores={tstats['stores']}")
+        if tstats.get("corrupt_drops"):
+            line += (f" corrupt: {tstats['corrupt_drops']} dropped, "
+                     f"{tstats.get('healed', 0)} healed")
     if engine is not None and getattr(engine, "jobs_clamped_from", None):
         line += (f" · jobs={engine.jobs} (clamped from "
                  f"{engine.jobs_clamped_from}: the host has "

@@ -1846,7 +1846,15 @@ class HelperClusterSimulator:
 
 def simulate(trace: Trace, config: Optional[MachineConfig] = None,
              policy: Optional[SteeringPolicy] = None,
-             power: Optional[PowerConfig] = None) -> SimulationResult:
-    """Convenience wrapper: build a simulator, run it, return the result."""
+             power: Optional[PowerConfig] = None,
+             backend: Optional[str] = None) -> SimulationResult:
+    """Convenience wrapper: build a simulator, run it, return the result.
+
+    ``backend`` forces the hot-state backend for this run (``"python"`` /
+    ``"compiled"``); None inherits the process default (``REPRO_BACKEND``
+    or auto-detection).  Backends are bit-identical by contract, so the
+    choice never changes the result — the supervised engine uses it to
+    degrade a job from the compiled to the pure-python backend on retry.
+    """
     return HelperClusterSimulator(trace, config=config, policy=policy,
-                                  power=power).run()
+                                  power=power, backend=backend).run()

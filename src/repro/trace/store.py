@@ -76,6 +76,12 @@ class TraceStore:
         self.stores = 0
         #: entries dropped because the digest or format did not verify
         self.corrupt_drops = 0
+        #: corrupt-dropped slots that were subsequently rewritten with a
+        #: freshly generated trace (same heal contract as the result cache)
+        self.healed = 0
+        #: keys whose on-disk entry was dropped as corrupt and not yet
+        #: rewritten (drives the ``healed`` accounting)
+        self._corrupt_keys: set = set()
         #: memo keys (engine-side tuples) known to be persisted in this
         #: store — lets `trace_for_job` skip the key hash + path probe after
         #: the first job of a distinct trace
@@ -100,6 +106,7 @@ class TraceStore:
         except ValueError:
             # Corrupt or stale: remove so the slot is rewritten cleanly.
             self.corrupt_drops += 1
+            self._corrupt_keys.add(key)
             self.misses += 1
             try:
                 path.unlink()
@@ -144,6 +151,9 @@ class TraceStore:
                 except OSError:
                     pass
         self.stores += 1
+        if key in self._corrupt_keys:
+            self._corrupt_keys.discard(key)
+            self.healed += 1
 
     # -------------------------------------------------------------- reporting
     def stats(self) -> dict:
@@ -152,4 +162,5 @@ class TraceStore:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt_drops": self.corrupt_drops,
+            "healed": self.healed,
         }

@@ -1,0 +1,63 @@
+"""Tests for :mod:`repro.fuzz.enginefaults` — chaos fuzzing of the engine."""
+
+from repro.fuzz import load_corpus_dir
+from repro.fuzz.enginefaults import (
+    EngineFaultCase,
+    engine_case_from_dict,
+    engine_case_to_dict,
+    generate_engine_case,
+    load_engine_corpus_dir,
+    run_engine_fault_case,
+    write_engine_corpus_entry,
+)
+
+
+class TestCaseGeneration:
+    def test_generation_is_deterministic(self):
+        assert generate_engine_case(42) == generate_engine_case(42)
+        assert generate_engine_case(42) != generate_engine_case(43)
+
+    def test_cases_round_trip_through_dicts(self):
+        for seed in range(10):
+            case = generate_engine_case(seed)
+            assert engine_case_from_dict(engine_case_to_dict(case)) == case
+            case.plan()  # the spec text must parse
+
+    def test_plans_carry_fast_supervision_overrides(self):
+        plan = generate_engine_case(7).plan()
+        assert plan.deadline is not None
+        assert plan.backoff is not None
+
+
+class TestCorpus:
+    def test_engine_entries_round_trip_and_stay_typed(self, tmp_path):
+        case = generate_engine_case(5)
+        write_engine_corpus_entry(case, tmp_path, "engine-fault-5", "why")
+        (name, loaded), = load_engine_corpus_dir(tmp_path)
+        assert name == "engine-fault-5"
+        assert loaded == case
+        # The differential loader must skip typed entries, not crash.
+        assert load_corpus_dir(tmp_path) == []
+
+
+class TestCaseExecution:
+    def test_serial_chaos_case_passes(self):
+        case = EngineFaultCase(
+            case_seed=1, benchmarks=("gcc",), policies=("ir",),
+            trace_uops=300, sweep_seed=9, jobs=1,
+            plan_text=("seed=6,crash=0.3,transient=0.3,corrupt_result=0.5,"
+                       "deadline=10,backoff=0.01"))
+        report = run_engine_fault_case(case)
+        assert report.ok, report.failures
+        assert report.survivors == 2  # baseline + ir
+        assert report.quarantined == 0
+
+    def test_sticky_quarantine_is_a_legitimate_outcome(self):
+        case = EngineFaultCase(
+            case_seed=2, benchmarks=("gcc",), policies=("ir",),
+            trace_uops=300, sweep_seed=9, jobs=1,
+            plan_text="seed=6,sticky=crash@gcc:ir,deadline=10,backoff=0.01")
+        report = run_engine_fault_case(case)
+        assert report.ok, report.failures
+        assert report.survivors == 1
+        assert report.quarantined == 1

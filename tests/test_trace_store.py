@@ -114,7 +114,7 @@ class TestTraceStore:
         loaded = store.load(key)
         assert pickle.dumps(loaded) == pickle.dumps(trace)
         assert store.stats() == {"hits": 1, "misses": 0, "stores": 1,
-                                 "corrupt_drops": 0}
+                                 "corrupt_drops": 0, "healed": 0}
 
     def test_corrupt_entry_is_dropped_and_regenerated(self, tmp_path):
         profile = get_profile("gzip")
