@@ -54,12 +54,20 @@ def test_bench_energy_overhead():
     runner = ExperimentRunner(trace_uops=GRID_UOPS, seed=BENCH_SEED)
     runner.trace_for(profiles[0])
 
-    # Interleave three rounds per arm, alternating which arm goes first,
-    # and keep the minimum: the arms are ~2 s each, so a single scheduler
-    # blip on a shared CI worker is comparable to the 10% budget — the
-    # min-of-interleaved estimator discards it.
+    # Interleave five rounds per arm, alternating which arm goes first,
+    # and compare the two arms' minima (each arm's floor): the arms are
+    # ~2 s each, so a single scheduler blip on a shared worker is
+    # comparable to the 10% budget, and the min-of-interleaved estimator
+    # discards it.  Five rounds (not three) because the true overhead is
+    # now only a few percent — post-compiled-core there is far less
+    # per-uop Python work for the finalise-time power evaluation to
+    # amortise against — while per-run noise on a small box is ~10%, so
+    # with too few rounds the mins don't both reach their floor and the
+    # measured sign itself can invert.  Readings within a couple of
+    # percent of zero (either sign) mean "below this box's noise floor";
+    # the contract being enforced is the 10% budget, not the point value.
     enabled_times, disabled_times = [], []
-    for round_index in range(3):
+    for round_index in range(5):
         order = (True, False) if round_index % 2 == 0 else (False, True)
         for enabled in order:
             elapsed = _run_grid(enabled, points, profiles)

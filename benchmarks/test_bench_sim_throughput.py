@@ -24,7 +24,11 @@ policies) under the configurations that matter for sweep throughput:
 
 CI's perf smoke job sets ``REPRO_BENCH_ENFORCE=1`` to fail on a >25%
 uops/sec regression against the committed JSON (``REPRO_BENCH_TOLERANCE``
-overrides the margin).  The gate is per backend: each serial-cold scenario
+overrides the margin).  ``warm_cache`` is gated too, at a wider default
+margin (``REPRO_BENCH_TOLERANCE_WARM``, 60%): its wall is milliseconds,
+so only structural cache-path regressions (an extra decode or sync per
+entry reads as 2x+) should trip it, never timer noise.  The gate is per
+backend: each serial-cold scenario
 records which backend produced it and is only compared against a committed
 scenario measured under the same backend, so a runner without a compiler
 cannot trip the compiled number (and vice versa).  Without the env var the
@@ -227,12 +231,20 @@ def test_bench_sim_throughput(tmp_path):
     assert _fingerprint(parallel) == _fingerprint(reference)
 
     # -- warm on-disk result cache -------------------------------------------
+    # Min-of-3: a warm sweep is ~milliseconds of pure cache decode, so a
+    # single scheduler blip can multiply the wall several-fold; taking the
+    # fastest repeat keeps the artefact (and the gate below) measuring the
+    # cache path, not the box.
     cache_dir = tmp_path / "cache"
     _run_ladder(tmp_path, "cache_fill", cache_dir=str(cache_dir))
-    engine_mod._trace_memo.clear()
-    cached, scenarios["warm_cache"] = _run_ladder(
-        tmp_path, "warm_cache", cache_dir=str(cache_dir))
-    assert _fingerprint(cached) == _fingerprint(reference)
+    for _ in range(3):
+        engine_mod._trace_memo.clear()
+        cached, warm_scenario = _run_ladder(
+            tmp_path, "warm_cache", cache_dir=str(cache_dir))
+        assert _fingerprint(cached) == _fingerprint(reference)
+        if ("warm_cache" not in scenarios
+                or warm_scenario["wall_s"] < scenarios["warm_cache"]["wall_s"]):
+            scenarios["warm_cache"] = warm_scenario
 
     calibration = _calibration_rate()
     payload = {
@@ -256,9 +268,16 @@ def test_bench_sim_throughput(tmp_path):
     # was measured under the same backend.
     if os.environ.get("REPRO_BENCH_ENFORCE") == "1":
         tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25"))
+        # The warm-cache sweep is milliseconds long, so even min-of-3 is
+        # noisier than the multi-second scenarios; its gate only catches
+        # structural cache-path regressions (an extra decode or fsync per
+        # entry shows up as 2x+), not percent-level drift.
+        warm_tolerance = float(
+            os.environ.get("REPRO_BENCH_TOLERANCE_WARM", "0.6"))
         old_calibration = committed.get("calibration_ops_per_sec")
         for key in ("serial_cold", "serial_cold_python",
-                    "dispatch_chain", "dispatch_chain_python"):
+                    "dispatch_chain", "dispatch_chain_python",
+                    "warm_cache"):
             old = committed.get("scenarios", {}).get(key, {})
             old_rate = old.get("uops_per_sec")
             new = scenarios[key]
@@ -272,8 +291,9 @@ def test_bench_sim_throughput(tmp_path):
                 new_norm = new_rate / calibration
             else:
                 old_norm, new_norm = old_rate, new_rate
-            assert new_norm >= old_norm * (1.0 - tolerance), (
-                f"simulator throughput regressed beyond {tolerance:.0%}: "
+            margin = warm_tolerance if key == "warm_cache" else tolerance
+            assert new_norm >= old_norm * (1.0 - margin), (
+                f"simulator throughput regressed beyond {margin:.0%}: "
                 f"{new_rate} uops/s (calibration {calibration}) vs committed "
                 f"{old_rate} uops/s (calibration {old_calibration}) "
                 f"({key}, backend {new['backend']}, "
@@ -282,15 +302,29 @@ def test_bench_sim_throughput(tmp_path):
     # Only the full-suite run rewrites the committed artefact; a scoped CI
     # smoke must not overwrite it with subset numbers.  The one-off pre-PR
     # measurement block is carried over so the before/after record of the
-    # event-wheel PR survives regeneration, with the speedup multiple
-    # recomputed against this run's serial-cold number (honest trajectory).
+    # event-wheel PR survives regeneration, with BOTH speedup multiples
+    # recomputed against this run's numbers — they track *current HEAD*
+    # vs the frozen pre-event-wheel measurement (the whole trajectory
+    # since, regressions included), not any single PR's own win, and the
+    # note says so.
     if not _subset:
         if "pre_pr_reference" in committed:
             pre = dict(committed["pre_pr_reference"])
             pre_rate = pre.get("serial_cold", {}).get("uops_per_sec")
             if pre_rate:
+                pre["note"] = (
+                    "pre-event-wheel code (commit a4bdb9a) measured on the "
+                    "same 1-CPU container, same 8000-uop 12-benchmark "
+                    "ladder, serial cold.  The multiples below compare "
+                    "CURRENT HEAD (this artefact's scenarios) against that "
+                    "frozen measurement at equal conditions — they track "
+                    "the whole trajectory since the event-wheel PR, not "
+                    "that PR's own speedup, and are recomputed on every "
+                    "regeneration.")
                 pre["serial_cold_speedup_vs_pre_pr"] = round(
                     scenarios["serial_cold"]["uops_per_sec"] / pre_rate, 3)
+                pre["warm_cache_speedup_vs_pre_pr_cold"] = round(
+                    scenarios["warm_cache"]["uops_per_sec"] / pre_rate, 1)
             payload["pre_pr_reference"] = pre
         BENCH_JSON.parent.mkdir(parents=True, exist_ok=True)
         BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True)
